@@ -1,0 +1,50 @@
+// Ablation: 4-byte synopses vs shipping full transaction contexts.
+//
+// §7.4 motivates synopses: "Propagating a synopsis instead of a
+// transaction context reduces Whodunit's communication overhead."
+// This bench quantifies it on the TPC-W rig: bytes actually sent as
+// synopses vs what the same messages would carry if each context were
+// serialized in full (call-path elements at 4 bytes per frame id plus
+// framing), per message and in total.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/bookstore/bookstore.h"
+#include "src/context/synopsis.h"
+#include "src/profiler/deployment.h"
+#include "src/profiler/stage_profiler.h"
+
+int main() {
+  using namespace whodunit;
+  bench::Header("Ablation: synopsis vs full-context piggybacking (TPC-W)");
+
+  apps::BookstoreOptions options;
+  options.clients = 100;
+  options.duration = sim::Seconds(1200);
+  options.warmup = sim::Seconds(120);
+  apps::BookstoreResult r = apps::RunBookstore(options);
+
+  // A full context for a TPC-W DB query carries the web-proxy call
+  // path, the Tomcat servlet call path, and per-element kind bytes; a
+  // conservative serialized encoding is ~12 bytes per call-path frame.
+  // The deepest paths in this rig are ~4 frames over 2 stages.
+  const double kFullContextBytesPerMessage = 2 /*stages*/ * 4 /*frames*/ * 12.0;
+  const double messages =
+      static_cast<double>(r.interactions) * 6.0;  // 3 hops, request+response
+  const double full_bytes = messages * kFullContextBytesPerMessage;
+
+  std::printf("interactions:                    %lu\n",
+              static_cast<unsigned long>(r.interactions));
+  std::printf("synopsis bytes sent:             %.3f MB (%.1f B/message avg)\n",
+              static_cast<double>(r.context_bytes) / 1e6,
+              static_cast<double>(r.context_bytes) / messages);
+  std::printf("full contexts would have sent:   %.3f MB (%.0f B/message)\n",
+              full_bytes / 1e6, kFullContextBytesPerMessage);
+  std::printf("synopsis saving:                 %.1fx fewer context bytes\n",
+              full_bytes / static_cast<double>(r.context_bytes));
+  std::printf("context overhead vs app data:    %.2f%% (synopses)  %.2f%% (full)\n",
+              100.0 * static_cast<double>(r.context_bytes) /
+                  static_cast<double>(r.payload_bytes),
+              100.0 * full_bytes / static_cast<double>(r.payload_bytes));
+  return 0;
+}

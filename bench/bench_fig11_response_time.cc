@@ -1,0 +1,64 @@
+// Figure 11: average response time of the AdminConfirm, BestSellers
+// and SearchResult transactions vs concurrent clients, for the
+// original system and the Whodunit-guided optimizations.
+//
+// Reproduced claims:
+//   * converting `item` to row locks (InnoDB) eliminates
+//     AdminConfirm's table-lock crosstalk (the paper measures a 9-72%
+//     response-time reduction, e.g. 640 ms -> 550 ms at 100 clients;
+//     in our FIFO-CPU model the latency effect is within queueing
+//     noise while the crosstalk elimination is exact — see
+//     EXPERIMENTS.md and DESIGN.md §4b);
+//   * caching BestSellers/SearchResult results in the servlets
+//     (TPC-W clause 6.3.3.1) slashes their response times;
+//   * without optimizations, response times blow up as the database
+//     CPU saturates (~200 clients).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/bookstore/bookstore.h"
+
+int main() {
+  using namespace whodunit;
+  using workload::TpcwTransaction;
+  bench::Header(
+      "Figure 11: mean response time (ms) vs concurrent clients\n"
+      "paper anchors: AdminConfirm 640 -> 550 ms at 100 clients (MyISAM -> InnoDB);\n"
+      "BestSellers/SearchResult collapse to milliseconds with result caching");
+
+  std::printf("%7s | %9s %9s %9s | %9s %9s | %9s %9s\n", "clients", "AC-orig", "AC-inno",
+              "AC-xtalk", "BS-orig", "BS-cache", "SR-orig", "SR-cache");
+  std::printf("--------+-------------------------------+---------------------+---------"
+              "------------\n");
+  for (int clients : {50, 100, 150, 200, 250, 300, 350, 400, 450, 500}) {
+    apps::BookstoreOptions base;
+    base.clients = clients;
+    // Long runs: AdminConfirm is 0.09% of the mix, so averaging its
+    // response time needs many interactions.
+    base.duration = sim::Seconds(4800);
+    base.warmup = sim::Seconds(300);
+
+    apps::BookstoreResult orig = apps::RunBookstore(base);
+    apps::BookstoreOptions inno = base;
+    inno.item_granularity = db::LockGranularity::kRowLocks;
+    apps::BookstoreResult r_inno = apps::RunBookstore(inno);
+    apps::BookstoreOptions cache = base;
+    cache.servlet_caching = true;
+    apps::BookstoreResult r_cache = apps::RunBookstore(cache);
+
+    const auto& ac_o = orig.per_type[static_cast<size_t>(TpcwTransaction::kAdminConfirm)];
+    const auto& ac_i = r_inno.per_type[static_cast<size_t>(TpcwTransaction::kAdminConfirm)];
+    const auto& bs_o = orig.per_type[static_cast<size_t>(TpcwTransaction::kBestSellers)];
+    const auto& bs_c = r_cache.per_type[static_cast<size_t>(TpcwTransaction::kBestSellers)];
+    const auto& sr_o = orig.per_type[static_cast<size_t>(TpcwTransaction::kSearchResult)];
+    const auto& sr_c = r_cache.per_type[static_cast<size_t>(TpcwTransaction::kSearchResult)];
+    std::printf("%7d | %9.0f %9.0f %9.1f | %9.0f %9.0f | %9.0f %9.0f\n", clients,
+                ac_o.mean_response_ms, ac_i.mean_response_ms, ac_o.mean_crosstalk_ms,
+                bs_o.mean_response_ms, bs_c.mean_response_ms, sr_o.mean_response_ms,
+                sr_c.mean_response_ms);
+  }
+  bench::Note(
+      "\nAC-xtalk is AdminConfirm's mean lock wait under MyISAM; with InnoDB\n"
+      "row locks it is (near) zero — the mechanism behind the AC-inno column.");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 9: transactional profile of the Squid stand-in.
+//
+// Reproduced claim: the commHandleWrite event handler executes under
+// two distinct transaction contexts — one reached via the cache-hit
+// handler sequence [httpAccept, clientReadRequest], one via the miss
+// sequence [..., commConnectHandle, httpReadReply] — and Whodunit
+// separates their CPU shares (a regular profiler reports one number).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/miniproxy/miniproxy.h"
+
+int main() {
+  using namespace whodunit;
+  bench::Header("Figure 9: transactional profile of Squid (miniproxy)");
+
+  apps::MiniproxyOptions options;
+  options.mode = callpath::ProfilerMode::kWhodunit;
+  options.clients = 64;
+  options.duration = sim::Seconds(30);
+  apps::MiniproxyResult r = apps::RunMiniproxy(options);
+
+  std::printf("%s\n", r.profile_text.c_str());
+  std::printf("requests served:         %lu   hit ratio %.1f%%\n",
+              static_cast<unsigned long>(r.requests), 100.0 * r.hit_ratio);
+  std::printf("throughput:              %.1f Mb/s   (paper: Squid peaks ~262 Mb/s)\n",
+              r.throughput_mbps);
+  std::printf("commHandleWrite appears in %zu transaction contexts (paper: 2)\n",
+              r.write_handler_context_count);
+  std::printf("  via cache-hit path:    %.2f%% of proxy CPU\n", r.hit_path_share);
+  std::printf("  via cache-miss path:   %.2f%% of proxy CPU\n", r.miss_path_share);
+  bench::Note("(paper Figure 9 reports 38.5% and 14.5% for the two contexts;\n"
+              " the split depends on the trace's hit ratio)");
+  return 0;
+}

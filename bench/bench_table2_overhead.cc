@@ -1,0 +1,67 @@
+// Table 2 + §9.1: peak TPC-W throughput under no profiling, csprof,
+// Whodunit, and gprof, plus the communication overhead of synopses.
+//
+// Reproduced claims:
+//   * csprof's sampling overhead is small (paper: 1184 -> 1151, <3%);
+//   * Whodunit adds almost nothing on top of csprof (paper: 1151 ->
+//     1150, <0.1%);
+//   * gprof's per-call instrumentation costs an order of magnitude
+//     more on a call-dense server (paper: 898, ~24% drop);
+//   * transaction-context synopses are ~1% of the bytes moved between
+//     stages (paper: 0.95 MB vs 92.52 MB at peak throughput).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/bookstore/bookstore.h"
+
+int main() {
+  using namespace whodunit;
+  bench::Header("Table 2: peak TPC-W throughput (tx/min) under the profilers");
+
+  struct ModeRow {
+    const char* name;
+    callpath::ProfilerMode mode;
+    double paper_tpm;
+  };
+  const ModeRow rows[] = {
+      {"no profile", callpath::ProfilerMode::kNone, 1184},
+      {"csprof", callpath::ProfilerMode::kCsprof, 1151},
+      {"Whodunit", callpath::ProfilerMode::kWhodunit, 1150},
+      {"gprof", callpath::ProfilerMode::kGprof, 898},
+  };
+
+  double none_tpm = 0;
+  uint64_t whodunit_payload = 0, whodunit_context = 0;
+  std::printf("%-12s | %10s | %10s | %s\n", "profiler", "paper", "measured",
+              "drop vs none");
+  std::printf("-------------+------------+------------+-------------\n");
+  for (const ModeRow& row : rows) {
+    apps::BookstoreOptions options;
+    options.mode = row.mode;
+    // Saturated (the peak of the Figure 12 curve is the DB capacity).
+    options.clients = 300;
+    options.duration = sim::Seconds(1800);
+    options.warmup = sim::Seconds(300);
+    apps::BookstoreResult r = apps::RunBookstore(options);
+    if (row.mode == callpath::ProfilerMode::kNone) {
+      none_tpm = r.throughput_tpm;
+    }
+    if (row.mode == callpath::ProfilerMode::kWhodunit) {
+      whodunit_payload = r.payload_bytes;
+      whodunit_context = r.context_bytes;
+    }
+    std::printf("%-12s | %10.0f | %10.0f | %+.1f%%\n", row.name, row.paper_tpm,
+                r.throughput_tpm,
+                none_tpm > 0 ? 100.0 * (r.throughput_tpm - none_tpm) / none_tpm : 0.0);
+  }
+
+  bench::Header("Section 9.1: communication overhead of synopses (Whodunit run)");
+  std::printf("application data between stages: %.2f MB (paper: 92.52 MB)\n",
+              static_cast<double>(whodunit_payload) / 1e6);
+  std::printf("transaction-context synopses:    %.3f MB (paper: 0.95 MB)\n",
+              static_cast<double>(whodunit_context) / 1e6);
+  std::printf("communication overhead:          %.2f%% (paper: ~1%%)\n",
+              100.0 * static_cast<double>(whodunit_context) /
+                  static_cast<double>(whodunit_payload));
+  return 0;
+}

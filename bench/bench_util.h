@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper and
+// prints the paper's number next to the measured one. Absolute values
+// are calibrated (see workload/calibration.h); the claims under test
+// are the SHAPES: who wins, by roughly what factor, where crossovers
+// and saturation points fall.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+namespace whodunit::bench {
+
+inline void Header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void Note(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace whodunit::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Whodunit-guided performance tuning of a multi-tier application
+// (paper §8.4, condensed).
+//
+// Runs the TPC-W bookstore, reads the transactional profile the way a
+// performance engineer would, and applies the two optimizations the
+// profile suggests — showing the before/after effect on the very
+// numbers that motivated them.
+//
+// Build & run:  ./build/examples/bookstore_tuning
+#include <cstdio>
+
+#include "src/apps/bookstore/bookstore.h"
+
+int main() {
+  using namespace whodunit;
+  using workload::TpcwTransaction;
+
+  apps::BookstoreOptions options;
+  options.clients = 100;
+  options.duration = sim::Seconds(2400);
+  options.warmup = sim::Seconds(300);
+
+  std::printf("== Step 1: profile the original system ==\n");
+  apps::BookstoreResult before = apps::RunBookstore(options);
+  const auto& bs = before.per_type[static_cast<size_t>(TpcwTransaction::kBestSellers)];
+  const auto& sr = before.per_type[static_cast<size_t>(TpcwTransaction::kSearchResult)];
+  const auto& ac = before.per_type[static_cast<size_t>(TpcwTransaction::kAdminConfirm)];
+  std::printf("Whodunit's per-transaction MySQL profile says:\n");
+  std::printf("  BestSellers  : %5.1f%% of DB CPU, %6.0f ms mean response\n",
+              bs.db_cpu_percent, bs.mean_response_ms);
+  std::printf("  SearchResult : %5.1f%% of DB CPU, %6.0f ms mean response\n",
+              sr.db_cpu_percent, sr.mean_response_ms);
+  std::printf("  AdminConfirm : %5.1f%% of DB CPU, %6.0f ms mean response, "
+              "%5.1f ms mean lock wait (worst)\n",
+              ac.db_cpu_percent, ac.mean_response_ms, ac.mean_crosstalk_ms);
+  std::printf("Crosstalk pairs:\n%s\n", before.crosstalk_text.c_str());
+  std::printf("%s\n", before.who_causes_sort.c_str());
+  std::printf("=> the expensive DB queries (BestSellers/SearchResult) and the\n"
+              "   table-lock interference on `item` (AdminConfirm) are the\n"
+              "   optimization candidates — exactly the paper's conclusion.\n\n");
+
+  std::printf("== Step 2: convert `item` to row-level locking (InnoDB) ==\n");
+  apps::BookstoreOptions innodb = options;
+  innodb.item_granularity = db::LockGranularity::kRowLocks;
+  apps::BookstoreResult after_innodb = apps::RunBookstore(innodb);
+  const auto& ac2 = after_innodb.per_type[static_cast<size_t>(TpcwTransaction::kAdminConfirm)];
+  std::printf("  AdminConfirm response: %6.0f -> %6.0f ms (%.0f%% better)\n",
+              ac.mean_response_ms, ac2.mean_response_ms,
+              100.0 * (ac.mean_response_ms - ac2.mean_response_ms) / ac.mean_response_ms);
+  std::printf("  AdminConfirm lock wait: %5.1f -> %5.1f ms\n\n", ac.mean_crosstalk_ms,
+              ac2.mean_crosstalk_ms);
+
+  std::printf("== Step 3: cache BestSellers/SearchResult results (30 s TTL) ==\n");
+  apps::BookstoreOptions cached = options;
+  cached.servlet_caching = true;
+  apps::BookstoreResult after_cache = apps::RunBookstore(cached);
+  const auto& bs2 = after_cache.per_type[static_cast<size_t>(TpcwTransaction::kBestSellers)];
+  const auto& sr2 = after_cache.per_type[static_cast<size_t>(TpcwTransaction::kSearchResult)];
+  std::printf("  BestSellers  response: %6.0f -> %6.0f ms\n", bs.mean_response_ms,
+              bs2.mean_response_ms);
+  std::printf("  SearchResult response: %6.0f -> %6.0f ms\n", sr.mean_response_ms,
+              sr2.mean_response_ms);
+
+  std::printf("\n== Step 4: throughput at 450 clients, before vs after caching ==\n");
+  apps::BookstoreOptions plain450 = options;
+  plain450.clients = 450;
+  plain450.duration = sim::Seconds(1200);
+  apps::BookstoreOptions cached450 = plain450;
+  cached450.servlet_caching = true;
+  const double tpm_before = apps::RunBookstore(plain450).throughput_tpm;
+  const double tpm_after = apps::RunBookstore(cached450).throughput_tpm;
+  std::printf("  %0.f -> %0.f tx/min (%.2fx; paper: 1184 -> 3376, ~2.85x)\n", tpm_before,
+              tpm_after, tpm_after / tpm_before);
+  return 0;
+}

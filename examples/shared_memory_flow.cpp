@@ -1,0 +1,86 @@
+// Shared-memory transaction flow, end to end (paper §3).
+//
+// Runs the paper's three canonical shared-memory patterns through the
+// MiniVM emulator and the flow-detection algorithm, narrating what the
+// algorithm concludes about each:
+//   1. Apache's fd_queue push/pop   -> transaction flow detected;
+//   2. a shared statistics counter  -> no flow (invlctxt poisoning);
+//   3. a pooled memory allocator    -> demoted via producer/consumer
+//                                      role intersection.
+//
+// Build & run:  ./build/examples/shared_memory_flow
+#include <cstdio>
+
+#include "src/shm/flow_detector.h"
+#include "src/shm/guest_code.h"
+#include "src/vm/interpreter.h"
+
+int main() {
+  using namespace whodunit;
+
+  // Context provider: thread 1 (the listener) executes transaction
+  // context 100, thread 2 (a worker) context 200.
+  shm::FlowDetector detector([](vm::ThreadId t) { return t * 100; });
+  detector.set_flow_callback([](const shm::FlowEvent& ev) {
+    std::printf("  -> FLOW: thread %u consumed a value produced by thread %u\n"
+                "           under lock %lu, carrying transaction context %u\n",
+                ev.consumer, ev.producer, static_cast<unsigned long>(ev.lock_id), ev.ctxt);
+  });
+  detector.set_demote_callback([](uint64_t lock_id) {
+    std::printf("  -> DEMOTED: lock %lu's resource is not transaction flow\n",
+                static_cast<unsigned long>(lock_id));
+  });
+
+  vm::Memory mem;
+  vm::Interpreter interp;
+
+  std::printf("1) Apache fd_queue (Figure 1): listener pushes, worker pops\n");
+  std::printf("%s", Disassemble(shm::ApQueuePush(99)).c_str());
+  {
+    constexpr uint64_t kLock = 1, kQueue = 0x1000;
+    vm::CpuState listener;
+    listener.regs[0] = kQueue;
+    listener.regs[1] = 0xFD;    // the accepted socket
+    listener.regs[2] = 0xB00;   // its pool
+    interp.Execute(shm::ApQueuePush(kLock), /*thread=*/1, listener, mem, &detector);
+    std::printf("  listener pushed fd=0x%lx\n",
+                static_cast<unsigned long>(listener.regs[1]));
+    vm::CpuState worker;
+    worker.regs[0] = kQueue;
+    worker.regs[5] = 0x2000;  // &out_sd
+    worker.regs[6] = 0x2008;  // &out_p
+    interp.Execute(shm::ApQueuePop(kLock), /*thread=*/2, worker, mem, &detector);
+    std::printf("  worker popped fd=0x%lx\n",
+                static_cast<unsigned long>(worker.regs[7]));
+  }
+
+  std::printf("\n2) Shared counter (Figure 2): both threads increment count\n");
+  {
+    constexpr uint64_t kLock = 2, kCounter = 0x5000;
+    vm::Program inc = shm::CounterIncrement(kLock);
+    for (vm::ThreadId t : {1u, 2u, 1u, 2u}) {
+      vm::CpuState cpu;
+      cpu.regs[0] = kCounter;
+      interp.Execute(inc, t, cpu, mem, &detector);
+    }
+    std::printf("  count=%lu after 4 increments; flows detected so far: %lu\n",
+                static_cast<unsigned long>(mem.Read(kCounter)),
+                static_cast<unsigned long>(detector.flows_detected()));
+  }
+
+  std::printf("\n3) Memory allocator (Figure 3): thread 2 frees then allocates\n");
+  {
+    constexpr uint64_t kLock = 3, kHead = 0x6000, kBlock = 0x6100;
+    vm::CpuState cpu;
+    cpu.regs[0] = kHead;
+    cpu.regs[1] = kBlock;
+    interp.Execute(shm::MemFree(kLock), 2, cpu, mem, &detector);
+    interp.Execute(shm::MemAlloc(kLock), 2, cpu, mem, &detector);
+    std::printf("  allocator demoted: %s\n", detector.IsDemoted(kLock) ? "yes" : "no");
+    std::printf("  Whodunit now runs lock %d's critical sections natively\n", 3);
+  }
+
+  std::printf("\ntotal transaction flows detected: %lu (expected: 1, the queue)\n",
+              static_cast<unsigned long>(detector.flows_detected()));
+  return 0;
+}

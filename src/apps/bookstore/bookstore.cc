@@ -1,0 +1,504 @@
+#include "src/apps/bookstore/bookstore.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/crosstalk/crosstalk.h"
+#include "src/profiler/deployment.h"
+#include "src/profiler/stage_profiler.h"
+#include "src/profiler/analysis.h"
+#include "src/profiler/stitcher.h"
+#include "src/sim/channel.h"
+#include "src/sim/cpu.h"
+#include "src/sim/scheduler.h"
+#include "src/shm/flow_detector.h"
+#include "src/shm/guest_code.h"
+#include "src/sim/task.h"
+#include "src/vm/interpreter.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/calibration.h"
+
+namespace whodunit::apps {
+namespace {
+
+using callpath::TracksTransactions;
+using context::Synopsis;
+using profiler::StageProfiler;
+using profiler::ThreadProfile;
+using workload::TpcwTransaction;
+
+struct DbReply {
+  Synopsis syn;
+};
+struct DbRequest {
+  TpcwTransaction type;  // ground-truth accounting only
+  db::Query query;
+  uint64_t rows_touched = 0;
+  Synopsis syn;
+  sim::Channel<DbReply>* reply = nullptr;
+};
+struct TomcatReply {
+  uint64_t body_bytes = 0;
+  Synopsis syn;
+};
+struct TomcatRequest {
+  TpcwTransaction type;
+  uint32_t cache_key = 0;
+  Synopsis syn;
+  sim::Channel<TomcatReply>* reply = nullptr;
+};
+struct ProxyReply {
+  uint64_t bytes = 0;
+};
+struct ProxyRequest {
+  TpcwTransaction type;
+  uint32_t cache_key = 0;
+  sim::Channel<ProxyReply>* reply = nullptr;
+};
+
+constexpr uint64_t kRequestBytes = 600;
+constexpr uint64_t kPageBytes = 8 * 1024;
+constexpr uint64_t kImageBytes = 5 * 1024;
+
+uint64_t RowsTouched(const db::Query& query) {
+  uint64_t rows = 0;
+  for (const auto& step : query.steps) {
+    rows += step.rows_touched;
+  }
+  return rows;
+}
+
+StageProfiler::Options ProfOptions(std::string name, callpath::ProfilerMode mode) {
+  StageProfiler::Options po;
+  po.name = std::move(name);
+  po.mode = mode;
+  po.sample_period = workload::kSamplePeriod;
+  po.costs.per_sample = workload::kPerSampleCost;
+  po.costs.per_call = workload::kPerCallCost;
+  po.costs.per_message_context = workload::kPerMessageContextCost;
+  return po;
+}
+
+class Bookstore {
+ public:
+  explicit Bookstore(const BookstoreOptions& options)
+      : options_(options),
+        proxy_cpu_(sched_, workload::kProxyCores, "squid_cpu"),
+        tomcat_cpu_(sched_, workload::kAppServerCores, "tomcat_cpu"),
+        db_cpu_(sched_, workload::kDbCores, "mysql_cpu"),
+        squid_(dep_.AddStage(
+            std::make_unique<StageProfiler>(dep_, ProfOptions("squid", options.mode)))),
+        tomcat_(dep_.AddStage(
+            std::make_unique<StageProfiler>(dep_, ProfOptions("tomcat", options.mode)))),
+        mysql_(dep_.AddStage(
+            std::make_unique<StageProfiler>(dep_, ProfOptions("mysql", options.mode)))),
+        database_(sched_, db_cpu_, db::CostModel{}),
+        proxy_ch_(sched_, workload::kLanLatency),
+        tomcat_ch_(sched_, workload::kLanLatency),
+        db_ch_(sched_, workload::kLanLatency) {
+    workload::CreateTpcwTables(database_, options.item_granularity);
+    database_.SetLockObserver(&crosstalk_);
+    // §8.1: Whodunit also watches mysqld's own critical sections.
+    shm_detector_ = std::make_unique<shm::FlowDetector>([this](vm::ThreadId t) {
+      return mysql_.CurrentCtxtId(*mysql_tps_[t]);
+    });
+    table_read_prog_ = shm::TableRead(kDbBufferLockId);
+    table_write_prog_ = shm::TableWrite(kDbBufferLockId);
+    counter_prog_ = shm::CounterIncrement(kDbCounterLockId);
+  }
+
+  BookstoreResult Run();
+
+ private:
+  sim::Process ProxyWorker(int index) {
+    ThreadProfile& tp = *squid_tps_[static_cast<size_t>(index)];
+    auto& reply_ch = *proxy_reply_[static_cast<size_t>(index)];
+    const auto client_side_fn = squid_.RegisterFunction("client_side");
+    const auto forward_fn = squid_.RegisterFunction("http_forward");
+    for (;;) {
+      auto req = co_await proxy_ch_.Receive();
+      if (!req) {
+        break;
+      }
+      squid_.ResetTransaction(tp);
+      uint64_t bytes = 0;
+      {
+        auto f0 = squid_.EnterFrame(tp, client_side_fn);
+        // Static images served from Squid's cache.
+        co_await proxy_cpu_.Consume(squid_.ChargeCpu(
+            tp, workload::kProxyForwardCost +
+                    workload::kStaticImagesPerPage * workload::kProxyStaticHitCost));
+        {
+          auto f1 = squid_.EnterFrame(tp, forward_fn);
+          TomcatRequest treq;
+          treq.type = req->type;
+          treq.cache_key = req->cache_key;
+          treq.reply = &reply_ch;
+          treq.syn = squid_.PrepareSend(tp);
+          squid_.AccountMessage(kRequestBytes, treq.syn.WireBytes());
+          tomcat_ch_.Send(treq);
+          auto rep = co_await reply_ch.Receive();
+          if (!rep) {
+            break;
+          }
+          squid_.OnReceive(tp, rep->syn);
+          squid_.AccountMessage(rep->body_bytes, rep->syn.WireBytes());
+          bytes = rep->body_bytes +
+                  workload::kStaticImagesPerPage * kImageBytes;
+        }
+      }
+      req->reply->Send(ProxyReply{bytes});
+    }
+  }
+
+  sim::Process TomcatWorker(int index) {
+    ThreadProfile& tp = *tomcat_tps_[static_cast<size_t>(index)];
+    auto& reply_ch = *tomcat_reply_[static_cast<size_t>(index)];
+    for (;;) {
+      auto req = co_await tomcat_ch_.Receive();
+      if (!req) {
+        break;
+      }
+      tomcat_.OnReceive(tp, req->syn);
+      {
+        auto f0 = tomcat_.EnterFrame(tp, service_fn_);
+        auto f1 = tomcat_.EnterFrame(tp, servlet_fns_[static_cast<size_t>(req->type)]);
+        const bool cacheable = options_.servlet_caching && workload::IsCacheable(req->type);
+        bool cache_hit = false;
+        if (cacheable) {
+          auto it = result_cache_.find({req->type, req->cache_key});
+          cache_hit = it != result_cache_.end() && it->second > sched_.now();
+        }
+        if (cache_hit) {
+          co_await tomcat_cpu_.Consume(
+              tomcat_.ChargeCpu(tp, workload::kServletCacheHitCost));
+        } else {
+          {
+            auto f2 = tomcat_.EnterFrame(tp, db_rpc_fn_);
+            DbRequest dreq;
+            dreq.type = req->type;
+            dreq.query = workload::TpcwQuery(req->type, *tomcat_rngs_[static_cast<size_t>(index)]);
+            dreq.rows_touched = RowsTouched(dreq.query);
+            dreq.reply = &reply_ch;
+            dreq.syn = tomcat_.PrepareSend(tp);
+            tomcat_.AccountMessage(kRequestBytes, dreq.syn.WireBytes());
+            db_ch_.Send(dreq);
+            auto drep = co_await reply_ch.Receive();
+            if (!drep) {
+              break;
+            }
+            tomcat_.OnReceive(tp, drep->syn);
+            tomcat_.AccountMessage(2048, drep->syn.WireBytes());
+          }
+          if (cacheable) {
+            result_cache_[{req->type, req->cache_key}] =
+                sched_.now() + workload::kResultCacheTtl;
+          }
+          tomcat_.NoteInternalCalls(tp, 12000);
+          co_await tomcat_cpu_.Consume(tomcat_.ChargeCpu(tp, workload::kServletCost));
+        }
+      }
+      TomcatReply rep;
+      rep.body_bytes = kPageBytes;
+      rep.syn = tomcat_.PrepareSend(tp, /*expect_response=*/false);
+      tomcat_.AccountMessage(rep.body_bytes, rep.syn.WireBytes());
+      req->reply->Send(rep);
+    }
+  }
+
+  // MySQL-internal shared-memory traffic for one query: the server
+  // thread touches row buffers (read or write, depending on the plan)
+  // under the buffer mutex and bumps a shared statistics counter —
+  // the access patterns §8.1 validates the algorithm against.
+  sim::SimTime RunDbGuestOps(int worker, bool writes, uint64_t row) {
+    if (!TracksTransactions(options_.mode)) {
+      return 0;
+    }
+    const auto t = static_cast<vm::ThreadId>(worker);
+    vm::CpuState& cpu = guest_cpus_[t];
+    int64_t cycles = 0;
+    if (shm_detector_->ShouldEmulate(kDbBufferLockId)) {
+      cpu.regs[0] = kDbTableBase;
+      cpu.regs[1] = row % 64;
+      cpu.regs[2] = row | 1;
+      const vm::Program& prog = writes ? table_write_prog_ : table_read_prog_;
+      cycles += interp_.Execute(prog, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
+    }
+    if (shm_detector_->ShouldEmulate(kDbCounterLockId)) {
+      cpu.regs[0] = kDbCounterAddr;
+      cycles +=
+          interp_.Execute(counter_prog_, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
+    }
+    return workload::CyclesToNs(cycles);
+  }
+
+  sim::Process DbWorker(int index) {
+    ThreadProfile& tp = *mysql_tps_[static_cast<size_t>(index)];
+    for (;;) {
+      auto req = co_await db_ch_.Receive();
+      if (!req) {
+        break;
+      }
+      mysql_.OnReceive(tp, req->syn);
+      {
+        auto f0 = mysql_.EnterFrame(tp, do_command_fn_);
+        auto f1 = mysql_.EnterFrame(tp, execute_fn_);
+        // Row handlers, comparisons, copies, index probes: gprof pays
+        // mcount for each of these internal calls.
+        mysql_.NoteInternalCalls(tp, req->rows_touched * 5);
+        const uint64_t tag = mysql_.CrosstalkTag(tp);
+        // mysqld's own shared-memory critical sections run as part of
+        // query processing (§8.1); their emulation cost rides on the
+        // query's CPU charge rather than a separate scheduler pass.
+        bool writes = false;
+        uint64_t row = 0;
+        for (const auto& step : req->query.steps) {
+          if (step.kind == db::QueryStep::Kind::kUpdateRow) {
+            writes = true;
+            row = step.row;
+          }
+        }
+        const sim::SimTime guest_cost = RunDbGuestOps(index, writes, row);
+        // Per-step frames: sorts, scans etc. appear as their own
+        // procedures in the CCT, so the §1 "who causes the sort?"
+        // query has something to point at.
+        const sim::SimTime raw = co_await database_.Execute(
+            req->query, tag,
+            [&](sim::SimTime c) { return mysql_.ChargeCpu(tp, c + guest_cost); },
+            [&](const db::QueryStep& step, sim::SimTime c) {
+              auto frame =
+                  mysql_.EnterFrame(tp, step_fns_[static_cast<size_t>(step.kind)]);
+              return mysql_.ChargeCpu(tp, c);
+            });
+        if (sched_.now() >= options_.warmup && sched_.now() <= options_.duration) {
+          db_cpu_ground_[static_cast<size_t>(req->type)] += raw;
+        }
+      }
+      DbReply rep;
+      rep.syn = mysql_.PrepareSend(tp, /*expect_response=*/false);
+      mysql_.AccountMessage(2048, rep.syn.WireBytes());
+      req->reply->Send(rep);
+    }
+  }
+
+  sim::Process Client(uint32_t index, uint64_t seed) {
+    util::Rng rng(seed);
+    auto& reply_ch = *client_reply_[index];
+    for (;;) {
+      co_await sim::Delay{
+          sched_, static_cast<sim::SimTime>(rng.NextExponential(
+                      static_cast<double>(workload::kTpcwThinkTimeMean)))};
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      const TpcwTransaction type = workload::SampleBrowsingMix(rng);
+      ProxyRequest req;
+      req.type = type;
+      req.cache_key = static_cast<uint32_t>(
+          rng.NextBelow(type == TpcwTransaction::kBestSellers ? 20 : 40));
+      req.reply = &reply_ch;
+      const sim::SimTime start = sched_.now();
+      proxy_ch_.Send(req);
+      auto rep = co_await reply_ch.Receive();
+      if (!rep) {
+        break;
+      }
+      const sim::SimTime end = sched_.now();
+      if (start >= options_.warmup && end <= options_.duration) {
+        ++interactions_;
+        response_ms_[static_cast<size_t>(type)].Add(sim::ToMillis(end - start));
+      }
+    }
+  }
+
+  BookstoreOptions options_;
+  sim::Scheduler sched_;
+  sim::CpuResource proxy_cpu_;
+  sim::CpuResource tomcat_cpu_;
+  sim::CpuResource db_cpu_;
+  profiler::Deployment dep_;
+  StageProfiler& squid_;
+  StageProfiler& tomcat_;
+  StageProfiler& mysql_;
+  db::Database database_;
+  crosstalk::CrosstalkRecorder crosstalk_;
+
+  sim::Channel<ProxyRequest> proxy_ch_;
+  sim::Channel<TomcatRequest> tomcat_ch_;
+  sim::Channel<DbRequest> db_ch_;
+
+  callpath::FunctionId service_fn_ = 0, db_rpc_fn_ = 0, do_command_fn_ = 0, execute_fn_ = 0;
+  std::array<callpath::FunctionId, 5> step_fns_{};  // indexed by QueryStep::Kind
+  std::vector<callpath::FunctionId> servlet_fns_;
+
+  std::vector<ThreadProfile*> squid_tps_, tomcat_tps_, mysql_tps_;
+  std::vector<std::unique_ptr<sim::Channel<TomcatReply>>> proxy_reply_;
+  std::vector<std::unique_ptr<sim::Channel<DbReply>>> tomcat_reply_;
+  std::vector<std::unique_ptr<sim::Channel<ProxyReply>>> client_reply_;
+  std::vector<std::unique_ptr<util::Rng>> tomcat_rngs_;
+
+  static constexpr uint64_t kDbBufferLockId = 0xDB0F;
+  static constexpr uint64_t kDbCounterLockId = 0xDB0C;
+  static constexpr uint64_t kDbTableBase = 0xA000;
+  static constexpr uint64_t kDbCounterAddr = 0x5000;
+  std::unique_ptr<shm::FlowDetector> shm_detector_;
+  vm::Interpreter interp_;
+  vm::Memory guest_mem_;
+  vm::Program table_read_prog_, table_write_prog_, counter_prog_;
+  std::map<vm::ThreadId, vm::CpuState> guest_cpus_;
+
+  std::map<std::pair<TpcwTransaction, uint32_t>, sim::SimTime> result_cache_;
+  std::array<util::SampleSet, workload::kTpcwTransactionCount> response_ms_;
+  std::array<sim::SimTime, workload::kTpcwTransactionCount> db_cpu_ground_{};
+  uint64_t interactions_ = 0;
+};
+
+BookstoreResult Bookstore::Run() {
+  service_fn_ = tomcat_.RegisterFunction("service");
+  db_rpc_fn_ = tomcat_.RegisterFunction("jdbc_execute");
+  do_command_fn_ = mysql_.RegisterFunction("do_command");
+  execute_fn_ = mysql_.RegisterFunction("mysql_execute");
+  step_fns_[static_cast<size_t>(db::QueryStep::Kind::kScan)] =
+      mysql_.RegisterFunction("row_scan");
+  step_fns_[static_cast<size_t>(db::QueryStep::Kind::kSort)] =
+      mysql_.RegisterFunction("sort_records");
+  step_fns_[static_cast<size_t>(db::QueryStep::Kind::kTempTable)] =
+      mysql_.RegisterFunction("create_tmp_table");
+  step_fns_[static_cast<size_t>(db::QueryStep::Kind::kPointRead)] =
+      mysql_.RegisterFunction("index_read");
+  step_fns_[static_cast<size_t>(db::QueryStep::Kind::kUpdateRow)] =
+      mysql_.RegisterFunction("update_row");
+  for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+    servlet_fns_.push_back(tomcat_.RegisterFunction(
+        std::string("servlet_") + workload::TpcwName(static_cast<TpcwTransaction>(t))));
+  }
+
+  util::Rng seeder(options_.seed);
+  for (int i = 0; i < options_.proxy_workers; ++i) {
+    squid_tps_.push_back(&squid_.CreateThread("squid_w" + std::to_string(i)));
+    proxy_reply_.push_back(std::make_unique<sim::Channel<TomcatReply>>(
+        sched_, workload::kLanLatency));
+  }
+  for (int i = 0; i < options_.tomcat_workers; ++i) {
+    tomcat_tps_.push_back(&tomcat_.CreateThread("tomcat_w" + std::to_string(i)));
+    tomcat_reply_.push_back(
+        std::make_unique<sim::Channel<DbReply>>(sched_, workload::kLanLatency));
+    tomcat_rngs_.push_back(std::make_unique<util::Rng>(seeder.NextU64()));
+  }
+  for (int i = 0; i < options_.db_workers; ++i) {
+    mysql_tps_.push_back(&mysql_.CreateThread("mysql_w" + std::to_string(i)));
+  }
+  for (int c = 0; c < options_.clients; ++c) {
+    client_reply_.push_back(
+        std::make_unique<sim::Channel<ProxyReply>>(sched_, workload::kLanLatency));
+  }
+
+  for (int i = 0; i < options_.proxy_workers; ++i) {
+    sim::Spawn(sched_, ProxyWorker(i));
+  }
+  for (int i = 0; i < options_.tomcat_workers; ++i) {
+    sim::Spawn(sched_, TomcatWorker(i));
+  }
+  for (int i = 0; i < options_.db_workers; ++i) {
+    sim::Spawn(sched_, DbWorker(i));
+  }
+  for (int c = 0; c < options_.clients; ++c) {
+    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  }
+
+  sched_.RunUntil(options_.duration);
+  proxy_ch_.Close();
+  tomcat_ch_.Close();
+  db_ch_.Close();
+  for (auto& ch : proxy_reply_) ch->Close();
+  for (auto& ch : tomcat_reply_) ch->Close();
+  for (auto& ch : client_reply_) ch->Close();
+  sched_.Run();
+
+  BookstoreResult result;
+  result.interactions = interactions_;
+  result.throughput_tpm =
+      static_cast<double>(interactions_) /
+      sim::ToSeconds(options_.duration - options_.warmup) * 60.0;
+
+  // Per-type DB CPU shares derived from the mysql stage's CCT labels —
+  // the Whodunit way: each label's description names the servlet whose
+  // send created it.
+  sim::SimTime label_total = 0;
+  std::array<sim::SimTime, workload::kTpcwTransactionCount> label_cpu{};
+  std::array<uint64_t, workload::kTpcwTransactionCount> type_tags{};
+  std::array<bool, workload::kTpcwTransactionCount> tag_known{};
+  for (const auto& [label, cct] : mysql_.LabeledCcts()) {
+    const std::string desc = dep_.DescribeSynopsis(label);
+    for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+      const std::string needle =
+          std::string("servlet_") + workload::TpcwName(static_cast<TpcwTransaction>(t));
+      if (desc.find(needle) != std::string::npos) {
+        label_cpu[static_cast<size_t>(t)] += cct->TotalCpuTime();
+        label_total += cct->TotalCpuTime();
+        type_tags[static_cast<size_t>(t)] = mysql_.TagForLabel(label);
+        tag_known[static_cast<size_t>(t)] = true;
+        break;
+      }
+    }
+  }
+  sim::SimTime ground_total = 0;
+  for (sim::SimTime t : db_cpu_ground_) {
+    ground_total += t;
+  }
+  for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+    auto& row = result.per_type[static_cast<size_t>(t)];
+    row.count = response_ms_[static_cast<size_t>(t)].count();
+    row.mean_response_ms = response_ms_[static_cast<size_t>(t)].mean();
+    if (label_total > 0) {
+      row.db_cpu_percent = 100.0 * static_cast<double>(label_cpu[static_cast<size_t>(t)]) /
+                           static_cast<double>(label_total);
+    }
+    if (ground_total > 0) {
+      row.db_cpu_percent_ground =
+          100.0 * static_cast<double>(db_cpu_ground_[static_cast<size_t>(t)]) /
+          static_cast<double>(ground_total);
+    }
+    if (tag_known[static_cast<size_t>(t)]) {
+      row.mean_crosstalk_ms =
+          crosstalk_.MeanWaitAllAcquires(type_tags[static_cast<size_t>(t)]) / 1e6;
+    }
+  }
+
+  for (const auto& stage : dep_.stages()) {
+    result.payload_bytes += stage->payload_bytes_sent();
+    result.context_bytes += stage->context_bytes_sent();
+  }
+  result.db_shm_flows = shm_detector_ ? shm_detector_->flows_detected() : 0;
+  result.db_shared_state_demoted =
+      shm_detector_ != nullptr && shm_detector_->IsDemoted(kDbBufferLockId);
+  result.db_utilization = db_cpu_.Utilization(options_.duration);
+  result.tomcat_utilization = tomcat_cpu_.Utilization(options_.duration);
+  result.proxy_utilization = proxy_cpu_.Utilization(options_.duration);
+  result.db_profile_text = mysql_.RenderTransactionalProfile(0.001);
+  profiler::Stitcher stitcher(dep_);
+  result.stitched_text = stitcher.Render(0.02);
+  result.stitched_dot = stitcher.RenderDot();
+  profiler::Analysis analysis(dep_);
+  result.who_causes_sort = analysis.RenderWhoCauses(mysql_, "sort_records");
+  result.crosstalk_text = crosstalk_.Render([&](uint64_t tag) {
+    for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+      if (tag_known[static_cast<size_t>(t)] && type_tags[static_cast<size_t>(t)] == tag) {
+        return std::string(workload::TpcwName(static_cast<TpcwTransaction>(t)));
+      }
+    }
+    return std::string("tag_") + std::to_string(tag);
+  });
+  return result;
+}
+
+}  // namespace
+
+BookstoreResult RunBookstore(const BookstoreOptions& options) {
+  Bookstore bookstore(options);
+  return bookstore.Run();
+}
+
+}  // namespace whodunit::apps

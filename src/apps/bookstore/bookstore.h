@@ -1,0 +1,87 @@
+// Bookstore: the TPC-W rig (paper §8.4, §9.1; Tables 1-2, Figures
+// 11-12).
+//
+// Three stages on separate simulated machines, as in the paper:
+//   clients -> squid (proxy) -> tomcat (servlets) -> mysql (MiniDB)
+//
+// Each of the fourteen TPC-W interactions is a separate servlet, so
+// each has a distinct call path through Tomcat and therefore extends a
+// distinct transaction context into MySQL — which is how Whodunit
+// separates MySQL's CPU and lock-wait time per interaction (Table 1).
+//
+// Two optimization knobs reproduce the paper's §8.4 tuning:
+//   * item_granularity: MyISAM table locks vs InnoDB row locks for the
+//     `item` table (Figure 11, AdminConfirm);
+//   * servlet_caching: 30-second result caching of BestSellers /
+//     SearchResult in the servlets (Figures 11-12).
+#ifndef SRC_APPS_BOOKSTORE_BOOKSTORE_H_
+#define SRC_APPS_BOOKSTORE_BOOKSTORE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/callpath/profiler_mode.h"
+#include "src/db/database.h"
+#include "src/sim/time.h"
+#include "src/workload/tpcw.h"
+
+namespace whodunit::apps {
+
+struct BookstoreOptions {
+  callpath::ProfilerMode mode = callpath::ProfilerMode::kWhodunit;
+  int clients = 100;
+  bool servlet_caching = false;
+  db::LockGranularity item_granularity = db::LockGranularity::kTableLocks;
+  sim::SimTime duration = sim::Seconds(900);
+  sim::SimTime warmup = sim::Seconds(120);
+  uint64_t seed = 1;
+  int proxy_workers = 24;
+  int tomcat_workers = 24;
+  int db_workers = 24;
+};
+
+struct BookstorePerType {
+  uint64_t count = 0;                // completed in the measure window
+  double mean_response_ms = 0;       // client-observed
+  double db_cpu_percent = 0;         // share of MySQL CPU (from CCT labels)
+  double db_cpu_percent_ground = 0;  // same, from direct accounting
+  double mean_crosstalk_ms = 0;      // mean lock wait per DB query
+};
+
+struct BookstoreResult {
+  double throughput_tpm = 0;  // interactions per minute in the window
+  uint64_t interactions = 0;
+  std::array<BookstorePerType, workload::kTpcwTransactionCount> per_type;
+
+  // §9.1 communication accounting, all stages summed.
+  uint64_t payload_bytes = 0;
+  uint64_t context_bytes = 0;
+
+  std::string db_profile_text;
+  std::string crosstalk_text;
+  std::string stitched_text;  // Figure 7-style end-to-end profile
+  std::string stitched_dot;   // graphviz rendering of the same
+  // The paper's §1 query, answered: which transaction types invoked
+  // the database's sort routine.
+  std::string who_causes_sort;
+
+  // §8.1 inside the profiled run: the flow detector watches MySQL's
+  // own shared-memory critical sections (row buffers under table
+  // mutexes, a shared statistics counter). Must find no flows.
+  uint64_t db_shm_flows = 0;
+  bool db_shared_state_demoted = false;
+
+  // Stage CPU utilizations over the whole run — the Figure 12
+  // bottleneck story (DB saturates without caching; caching moves the
+  // bottleneck to the app server).
+  double db_utilization = 0;
+  double tomcat_utilization = 0;
+  double proxy_utilization = 0;
+};
+
+BookstoreResult RunBookstore(const BookstoreOptions& options);
+
+}  // namespace whodunit::apps
+
+#endif  // SRC_APPS_BOOKSTORE_BOOKSTORE_H_

@@ -1,0 +1,74 @@
+// Minihttpd: the Apache 2.x stand-in (paper §8.1, §9.2, Figure 8).
+//
+// A multithreaded web server with Apache's worker-pool architecture:
+// one listener thread accepts connections and pushes them into a
+// mutex-protected shared queue (`ap_queue_push`); worker threads pop
+// (`ap_queue_pop`) and process the connection. The queue's critical
+// sections are MiniVM guest code executed under the shared-memory flow
+// detector — the paper's central validation case. The server also runs
+// a pooled memory allocator and a shared statistics counter through
+// the same machinery, exercising the §3.4 false-positive cases.
+//
+// The workload models the Rice CS trace as used in §9.2: concurrent
+// clients that open a connection, issue a few requests, close, and
+// reconnect — so transaction flow through the queue recurs constantly.
+#ifndef SRC_APPS_MINIHTTPD_MINIHTTPD_H_
+#define SRC_APPS_MINIHTTPD_MINIHTTPD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/callpath/profiler_mode.h"
+#include "src/sim/time.h"
+
+namespace whodunit::apps {
+
+struct MinihttpdOptions {
+  callpath::ProfilerMode mode = callpath::ProfilerMode::kWhodunit;
+  int workers = 8;
+  int clients = 64;
+  sim::SimTime duration = sim::Seconds(20);
+  uint64_t seed = 1;
+  // §9.2: with all-persistent connections no new work flows through
+  // the shared queue, so Whodunit has (almost) nothing to emulate.
+  // Each client then opens exactly one connection for the whole run;
+  // use workers >= clients in this mode.
+  bool persistent_connections = false;
+};
+
+struct MinihttpdResult {
+  double throughput_mbps = 0;  // measured after warmup
+  uint64_t requests = 0;
+  uint64_t connections = 0;
+  uint64_t bytes_served = 0;
+
+  // Flow-detection outcomes (only meaningful under kWhodunit).
+  uint64_t flows_detected = 0;
+  bool queue_flow_detected = false;
+  bool allocator_demoted = false;
+  uint64_t critical_sections_emulated = 0;
+
+  // Profile shares (Figure 8): CPU fraction in the listener's own
+  // (origin) context vs in worker contexts adopted via the queue.
+  double listener_context_share = 0;
+  double worker_context_share = 0;
+
+  std::string profile_text;
+};
+
+MinihttpdResult RunMinihttpd(const MinihttpdOptions& options);
+
+// §8.1's negative result: MySQL-style shared-memory traffic (table
+// reads/writes and a shared counter under locks) must produce no
+// transaction flow.
+struct MysqlShmValidationResult {
+  uint64_t flows_detected = 0;
+  bool table_lock_demoted = false;
+  uint64_t critical_sections_run = 0;
+};
+MysqlShmValidationResult RunMysqlShmValidation(int threads = 4, int rounds = 200,
+                                               uint64_t seed = 42);
+
+}  // namespace whodunit::apps
+
+#endif  // SRC_APPS_MINIHTTPD_MINIHTTPD_H_

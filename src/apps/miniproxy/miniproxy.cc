@@ -1,0 +1,353 @@
+#include "src/apps/miniproxy/miniproxy.h"
+
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/events/event_loop.h"
+#include "src/http/http.h"
+#include "src/profiler/deployment.h"
+#include "src/profiler/stage_profiler.h"
+#include "src/sim/channel.h"
+#include "src/sim/cpu.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+#include "src/workload/calibration.h"
+#include "src/workload/webtrace.h"
+
+namespace whodunit::apps {
+namespace {
+
+using callpath::TracksTransactions;
+using events::EventLoop;
+using profiler::StageProfiler;
+using profiler::ThreadProfile;
+
+// A small LRU object cache (Squid's in-memory store).
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  bool Lookup(uint32_t object) {
+    auto it = index_.find(object);
+    if (it == index_.end()) {
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  void Insert(uint32_t object) {
+    if (index_.contains(object)) {
+      return;
+    }
+    order_.push_front(object);
+    index_[object] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint32_t> order_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> index_;
+};
+
+struct ClientConn {
+  uint32_t client;
+  std::vector<uint32_t> objects;  // Zipf-drawn, one per request
+};
+
+struct OriginRequest {
+  uint64_t req_handle;
+  uint32_t object;
+};
+
+class Proxy {
+ public:
+  explicit Proxy(const MiniproxyOptions& options)
+      : options_(options),
+        proxy_cpu_(sched_, workload::kProxyCores, "squid_cpu"),
+        origin_cpu_(sched_, 2, "origin_cpu"),
+        loop_(sched_, "comm_poll"),
+        prof_(dep_, MakeProfilerOptions(options)),
+        origin_ch_(sched_, workload::kLanLatency),
+        accept_ch_(sched_),
+        cache_(workload::kProxyCacheObjects) {}
+
+  MiniproxyResult Run();
+
+ private:
+  static StageProfiler::Options MakeProfilerOptions(const MiniproxyOptions& options) {
+    StageProfiler::Options po;
+    po.name = "squid";
+    po.mode = options.mode;
+    po.sample_period = workload::kSamplePeriod;
+    po.costs.per_sample = workload::kPerSampleCost;
+    po.costs.per_call = workload::kPerCallCost;
+    po.costs.per_message_context = workload::kPerMessageContextCost;
+    return po;
+  }
+
+  // Per-dispatch cost of the instrumented event library when
+  // transaction tracking is on (context concatenation + annotation).
+  sim::SimTime TrackingCost() const {
+    return TracksTransactions(options_.mode) ? workload::kPerEventTrackingCost : 0;
+  }
+
+  sim::Task<void> Charge(sim::SimTime cost) {
+    co_await proxy_cpu_.Consume(prof_.ChargeCpu(*loop_tp_, cost));
+  }
+
+  struct ReqState {
+    uint32_t client;
+    uint32_t object = 0;
+    std::vector<uint32_t> objects;
+    size_t next_index = 0;
+  };
+
+  void RegisterHandlers() {
+    accept_h_ = loop_.RegisterHandler(
+        "httpAccept", [this](EventLoop::HandlerContext& hc) -> sim::Task<void> {
+          co_await Charge(workload::kAcceptCost + TrackingCost());
+          hc.loop.AddEvent(read_h_, hc.payload);
+        });
+
+    read_h_ = loop_.RegisterHandler(
+        "clientReadRequest", [this](EventLoop::HandlerContext& hc) -> sim::Task<void> {
+          ReqState& st = requests_.at(hc.payload);
+          co_await Charge(workload::kHttpParseCost + workload::kCacheLookupCost +
+                          TrackingCost());
+          if (cache_.Lookup(st.object)) {
+            ++hits_;
+            hc.loop.AddEvent(write_h_, hc.payload);
+          } else {
+            ++misses_;
+            hc.loop.AddEvent(connect_h_, hc.payload);
+          }
+        });
+
+    connect_h_ = loop_.RegisterHandler(
+        "commConnectHandle", [this](EventLoop::HandlerContext& hc) -> sim::Task<void> {
+          ReqState& st = requests_.at(hc.payload);
+          co_await Charge(sim::Micros(40) + TrackingCost());
+          // Register interest in the origin's reply NOW (this is where
+          // the transaction context is captured), then fire the I/O.
+          events::Event ev = hc.loop.MakeEvent(reply_h_, hc.payload);
+          pending_replies_.emplace(hc.payload, std::move(ev));
+          origin_ch_.Send(OriginRequest{hc.payload, st.object});
+        });
+
+    reply_h_ = loop_.RegisterHandler(
+        "httpReadReply", [this](EventLoop::HandlerContext& hc) -> sim::Task<void> {
+          ReqState& st = requests_.at(hc.payload);
+          const uint64_t bytes = trace_.ObjectBytes(st.object);
+          co_await Charge(static_cast<sim::SimTime>(static_cast<double>(bytes) *
+                                                    workload::kProxyNsPerByte / 2) +
+                          TrackingCost());
+          cache_.Insert(st.object);
+          hc.loop.AddEvent(write_h_, hc.payload);
+        });
+
+    write_h_ = loop_.RegisterHandler(
+        "commHandleWrite", [this](EventLoop::HandlerContext& hc) -> sim::Task<void> {
+          ReqState& st = requests_.at(hc.payload);
+          const uint64_t bytes = trace_.ObjectBytes(st.object);
+          co_await Charge(static_cast<sim::SimTime>(static_cast<double>(bytes) *
+                                                    workload::kProxyNsPerByte) +
+                          TrackingCost());
+          bytes_served_ += bytes;
+          ++requests_served_;
+          if (st.next_index < st.objects.size()) {
+            // Persistent connection: next request on the same fd. The
+            // event context loops back to clientReadRequest — the
+            // pruning case of §4.1.
+            st.object = st.objects[st.next_index++];
+            hc.loop.AddEvent(read_h_, hc.payload);
+          } else {
+            client_done_[st.client]->Send(1);
+            requests_.erase(hc.payload);
+          }
+          co_return;
+        });
+  }
+
+  sim::Process AcceptPump() {
+    for (;;) {
+      auto conn = co_await accept_ch_.Receive();
+      if (!conn) {
+        break;
+      }
+      const uint64_t handle = next_handle_++;
+      ReqState st;
+      st.client = conn->client;
+      st.objects = std::move(conn->objects);
+      st.object = st.objects.empty() ? 0 : st.objects[0];
+      st.next_index = 1;
+      requests_.emplace(handle, std::move(st));
+      loop_.AddExternalEvent(accept_h_, handle);
+    }
+  }
+
+  sim::Process OriginServer() {
+    for (;;) {
+      auto req = co_await origin_ch_.Receive();
+      if (!req) {
+        break;
+      }
+      sim::Spawn(sched_, OriginWorker(*req));
+    }
+  }
+
+  sim::Process OriginWorker(OriginRequest req) {
+    const uint64_t bytes = trace_.ObjectBytes(req.object);
+    co_await origin_cpu_.Consume(
+        workload::kOriginServiceCost +
+        static_cast<sim::SimTime>(static_cast<double>(bytes) * 2.0));
+    // Network latency back to the proxy, then fire the armed event.
+    co_await sim::Delay{sched_, workload::kLanLatency};
+    auto it = pending_replies_.find(req.req_handle);
+    if (it != pending_replies_.end()) {
+      loop_.Post(std::move(it->second));
+      pending_replies_.erase(it);
+    }
+  }
+
+  sim::Process Client(uint32_t index, uint64_t seed) {
+    util::Rng rng(seed);
+    for (;;) {
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      ClientConn conn;
+      conn.client = index;
+      conn.objects = trace_.DrawConnection(rng);
+      accept_ch_.Send(std::move(conn));
+      auto done = co_await client_done_[index]->Receive();
+      if (!done) {
+        break;
+      }
+    }
+  }
+
+  MiniproxyOptions options_;
+  sim::Scheduler sched_;
+  sim::CpuResource proxy_cpu_;
+  sim::CpuResource origin_cpu_;
+  EventLoop loop_;
+  profiler::Deployment dep_;
+  StageProfiler prof_;
+  ThreadProfile* loop_tp_ = nullptr;
+  sim::Channel<OriginRequest> origin_ch_;
+  sim::Channel<ClientConn> accept_ch_;
+  LruCache cache_;
+  workload::WebTrace trace_;
+
+  events::HandlerId accept_h_ = 0, read_h_ = 0, connect_h_ = 0, reply_h_ = 0, write_h_ = 0;
+  std::map<uint64_t, ReqState> requests_;
+  std::map<uint64_t, events::Event> pending_replies_;
+  std::vector<std::unique_ptr<sim::Channel<uint8_t>>> client_done_;
+  uint64_t next_handle_ = 1;
+
+  uint64_t bytes_served_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+MiniproxyResult Proxy::Run() {
+  loop_tp_ = &prof_.CreateThread("event_loop");
+  RegisterHandlers();
+  loop_.set_tracking(TracksTransactions(options_.mode));
+  loop_.set_context_listener([this](const context::TransactionContext& ctxt) {
+    prof_.SetLocalContext(*loop_tp_, ctxt);
+  });
+  dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
+    return kind == context::ElementKind::kHandler ? loop_.HandlerName(id)
+                                                  : "stage:" + std::to_string(id);
+  });
+
+  for (int c = 0; c < options_.clients; ++c) {
+    client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+  }
+  sim::Spawn(sched_, loop_.Run());
+  sim::Spawn(sched_, AcceptPump());
+  sim::Spawn(sched_, OriginServer());
+  util::Rng seeder(options_.seed);
+  for (int c = 0; c < options_.clients; ++c) {
+    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  }
+
+  const sim::SimTime warmup = options_.duration / 5;
+  uint64_t warm_bytes = 0;
+  sched_.ScheduleAt(warmup, [&] { warm_bytes = bytes_served_; });
+  sched_.RunUntil(options_.duration);
+
+  accept_ch_.Close();
+  origin_ch_.Close();
+  loop_.Stop();
+  for (auto& ch : client_done_) {
+    ch->Close();
+  }
+  sched_.Run();
+
+  MiniproxyResult result;
+  result.requests = requests_served_;
+  result.cache_hits = hits_;
+  result.cache_misses = misses_;
+  result.hit_ratio =
+      hits_ + misses_ > 0 ? static_cast<double>(hits_) / static_cast<double>(hits_ + misses_)
+                          : 0.0;
+  const double window_s = sim::ToSeconds(options_.duration - warmup);
+  result.throughput_mbps =
+      static_cast<double>(bytes_served_ - warm_bytes) * 8.0 / 1e6 / window_s;
+  result.profile_text = prof_.RenderTransactionalProfile(0.001);
+
+  // Count the contexts in which commHandleWrite executed, and the
+  // hit/miss path shares.
+  const double total = static_cast<double>(prof_.total_cpu_time());
+  for (const auto& [label, cct] : prof_.LabeledCcts()) {
+    if (label.parts.empty()) {
+      continue;
+    }
+    const context::TransactionContext& ctxt = dep_.synopses().Lookup(label.parts.back());
+    if (ctxt.elements().empty()) {
+      continue;
+    }
+    const bool ends_in_write =
+        ctxt.elements().back() ==
+        context::Element{context::ElementKind::kHandler, write_h_};
+    bool via_reply = false;
+    for (const auto& e : ctxt.elements()) {
+      if (e == context::Element{context::ElementKind::kHandler, reply_h_}) {
+        via_reply = true;
+      }
+    }
+    if (ends_in_write) {
+      ++result.write_handler_context_count;
+      const double share =
+          total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / total : 0;
+      if (via_reply) {
+        result.miss_path_share += share;
+      } else {
+        result.hit_path_share += share;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MiniproxyResult RunMiniproxy(const MiniproxyOptions& options) {
+  Proxy proxy(options);
+  return proxy.Run();
+}
+
+}  // namespace whodunit::apps

@@ -1,0 +1,302 @@
+#include "src/apps/sedaserver/sedaserver.h"
+
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/http.h"
+#include "src/profiler/deployment.h"
+#include "src/profiler/stage_profiler.h"
+#include "src/seda/stage.h"
+#include "src/sim/channel.h"
+#include "src/sim/cpu.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+#include "src/workload/calibration.h"
+#include "src/workload/webtrace.h"
+
+namespace whodunit::apps {
+namespace {
+
+using callpath::TracksTransactions;
+using profiler::StageProfiler;
+using profiler::ThreadProfile;
+using seda::StageGraph;
+using seda::StageId;
+
+struct ReqState {
+  uint32_t client;
+  uint32_t object = 0;
+  std::vector<uint32_t> objects;
+  size_t next_index = 0;
+};
+
+class Haboob {
+ public:
+  explicit Haboob(const SedaServerOptions& options)
+      : options_(options),
+        cpu_(sched_, workload::kWebServerCores, "haboob_cpu"),
+        graph_(sched_),
+        prof_(dep_, MakeProfilerOptions(options)),
+        accept_ch_(sched_) {}
+
+  SedaServerResult Run();
+
+ private:
+  static StageProfiler::Options MakeProfilerOptions(const SedaServerOptions& options) {
+    StageProfiler::Options po;
+    po.name = "haboob";
+    po.mode = options.mode;
+    po.sample_period = workload::kSamplePeriod;
+    po.costs.per_sample = workload::kPerSampleCost;
+    po.costs.per_call = workload::kPerCallCost;
+    po.costs.per_message_context = workload::kPerMessageContextCost;
+    return po;
+  }
+
+  ThreadProfile& TpOf(StageId stage, int worker) {
+    return *worker_tps_.at(stage).at(static_cast<size_t>(worker));
+  }
+
+  sim::SimTime TrackingCost() const {
+    return TracksTransactions(options_.mode) ? workload::kSedaTrackingCost : 0;
+  }
+
+  sim::Task<void> Charge(StageGraph::WorkerContext& wc, sim::SimTime cost) {
+    ThreadProfile& tp = TpOf(wc.stage, wc.worker);
+    co_await cpu_.Consume(
+        prof_.ChargeCpu(tp, cost + workload::kSedaStageDispatchCost + TrackingCost()));
+  }
+
+  void BuildStages() {
+    listen_ = graph_.AddStage("ListenStage", 1, [this](auto& wc) -> sim::Task<void> {
+      co_await Charge(wc, workload::kAcceptCost);
+      wc.EnqueueTo(http_server_, wc.payload);
+    });
+    http_server_ = graph_.AddStage("HttpServer", options_.workers_per_stage,
+                                   [this](auto& wc) -> sim::Task<void> {
+                                     co_await Charge(wc, sim::Micros(12));
+                                     wc.EnqueueTo(read_, wc.payload);
+                                   });
+    read_ = graph_.AddStage("ReadStage", options_.workers_per_stage,
+                            [this](auto& wc) -> sim::Task<void> {
+                              co_await Charge(wc, sim::Micros(15));
+                              wc.EnqueueTo(http_recv_, wc.payload);
+                            });
+    http_recv_ = graph_.AddStage("HttpRecv", options_.workers_per_stage,
+                                 [this](auto& wc) -> sim::Task<void> {
+                                   co_await Charge(wc, workload::kHttpParseCost);
+                                   wc.EnqueueTo(cache_, wc.payload);
+                                 });
+    cache_ = graph_.AddStage("CacheStage", options_.workers_per_stage,
+                             [this](auto& wc) -> sim::Task<void> {
+                               ReqState& st = requests_.at(wc.payload);
+                               co_await Charge(wc, workload::kCacheLookupCost);
+                               if (InCache(st.object)) {
+                                 ++hits_;
+                                 wc.EnqueueTo(write_, wc.payload);
+                               } else {
+                                 ++misses_;
+                                 wc.EnqueueTo(miss_, wc.payload);
+                               }
+                             });
+    miss_ = graph_.AddStage("MissStage", options_.workers_per_stage,
+                            [this](auto& wc) -> sim::Task<void> {
+                              co_await Charge(wc, sim::Micros(20));
+                              wc.EnqueueTo(file_io_, wc.payload);
+                            });
+    file_io_ = graph_.AddStage("FileIoStage", options_.workers_per_stage,
+                               [this](auto& wc) -> sim::Task<void> {
+                                 ReqState& st = requests_.at(wc.payload);
+                                 // Disk read, then populate the cache.
+                                 co_await sim::Delay{sched_, sim::Micros(400)};
+                                 const uint64_t bytes = trace_.ObjectBytes(st.object);
+                                 co_await Charge(
+                                     wc, static_cast<sim::SimTime>(
+                                             static_cast<double>(bytes) * 1.5));
+                                 InsertCache(st.object);
+                                 wc.EnqueueTo(write_, wc.payload);
+                               });
+    write_ = graph_.AddStage("WriteStage", options_.workers_per_stage,
+                             [this](auto& wc) -> sim::Task<void> {
+                               ReqState& st = requests_.at(wc.payload);
+                               const uint64_t bytes = trace_.ObjectBytes(st.object);
+                               co_await Charge(
+                                   wc, static_cast<sim::SimTime>(static_cast<double>(bytes) *
+                                                                 workload::kSedaSendNsPerByte));
+                               bytes_served_ += bytes;
+                               ++requests_served_;
+                               if (st.next_index < st.objects.size()) {
+                                 st.object = st.objects[st.next_index++];
+                                 wc.EnqueueTo(read_, wc.payload);
+                               } else {
+                                 client_done_[st.client]->Send(1);
+                                 requests_.erase(wc.payload);
+                               }
+                               co_return;
+                             });
+  }
+
+  bool InCache(uint32_t object) {
+    auto it = cache_index_.find(object);
+    if (it == cache_index_.end()) {
+      return false;
+    }
+    cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+    return true;
+  }
+  void InsertCache(uint32_t object) {
+    if (cache_index_.contains(object)) {
+      return;
+    }
+    cache_order_.push_front(object);
+    cache_index_[object] = cache_order_.begin();
+    if (cache_order_.size() > workload::kProxyCacheObjects) {
+      cache_index_.erase(cache_order_.back());
+      cache_order_.pop_back();
+    }
+  }
+
+  sim::Process AcceptPump() {
+    for (;;) {
+      auto conn = co_await accept_ch_.Receive();
+      if (!conn) {
+        break;
+      }
+      graph_.InjectExternal(listen_, *conn);
+    }
+  }
+
+  sim::Process Client(uint32_t index, uint64_t seed) {
+    util::Rng rng(seed);
+    for (;;) {
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      const uint64_t handle = next_handle_++;
+      ReqState st;
+      st.client = index;
+      st.objects = trace_.DrawConnection(rng);
+      st.object = st.objects[0];
+      st.next_index = 1;
+      requests_.emplace(handle, std::move(st));
+      accept_ch_.Send(handle);
+      auto done = co_await client_done_[index]->Receive();
+      if (!done) {
+        break;
+      }
+    }
+  }
+
+  SedaServerOptions options_;
+  sim::Scheduler sched_;
+  sim::CpuResource cpu_;
+  StageGraph graph_;
+  profiler::Deployment dep_;
+  StageProfiler prof_;
+  sim::Channel<uint64_t> accept_ch_;
+  workload::WebTrace trace_;
+
+  StageId listen_ = 0, http_server_ = 0, read_ = 0, http_recv_ = 0, cache_ = 0, miss_ = 0,
+          file_io_ = 0, write_ = 0;
+  std::map<StageId, std::vector<ThreadProfile*>> worker_tps_;
+  std::map<uint64_t, ReqState> requests_;
+  std::vector<std::unique_ptr<sim::Channel<uint8_t>>> client_done_;
+  std::list<uint32_t> cache_order_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> cache_index_;
+  uint64_t next_handle_ = 1;
+
+  uint64_t bytes_served_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+SedaServerResult Haboob::Run() {
+  BuildStages();
+  graph_.set_tracking(TracksTransactions(options_.mode));
+  for (StageId s = 0; s < graph_.stage_count(); ++s) {
+    const int workers = graph_.stage(s).workers();
+    for (int w = 0; w < workers; ++w) {
+      worker_tps_[s].push_back(
+          &prof_.CreateThread(graph_.StageName(s) + "_w" + std::to_string(w)));
+    }
+  }
+  graph_.set_context_listener(
+      [this](StageId stage, int worker, const context::TransactionContext& ctxt) {
+        prof_.SetLocalContext(TpOf(stage, worker), ctxt);
+      });
+  dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
+    return kind == context::ElementKind::kStage ? graph_.StageName(id)
+                                                : "handler:" + std::to_string(id);
+  });
+
+  for (int c = 0; c < options_.clients; ++c) {
+    client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+  }
+  graph_.Start();
+  sim::Spawn(sched_, AcceptPump());
+  util::Rng seeder(options_.seed);
+  for (int c = 0; c < options_.clients; ++c) {
+    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  }
+
+  const sim::SimTime warmup = options_.duration / 5;
+  uint64_t warm_bytes = 0;
+  sched_.ScheduleAt(warmup, [&] { warm_bytes = bytes_served_; });
+  sched_.RunUntil(options_.duration);
+
+  accept_ch_.Close();
+  graph_.Stop();
+  for (auto& ch : client_done_) {
+    ch->Close();
+  }
+  sched_.Run();
+
+  SedaServerResult result;
+  result.requests = requests_served_;
+  result.cache_hits = hits_;
+  result.cache_misses = misses_;
+  const double window_s = sim::ToSeconds(options_.duration - warmup);
+  result.throughput_mbps =
+      static_cast<double>(bytes_served_ - warm_bytes) * 8.0 / 1e6 / window_s;
+  result.profile_text = prof_.RenderTransactionalProfile(0.001);
+
+  const double total = static_cast<double>(prof_.total_cpu_time());
+  for (const auto& [label, cct] : prof_.LabeledCcts()) {
+    if (label.parts.empty()) {
+      continue;
+    }
+    const context::TransactionContext& ctxt = dep_.synopses().Lookup(label.parts.back());
+    if (ctxt.elements().empty() ||
+        ctxt.elements().back() !=
+            context::Element{context::ElementKind::kStage, write_}) {
+      continue;
+    }
+    bool via_miss = false;
+    for (const auto& e : ctxt.elements()) {
+      if (e == context::Element{context::ElementKind::kStage, miss_}) {
+        via_miss = true;
+      }
+    }
+    ++result.write_stage_context_count;
+    const double share = total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / total : 0;
+    if (via_miss) {
+      result.write_miss_share += share;
+    } else {
+      result.write_hit_share += share;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SedaServerResult RunSedaServer(const SedaServerOptions& options) {
+  Haboob haboob(options);
+  return haboob.Run();
+}
+
+}  // namespace whodunit::apps

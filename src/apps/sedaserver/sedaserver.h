@@ -1,0 +1,51 @@
+// SEDA server: the Haboob stand-in (paper §8.3, §9.3, Figure 10).
+//
+// A staged event-driven web server on the instrumented SEDA middleware
+// (src/seda) with Haboob's stage graph:
+//
+//   ListenStage -> HttpServer -> ReadStage -> HttpRecv -> CacheStage
+//       CacheStage -(hit)-> WriteStage
+//       CacheStage -(miss)-> MissStage -> FileIoStage -> WriteStage
+//
+// The reproduced claim: WriteStage executes under two transaction
+// contexts (reached via the hit path and via the miss path), and
+// Whodunit separates their CPU shares (the paper measures 37.65% vs
+// 46.58% of total CPU).
+#ifndef SRC_APPS_SEDASERVER_SEDASERVER_H_
+#define SRC_APPS_SEDASERVER_SEDASERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/callpath/profiler_mode.h"
+#include "src/sim/time.h"
+
+namespace whodunit::apps {
+
+struct SedaServerOptions {
+  callpath::ProfilerMode mode = callpath::ProfilerMode::kWhodunit;
+  int clients = 48;
+  int workers_per_stage = 2;
+  sim::SimTime duration = sim::Seconds(20);
+  uint64_t seed = 1;
+};
+
+struct SedaServerResult {
+  double throughput_mbps = 0;
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // Figure 10: WriteStage's CPU share via the two paths.
+  size_t write_stage_context_count = 0;
+  double write_hit_share = 0;
+  double write_miss_share = 0;
+
+  std::string profile_text;
+};
+
+SedaServerResult RunSedaServer(const SedaServerOptions& options);
+
+}  // namespace whodunit::apps
+
+#endif  // SRC_APPS_SEDASERVER_SEDASERVER_H_

@@ -1,0 +1,31 @@
+// Function name <-> id registry shared by a profiling domain.
+//
+// Whodunit's core is a call-path profiler (the paper builds on csprof);
+// every procedure the applications execute is registered here once and
+// referenced by FunctionId everywhere else.
+#ifndef SRC_CALLPATH_FUNCTION_REGISTRY_H_
+#define SRC_CALLPATH_FUNCTION_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/interner.h"
+
+namespace whodunit::callpath {
+
+using FunctionId = uint32_t;
+
+class FunctionRegistry {
+ public:
+  FunctionId Register(std::string_view name) { return interner_.Intern(name); }
+  const std::string& NameOf(FunctionId id) const { return interner_.NameOf(id); }
+  size_t size() const { return interner_.size(); }
+
+ private:
+  util::StringInterner interner_;
+};
+
+}  // namespace whodunit::callpath
+
+#endif  // SRC_CALLPATH_FUNCTION_REGISTRY_H_

@@ -1,0 +1,53 @@
+// Profiler operating modes and their simulated runtime costs.
+//
+// The paper's Table 2 compares TPC-W peak throughput under no
+// profiling, csprof, Whodunit, and gprof. The decisive difference is
+// the cost structure:
+//   * csprof / Whodunit sample: cost proportional to elapsed time
+//     (one signal handler + stack walk per sample);
+//   * gprof instruments every procedure call: cost proportional to the
+//     number of calls executed (mcount per entry), which is why its
+//     overhead is an order of magnitude larger on call-dense servers;
+//   * Whodunit additionally pays a small per-message context
+//     propagation cost and per-critical-section emulation cost.
+//
+// The per-event constants here are the simulation's model of those
+// costs; workload/calibration.h documents how they were chosen.
+#ifndef SRC_CALLPATH_PROFILER_MODE_H_
+#define SRC_CALLPATH_PROFILER_MODE_H_
+
+#include "src/sim/time.h"
+
+namespace whodunit::callpath {
+
+enum class ProfilerMode {
+  kNone,      // profiling disabled
+  kCsprof,    // sampling call-path profiler only
+  kWhodunit,  // csprof + transaction tracking (the full system)
+  kGprof,     // per-call instrumenting profiler
+};
+
+struct ProfilerCosts {
+  // Handler cost of taking one statistical sample (csprof/Whodunit).
+  sim::SimTime per_sample = sim::Nanos(900);
+  // mcount bookkeeping per procedure entry (gprof).
+  sim::SimTime per_call = sim::Nanos(120);
+  // Whodunit: computing/propagating a synopsis per message send/recv.
+  sim::SimTime per_message_context = sim::Nanos(250);
+};
+
+// True when the mode collects statistical samples. All three profilers
+// sample time at the same frequency (paper §9.1: "We used the same
+// sampling frequency for csprof, Whodunit and gprof"); gprof adds call
+// instrumentation on top.
+constexpr bool Samples(ProfilerMode m) { return m != ProfilerMode::kNone; }
+
+// True when the mode instruments procedure entries.
+constexpr bool CountsCalls(ProfilerMode m) { return m == ProfilerMode::kGprof; }
+
+// True when transaction contexts are tracked and propagated.
+constexpr bool TracksTransactions(ProfilerMode m) { return m == ProfilerMode::kWhodunit; }
+
+}  // namespace whodunit::callpath
+
+#endif  // SRC_CALLPATH_PROFILER_MODE_H_

@@ -1,0 +1,24 @@
+#include "src/callpath/sampler.h"
+
+namespace whodunit::callpath {
+
+void Sampler::OnCpu(ShadowStack& stack, sim::SimTime cost) {
+  if (cost <= 0) {
+    return;
+  }
+  CallingContextTree* cct = stack.cct();
+  if (cct == nullptr) {
+    return;  // detached: stage not being profiled
+  }
+  const NodeIndex node = stack.current_node();
+  cct->AddCpuTime(node, cost);
+  residue_ += cost;
+  const uint64_t fired = static_cast<uint64_t>(residue_ / period_);
+  if (fired > 0) {
+    residue_ -= static_cast<sim::SimTime>(fired) * period_;
+    cct->AddSample(node, fired);
+    samples_taken_ += fired;
+  }
+}
+
+}  // namespace whodunit::callpath

@@ -1,0 +1,33 @@
+#include "src/callpath/shadow_stack.h"
+
+namespace whodunit::callpath {
+
+void ShadowStack::Push(FunctionId f) {
+  frames_.push_back(f);
+  ++pushes_;
+  if (cct_ != nullptr) {
+    node_path_.push_back(cct_->Child(node_path_.back(), f));
+    cct_->AddCall(node_path_.back());
+  }
+}
+
+void ShadowStack::Pop() {
+  frames_.pop_back();
+  if (cct_ != nullptr) {
+    node_path_.pop_back();
+  }
+}
+
+void ShadowStack::AttachCct(CallingContextTree* cct) {
+  cct_ = cct;
+  node_path_.clear();
+  if (cct_ == nullptr) {
+    return;
+  }
+  node_path_.push_back(cct_->root());
+  for (FunctionId f : frames_) {
+    node_path_.push_back(cct_->Child(node_path_.back(), f));
+  }
+}
+
+}  // namespace whodunit::callpath

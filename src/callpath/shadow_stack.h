@@ -1,0 +1,71 @@
+// Shadow call stack for one simulated thread of control.
+//
+// The simulated applications declare their procedure structure with
+// ScopedFrame guards; the stack mirrors the call path the hardware
+// stack would hold, and tracks the matching node in the currently
+// attached CCT so that sampling is O(1).
+//
+// Whodunit switches a thread between CCTs when its transaction context
+// changes (paper §7.1); AttachCct replays the live call path into the
+// new tree so profile samples continue at the right node.
+#ifndef SRC_CALLPATH_SHADOW_STACK_H_
+#define SRC_CALLPATH_SHADOW_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/callpath/cct.h"
+#include "src/callpath/function_registry.h"
+
+namespace whodunit::callpath {
+
+class ShadowStack {
+ public:
+  // The stack starts detached; samples are dropped until a CCT is
+  // attached.
+  ShadowStack() = default;
+
+  void Push(FunctionId f);
+  void Pop();
+
+  // Attaches (or switches) the CCT samples flow into; replays the
+  // current call path into it. Pass nullptr to detach.
+  void AttachCct(CallingContextTree* cct);
+  CallingContextTree* cct() const { return cct_; }
+
+  // Node in the attached CCT matching the current call path;
+  // kNoNode when detached.
+  NodeIndex current_node() const { return cct_ ? node_path_.back() : kNoNode; }
+
+  // The current call path, root-first.
+  const std::vector<FunctionId>& path() const { return frames_; }
+  size_t depth() const { return frames_.size(); }
+
+  uint64_t pushes() const { return pushes_; }
+
+ private:
+  std::vector<FunctionId> frames_;
+  // node_path_[i] is the CCT node for the path prefix of length i;
+  // node_path_[0] is the root. Only valid when cct_ != nullptr.
+  std::vector<NodeIndex> node_path_{0};
+  CallingContextTree* cct_ = nullptr;
+  uint64_t pushes_ = 0;
+};
+
+// RAII frame: push on construction, pop on destruction. Safe to hold
+// across co_await (the shadow stack belongs to the simulated thread,
+// not the host thread).
+class ScopedFrame {
+ public:
+  ScopedFrame(ShadowStack& stack, FunctionId f) : stack_(stack) { stack_.Push(f); }
+  ~ScopedFrame() { stack_.Pop(); }
+  ScopedFrame(const ScopedFrame&) = delete;
+  ScopedFrame& operator=(const ScopedFrame&) = delete;
+
+ private:
+  ShadowStack& stack_;
+};
+
+}  // namespace whodunit::callpath
+
+#endif  // SRC_CALLPATH_SHADOW_STACK_H_

@@ -1,0 +1,71 @@
+#include "src/context/synopsis.h"
+
+#include <sstream>
+
+namespace whodunit::context {
+
+bool Synopsis::HasPrefix(const Synopsis& p) const {
+  if (p.parts.size() > parts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < p.parts.size(); ++i) {
+    if (parts[i] != p.parts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Synopsis Synopsis::Extend(const Synopsis& tail) const {
+  Synopsis out = *this;
+  out.parts.insert(out.parts.end(), tail.parts.begin(), tail.parts.end());
+  return out;
+}
+
+size_t Synopsis::WireBytes() const {
+  if (parts.empty()) {
+    return 0;
+  }
+  return parts.size() * 4 + (parts.size() - 1);
+}
+
+std::string Synopsis::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (uint32_t p : parts) {
+    if (!first) {
+      out << "#";
+    }
+    first = false;
+    out << p;
+  }
+  return out.str();
+}
+
+uint64_t Synopsis::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint32_t p : parts) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (p >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+uint32_t SynopsisDictionary::Intern(const TransactionContext& ctxt) {
+  auto it = ids_.find(ctxt);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(contexts_.size());
+  contexts_.push_back(ctxt);
+  ids_.emplace(ctxt, id);
+  return id;
+}
+
+const TransactionContext& SynopsisDictionary::Lookup(uint32_t part) const {
+  return contexts_.at(part);
+}
+
+}  // namespace whodunit::context

@@ -1,0 +1,73 @@
+// Transaction-context synopses (paper §7.4).
+//
+// Shipping a whole transaction context with every message would be
+// expensive, so Whodunit sends a *synopsis*: each stage keeps a
+// dictionary of the contexts it has seen and represents each with a
+// 4-byte id. A response's synopsis is the caller's synopsis, the '#'
+// delimiter, then the callee's own part — `synopsis(α)#synopsis(β)` —
+// which lets the caller recognize its own synopsis as a prefix and
+// conclude the message is a reply rather than a new request.
+#ifndef SRC_CONTEXT_SYNOPSIS_H_
+#define SRC_CONTEXT_SYNOPSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/context/transaction_context.h"
+
+namespace whodunit::context {
+
+// A synopsis: one or more 4-byte context ids joined by '#'.
+struct Synopsis {
+  std::vector<uint32_t> parts;
+
+  friend bool operator==(const Synopsis&, const Synopsis&) = default;
+
+  bool empty() const { return parts.empty(); }
+
+  // True when `p` is a prefix of this synopsis (the reply-recognition
+  // test of §5).
+  bool HasPrefix(const Synopsis& p) const;
+
+  // Appends the other synopsis after a '#'.
+  Synopsis Extend(const Synopsis& tail) const;
+
+  // Bytes this synopsis occupies on the wire: 4 bytes per part plus
+  // one '#' delimiter between parts. This is what the communication
+  // overhead measurement (§9.1) charges.
+  size_t WireBytes() const;
+
+  // "12#7" — for reports and debugging.
+  std::string ToString() const;
+
+  uint64_t Hash() const;
+};
+
+struct SynopsisHash {
+  size_t operator()(const Synopsis& s) const { return static_cast<size_t>(s.Hash()); }
+};
+
+// Per-stage dictionary: transaction context <-> 4-byte synopsis part.
+// (The paper: "maintains transaction contexts and their synopses in a
+// dictionary".)
+class SynopsisDictionary {
+ public:
+  // Returns the synopsis part for ctxt, assigning the next id if new.
+  uint32_t Intern(const TransactionContext& ctxt);
+
+  // The context for a previously interned part id.
+  const TransactionContext& Lookup(uint32_t part) const;
+
+  bool Contains(uint32_t part) const { return part < contexts_.size(); }
+  size_t size() const { return contexts_.size(); }
+
+ private:
+  std::unordered_map<TransactionContext, uint32_t, TransactionContextHash> ids_;
+  std::vector<TransactionContext> contexts_;
+};
+
+}  // namespace whodunit::context
+
+#endif  // SRC_CONTEXT_SYNOPSIS_H_

@@ -1,0 +1,74 @@
+#include "src/context/transaction_context.h"
+
+#include <sstream>
+
+namespace whodunit::context {
+
+void TransactionContext::Append(Element e, bool prune) {
+  if (prune) {
+    // One rule covers both cases from §4.1: if e already occurs in the
+    // sequence, the new occurrence closes a loop (length 1 when it is
+    // the immediately preceding element — consecutive-duplicate
+    // collapse; length > 1 otherwise — cycle pruning). Cut the suffix
+    // after the latest prior occurrence of e instead of appending, so
+    // [accept, read, write] + read -> [accept, read].
+    for (size_t i = elements_.size(); i-- > 0;) {
+      if (elements_[i] == e) {
+        elements_.resize(i + 1);
+        return;
+      }
+    }
+  }
+  elements_.push_back(e);
+}
+
+TransactionContext TransactionContext::Concat(const TransactionContext& prefix,
+                                              const TransactionContext& suffix, bool prune) {
+  TransactionContext out = prefix;
+  for (const Element& e : suffix.elements_) {
+    out.Append(e, prune);
+  }
+  return out;
+}
+
+bool TransactionContext::HasPrefix(const TransactionContext& p) const {
+  if (p.size() > size()) {
+    return false;
+  }
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (elements_[i] != p.elements_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t TransactionContext::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const Element& e : elements_) {
+    uint64_t v = e.Packed();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+std::string TransactionContext::ToString(
+    const std::function<std::string(ElementKind, uint32_t)>& namer) const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Element& e : elements_) {
+    if (!first) {
+      out << "|";
+    }
+    first = false;
+    out << namer(e.kind, e.id);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace whodunit::context

@@ -1,0 +1,83 @@
+#include "src/crosstalk/crosstalk.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace whodunit::crosstalk {
+
+void CrosstalkRecorder::OnAcquired(const sim::SimMutex& lock, uint64_t waiter_tag,
+                                   uint64_t blocking_tag, sim::SimTime wait) {
+  ++acquires_observed_;
+  all_acquires_[waiter_tag].Add(static_cast<double>(wait));
+  if (wait <= 0) {
+    return;  // uncontended acquire: no interference
+  }
+  waiter_waits_[waiter_tag].Add(static_cast<double>(wait));
+  lock_waits_[lock.name()].Add(static_cast<double>(wait));
+  if (blocking_tag != kNoTag) {
+    pair_waits_[{waiter_tag, blocking_tag}].Add(static_cast<double>(wait));
+  }
+}
+
+void CrosstalkRecorder::OnReleased(const sim::SimMutex& /*lock*/, uint64_t /*holder_tag*/) {}
+
+double CrosstalkRecorder::MeanPairWait(uint64_t waiter, uint64_t holder) const {
+  auto it = pair_waits_.find({waiter, holder});
+  return it == pair_waits_.end() ? 0.0 : it->second.mean();
+}
+
+double CrosstalkRecorder::MeanWait(uint64_t waiter) const {
+  auto it = waiter_waits_.find(waiter);
+  return it == waiter_waits_.end() ? 0.0 : it->second.mean();
+}
+
+double CrosstalkRecorder::MeanWaitAllAcquires(uint64_t waiter) const {
+  auto it = all_acquires_.find(waiter);
+  return it == all_acquires_.end() ? 0.0 : it->second.mean();
+}
+
+uint64_t CrosstalkRecorder::WaitCount(uint64_t waiter) const {
+  auto it = waiter_waits_.find(waiter);
+  return it == waiter_waits_.end() ? 0 : it->second.count();
+}
+
+std::vector<CrosstalkRecorder::PairRow> CrosstalkRecorder::PairRows() const {
+  std::vector<PairRow> rows;
+  rows.reserve(pair_waits_.size());
+  for (const auto& [key, stat] : pair_waits_) {
+    rows.push_back(PairRow{key.first, key.second, stat.count(), stat.mean()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PairRow& a, const PairRow& b) { return a.mean_wait_ns > b.mean_wait_ns; });
+  return rows;
+}
+
+std::vector<CrosstalkRecorder::LockRow> CrosstalkRecorder::LockRows() const {
+  std::vector<LockRow> rows;
+  rows.reserve(lock_waits_.size());
+  for (const auto& [name, stat] : lock_waits_) {
+    rows.push_back(LockRow{name, stat.count(), stat.mean(), stat.sum()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const LockRow& a, const LockRow& b) {
+    return a.total_wait_ns > b.total_wait_ns;
+  });
+  return rows;
+}
+
+std::string CrosstalkRecorder::Render(
+    const std::function<std::string(uint64_t)>& namer) const {
+  std::ostringstream out;
+  out << "crosstalk (waiter <- holder): mean wait [count]\n";
+  for (const PairRow& row : PairRows()) {
+    out << "  " << namer(row.waiter) << " <- " << namer(row.holder) << ": "
+        << row.mean_wait_ns / 1e6 << " ms [" << row.count << "]\n";
+  }
+  out << "by lock: total wait (mean) [contended acquires]\n";
+  for (const LockRow& row : LockRows()) {
+    out << "  " << row.lock_name << ": " << row.total_wait_ns / 1e6 << " ms ("
+        << row.mean_wait_ns / 1e6 << " ms) [" << row.count << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace whodunit::crosstalk

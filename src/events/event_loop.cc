@@ -1,0 +1,53 @@
+#include "src/events/event_loop.h"
+
+#include <utility>
+
+namespace whodunit::events {
+
+EventLoop::EventLoop(sim::Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)), queue_(sched) {}
+
+HandlerId EventLoop::RegisterHandler(std::string_view name, Handler handler) {
+  const HandlerId id = handlers_.Intern(name);
+  if (id >= handler_fns_.size()) {
+    handler_fns_.resize(id + 1);
+  }
+  handler_fns_[id] = std::move(handler);
+  return id;
+}
+
+void EventLoop::AddEvent(HandlerId handler, uint64_t payload) {
+  Event ev{handler, payload, {}};
+  if (tracking_) {
+    ev.tran_ctxt = curr_tran_ctxt_;  // Figure 4, line 12
+  }
+  queue_.Send(std::move(ev));
+}
+
+void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload) {
+  queue_.Send(Event{handler, payload, {}});
+}
+
+sim::Process EventLoop::Run() {
+  for (;;) {
+    auto ev = co_await queue_.Receive();
+    if (!ev) {
+      break;  // Stop() was called
+    }
+    if (tracking_) {
+      // Figure 4, lines 5-6: concatenate the event's context with its
+      // handler; Append prunes consecutive duplicates and loops.
+      curr_tran_ctxt_ = ev->tran_ctxt;
+      curr_tran_ctxt_.Append(
+          context::Element{context::ElementKind::kHandler, ev->handler}, pruning_);
+      if (listener_) {
+        listener_(curr_tran_ctxt_);
+      }
+    }
+    ++events_dispatched_;
+    HandlerContext hc{*this, ev->payload};
+    co_await handler_fns_[ev->handler](hc);
+  }
+}
+
+}  // namespace whodunit::events

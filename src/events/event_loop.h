@@ -1,0 +1,114 @@
+// A libevent-like event library with transaction-context propagation.
+//
+// Figure 4 of the paper: the event structure carries a transaction
+// context (`ev_tran_ctxt`), stamped when the event is registered; the
+// event loop computes the current transaction context by concatenating
+// the selected event's context with its handler (pruning loops) before
+// dispatch. An application written against this library needs no
+// modification for transactional profiling — exactly the property the
+// paper claims for instrumented event libraries.
+#ifndef SRC_EVENTS_EVENT_LOOP_H_
+#define SRC_EVENTS_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/context/transaction_context.h"
+#include "src/sim/channel.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+#include "src/util/interner.h"
+
+namespace whodunit::events {
+
+using HandlerId = uint32_t;
+
+struct Event {
+  HandlerId handler;
+  uint64_t payload;  // application data (connection id, fd, ...)
+  // ev_tran_ctxt: the registering handler's transaction context.
+  context::TransactionContext tran_ctxt;
+};
+
+class EventLoop {
+ public:
+  // A handler is a coroutine; the loop runs handlers to completion one
+  // at a time (a single-threaded event-driven program).
+  struct HandlerContext;
+  using Handler = std::function<sim::Task<void>(HandlerContext&)>;
+
+  // Fired whenever the current transaction context changes (before a
+  // handler runs); the profiler glue hangs off this.
+  using ContextListener = std::function<void(const context::TransactionContext&)>;
+
+  explicit EventLoop(sim::Scheduler& sched, std::string name = "event_loop");
+
+  HandlerId RegisterHandler(std::string_view name, Handler handler);
+  const std::string& HandlerName(HandlerId h) const { return handlers_.NameOf(h); }
+
+  // event_add: stamps the new event with the CURRENT transaction
+  // context (Figure 4 line 12) and queues it for dispatch.
+  void AddEvent(HandlerId handler, uint64_t payload);
+
+  // Injects an event from outside any handler (a fresh external
+  // stimulus): its transaction context starts empty.
+  void AddExternalEvent(HandlerId handler, uint64_t payload);
+
+  // The commSetSelect pattern: a handler registers interest in a
+  // future I/O completion. MakeEvent stamps the CURRENT transaction
+  // context into the event immediately (at registration time); Post
+  // queues it later, when the I/O completes, preserving that context.
+  Event MakeEvent(HandlerId handler, uint64_t payload) {
+    Event ev{handler, payload, {}};
+    if (tracking_) {
+      ev.tran_ctxt = curr_tran_ctxt_;
+    }
+    return ev;
+  }
+  void Post(Event ev) { queue_.Send(std::move(ev)); }
+
+  void set_context_listener(ContextListener listener) { listener_ = std::move(listener); }
+
+  // The event_loop() of Figure 4. Runs until Stop().
+  sim::Process Run();
+  void Stop() { queue_.Close(); }
+
+  const context::TransactionContext& current_context() const { return curr_tran_ctxt_; }
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+  // Whether context tracking is enabled (profiling on). When off, the
+  // library behaves like stock libevent.
+  void set_tracking(bool on) { tracking_ = on; }
+
+  // Disables §4.1 loop pruning, keeping the complete handler history.
+  // The paper: "the complete transaction context may be useful for
+  // some applications, e.g., for debugging."
+  void set_pruning(bool on) { pruning_ = on; }
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  struct HandlerContext {
+    EventLoop& loop;
+    uint64_t payload;
+  };
+
+ private:
+  sim::Scheduler& sched_;
+  std::string name_;
+  util::StringInterner handlers_;
+  std::vector<Handler> handler_fns_;
+  sim::Channel<Event> queue_;
+  context::TransactionContext curr_tran_ctxt_;
+  ContextListener listener_;
+  bool tracking_ = true;
+  bool pruning_ = true;
+  uint64_t events_dispatched_ = 0;
+};
+
+}  // namespace whodunit::events
+
+#endif  // SRC_EVENTS_EVENT_LOOP_H_

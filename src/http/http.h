@@ -1,0 +1,69 @@
+// Minimal HTTP-ish message types shared by the simulated applications.
+//
+// The reproduced servers (minihttpd, miniproxy, the SEDA server, the
+// bookstore) exchange these over sim::Channel. Contents are abstract —
+// what matters for the experiments is who talks to whom, how many
+// bytes move, and what each hop costs.
+#ifndef SRC_HTTP_HTTP_H_
+#define SRC_HTTP_HTTP_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/context/synopsis.h"
+
+namespace whodunit::http {
+
+struct Request {
+  uint64_t id = 0;         // unique per in-flight request
+  uint32_t object_id = 0;  // which object / which page
+  uint32_t client = 0;     // issuing client (for reply routing)
+  bool keep_alive = false;
+  uint64_t header_bytes = 300;
+  // Whodunit piggy-back (empty when profiling is off / not Whodunit).
+  context::Synopsis synopsis;
+};
+
+struct Response {
+  uint64_t id = 0;
+  uint32_t object_id = 0;
+  uint64_t body_bytes = 0;
+  int status = 200;
+  context::Synopsis synopsis;
+};
+
+// Deterministic synthetic content store: object sizes follow a
+// bounded Pareto-like distribution derived from the object id, so any
+// stage can compute an object's size without shared state.
+class ObjectStore {
+ public:
+  ObjectStore(uint64_t objects, uint64_t min_bytes, uint64_t max_bytes)
+      : objects_(objects), min_bytes_(min_bytes), max_bytes_(max_bytes) {}
+
+  uint64_t objects() const { return objects_; }
+
+  uint64_t SizeOf(uint32_t object_id) const {
+    // splitmix64 of the id -> heavy-tailed size in [min, max].
+    uint64_t x = object_id + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // Map to a Pareto-ish tail: most objects small, a few large.
+    const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    const double alpha = 1.2;
+    double size = static_cast<double>(min_bytes_) / std::pow(1.0 - u, 1.0 / alpha);
+    if (size > static_cast<double>(max_bytes_)) {
+      size = static_cast<double>(max_bytes_);
+    }
+    return static_cast<uint64_t>(size);
+  }
+
+ private:
+  uint64_t objects_;
+  uint64_t min_bytes_;
+  uint64_t max_bytes_;
+};
+
+}  // namespace whodunit::http
+
+#endif  // SRC_HTTP_HTTP_H_

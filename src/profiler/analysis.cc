@@ -1,0 +1,96 @@
+#include "src/profiler/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace whodunit::profiler {
+namespace {
+
+void FinalizeShares(std::vector<ContextShare>& rows, size_t max_rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const ContextShare& a, const ContextShare& b) { return a.cpu > b.cpu; });
+  sim::SimTime total = 0;
+  for (const ContextShare& row : rows) {
+    total += row.cpu;
+  }
+  for (ContextShare& row : rows) {
+    row.share = total > 0 ? 100.0 * static_cast<double>(row.cpu) /
+                                static_cast<double>(total)
+                          : 0.0;
+  }
+  if (rows.size() > max_rows) {
+    rows.resize(max_rows);
+  }
+}
+
+}  // namespace
+
+std::vector<ContextShare> Analysis::TopContexts(const StageProfiler& stage,
+                                                size_t max_rows) const {
+  std::vector<ContextShare> rows;
+  for (const auto& [label, cct] : stage.LabeledCcts()) {
+    ContextShare row;
+    row.label = label;
+    row.description = label.empty() ? "(origin)" : deployment_.DescribeSynopsis(label);
+    row.cpu = cct->TotalCpuTime();
+    rows.push_back(std::move(row));
+  }
+  FinalizeShares(rows, max_rows);
+  return rows;
+}
+
+std::vector<ContextShare> Analysis::WhoCauses(const StageProfiler& stage,
+                                              std::string_view function_name,
+                                              size_t max_rows) const {
+  const uint32_t fn = deployment_.functions().size() == 0
+                          ? util::StringInterner::kNotFound
+                          : [&] {
+                              // Linear lookup by name (analysis is offline).
+                              for (uint32_t i = 0; i < deployment_.functions().size(); ++i) {
+                                if (deployment_.functions().NameOf(i) == function_name) {
+                                  return i;
+                                }
+                              }
+                              return util::StringInterner::kNotFound;
+                            }();
+  std::vector<ContextShare> rows;
+  if (fn == util::StringInterner::kNotFound) {
+    return rows;
+  }
+  for (const auto& [label, cct] : stage.LabeledCcts()) {
+    sim::SimTime fn_cpu = 0;
+    for (callpath::NodeIndex i = 1; i < cct->size(); ++i) {
+      if (cct->node(i).function == fn) {
+        fn_cpu += cct->InclusiveCpuTime(i);
+      }
+    }
+    if (fn_cpu == 0) {
+      continue;
+    }
+    ContextShare row;
+    row.label = label;
+    row.description = label.empty() ? "(origin)" : deployment_.DescribeSynopsis(label);
+    row.cpu = fn_cpu;
+    rows.push_back(std::move(row));
+  }
+  FinalizeShares(rows, max_rows);
+  return rows;
+}
+
+std::string Analysis::RenderWhoCauses(const StageProfiler& stage,
+                                      std::string_view function_name, size_t max_rows) const {
+  std::ostringstream out;
+  out << "who causes '" << function_name << "' at stage '" << stage.name() << "':\n";
+  auto rows = WhoCauses(stage, function_name, max_rows);
+  if (rows.empty()) {
+    out << "  (function never sampled)\n";
+    return out.str();
+  }
+  for (const ContextShare& row : rows) {
+    out << "  " << row.share << "% (" << sim::ToMillis(row.cpu) << "ms)  via "
+        << row.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace whodunit::profiler

@@ -1,0 +1,54 @@
+// Queries over a collected transactional profile.
+//
+// The paper's §1 motivation: "if in a 3-stage application ... we find
+// that the database sort routine is consuming a lot of CPU, our
+// transactional profiler allows us to infer which type of request at
+// the web server or the application server invoked those expensive
+// executions of the sort routine." Analysis::WhoCauses is that query;
+// TopContexts ranks a stage's transaction types by cost.
+#ifndef SRC_PROFILER_ANALYSIS_H_
+#define SRC_PROFILER_ANALYSIS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/context/synopsis.h"
+#include "src/profiler/deployment.h"
+#include "src/profiler/stage_profiler.h"
+
+namespace whodunit::profiler {
+
+struct ContextShare {
+  context::Synopsis label;
+  std::string description;  // human-readable context
+  sim::SimTime cpu = 0;     // virtual ns attributed
+  double share = 0;         // percent of the ranked total
+};
+
+class Analysis {
+ public:
+  explicit Analysis(const Deployment& deployment) : deployment_(deployment) {}
+
+  // The stage's transaction contexts ranked by CPU consumption.
+  std::vector<ContextShare> TopContexts(const StageProfiler& stage,
+                                        size_t max_rows = 10) const;
+
+  // Which transaction contexts ran `function_name`, ranked by that
+  // function's inclusive CPU within each context. Empty if the
+  // function never ran.
+  std::vector<ContextShare> WhoCauses(const StageProfiler& stage,
+                                      std::string_view function_name,
+                                      size_t max_rows = 10) const;
+
+  // Renders a WhoCauses result as the paper would narrate it.
+  std::string RenderWhoCauses(const StageProfiler& stage, std::string_view function_name,
+                              size_t max_rows = 5) const;
+
+ private:
+  const Deployment& deployment_;
+};
+
+}  // namespace whodunit::profiler
+
+#endif  // SRC_PROFILER_ANALYSIS_H_

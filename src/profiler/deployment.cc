@@ -1,0 +1,52 @@
+#include "src/profiler/deployment.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/profiler/stage_profiler.h"
+
+namespace whodunit::profiler {
+
+Deployment::Deployment() = default;
+Deployment::~Deployment() = default;
+
+std::string Deployment::DescribeElement(context::ElementKind kind, uint32_t id) const {
+  if (kind == context::ElementKind::kCallPath) {
+    return paths_.Render(id, functions_);
+  }
+  if (element_namer_) {
+    return element_namer_(kind, id);
+  }
+  std::ostringstream out;
+  out << (kind == context::ElementKind::kHandler ? "handler:" : "stage:") << id;
+  return out.str();
+}
+
+std::string Deployment::DescribeContext(const context::TransactionContext& ctxt) const {
+  return ctxt.ToString(
+      [this](context::ElementKind kind, uint32_t id) { return DescribeElement(kind, id); });
+}
+
+std::string Deployment::DescribeSynopsis(const context::Synopsis& synopsis) const {
+  std::ostringstream out;
+  bool first = true;
+  for (uint32_t part : synopsis.parts) {
+    if (!first) {
+      out << " # ";
+    }
+    first = false;
+    if (synopses_.Contains(part)) {
+      out << DescribeContext(synopses_.Lookup(part));
+    } else {
+      out << "?" << part;
+    }
+  }
+  return out.str();
+}
+
+StageProfiler& Deployment::AddStage(std::unique_ptr<StageProfiler> stage) {
+  stages_.push_back(std::move(stage));
+  return *stages_.back();
+}
+
+}  // namespace whodunit::profiler

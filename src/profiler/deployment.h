@@ -1,0 +1,66 @@
+// Deployment-wide profiling state.
+//
+// A Deployment models one profiled multi-tier application: the shared
+// name spaces (function names, interned call paths, the transaction
+// context <-> synopsis dictionary) plus every stage's profiler.
+//
+// In the real system each stage keeps these tables privately and the
+// presentation phase merges them post mortem (paper §7.1); sharing the
+// interners up front is an implementation simplification that changes
+// no observable behaviour — synopses are still the only thing that
+// crosses stage boundaries, and they remain 4-byte parts.
+#ifndef SRC_PROFILER_DEPLOYMENT_H_
+#define SRC_PROFILER_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/callpath/function_registry.h"
+#include "src/callpath/path_table.h"
+#include "src/context/synopsis.h"
+#include "src/context/transaction_context.h"
+
+namespace whodunit::profiler {
+
+class StageProfiler;
+
+class Deployment {
+ public:
+  // Names a context element for reports; apps register namers for
+  // their handler/stage id spaces. Call-path elements are rendered
+  // from the shared path table automatically.
+  using ElementNamer = std::function<std::string(context::ElementKind, uint32_t)>;
+
+  Deployment();
+  ~Deployment();
+
+  callpath::FunctionRegistry& functions() { return functions_; }
+  const callpath::FunctionRegistry& functions() const { return functions_; }
+  callpath::CallPathTable& paths() { return paths_; }
+  context::SynopsisDictionary& synopses() { return synopses_; }
+  const context::SynopsisDictionary& synopses() const { return synopses_; }
+
+  void set_element_namer(ElementNamer namer) { element_namer_ = std::move(namer); }
+
+  // Human-readable rendering of a context element / context / synopsis.
+  std::string DescribeElement(context::ElementKind kind, uint32_t id) const;
+  std::string DescribeContext(const context::TransactionContext& ctxt) const;
+  std::string DescribeSynopsis(const context::Synopsis& synopsis) const;
+
+  // Stage registry (for the post-mortem stitcher).
+  StageProfiler& AddStage(std::unique_ptr<StageProfiler> stage);
+  const std::vector<std::unique_ptr<StageProfiler>>& stages() const { return stages_; }
+
+ private:
+  callpath::FunctionRegistry functions_;
+  callpath::CallPathTable paths_;
+  context::SynopsisDictionary synopses_;
+  ElementNamer element_namer_;
+  std::vector<std::unique_ptr<StageProfiler>> stages_;
+};
+
+}  // namespace whodunit::profiler
+
+#endif  // SRC_PROFILER_DEPLOYMENT_H_

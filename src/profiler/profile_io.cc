@@ -1,0 +1,241 @@
+#include "src/profiler/profile_io.h"
+
+#include <sstream>
+
+namespace whodunit::profiler {
+namespace {
+
+// Replaces whitespace in names so the line format stays parseable.
+std::string Sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+void SerializeSubtree(const callpath::CallingContextTree& cct,
+                      const callpath::FunctionRegistry& functions, callpath::NodeIndex node,
+                      callpath::NodeIndex parent_out, callpath::NodeIndex& next_out,
+                      std::ostringstream& out) {
+  const auto& n = cct.node(node);
+  const callpath::NodeIndex my_out = next_out++;
+  if (node != cct.root()) {
+    out << "node " << my_out << " " << parent_out << " " << Sanitize(functions.NameOf(n.function))
+        << " " << n.samples << " " << n.cpu_time << " " << n.calls << "\n";
+  }
+  for (const auto& [f, child] : n.children) {
+    SerializeSubtree(cct, functions, child, my_out, next_out, out);
+  }
+}
+
+std::string LabelToString(const context::Synopsis& label) {
+  if (label.parts.empty()) {
+    return "-";
+  }
+  return label.ToString();
+}
+
+bool ParseLabel(std::string_view text, context::Synopsis* out) {
+  out->parts.clear();
+  if (text == "-") {
+    return true;
+  }
+  uint32_t value = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c == '#') {
+      if (!have_digit) {
+        return false;
+      }
+      out->parts.push_back(value);
+      value = 0;
+      have_digit = false;
+    } else if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+      have_digit = true;
+    } else {
+      return false;
+    }
+  }
+  if (!have_digit) {
+    return false;
+  }
+  out->parts.push_back(value);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeProfile(const StageProfiler& stage) {
+  std::ostringstream out;
+  out << "whodunit-profile 1\n";
+  out << "stage " << Sanitize(stage.name()) << "\n";
+  out << "bytes " << stage.payload_bytes_sent() << " " << stage.context_bytes_sent() << "\n";
+  const auto& functions = stage.deployment().functions();
+  for (const auto& [label, cct] : stage.LabeledCcts()) {
+    out << "cct " << LabelToString(label) << "\n";
+    callpath::NodeIndex next_out = 0;
+    SerializeSubtree(*cct, functions, cct->root(), 0, next_out, out);
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::string SerializeDictionary(const Deployment& deployment) {
+  std::ostringstream out;
+  out << "whodunit-dictionary 1\n";
+  for (uint32_t part = 0; part < deployment.synopses().size(); ++part) {
+    out << "part " << part << " "
+        << Sanitize(deployment.DescribeContext(deployment.synopses().Lookup(part))) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool ParseProfile(std::string_view text, LoadedProfile* out) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "whodunit-profile 1") {
+    return false;
+  }
+  callpath::CallingContextTree* current = nullptr;
+  // Serialized node index -> node in the rebuilt tree.
+  std::map<callpath::NodeIndex, callpath::NodeIndex> node_map;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "stage") {
+      fields >> out->stage_name;
+    } else if (kind == "bytes") {
+      fields >> out->payload_bytes >> out->context_bytes;
+    } else if (kind == "cct") {
+      std::string label_text;
+      fields >> label_text;
+      context::Synopsis label;
+      if (!ParseLabel(label_text, &label)) {
+        return false;
+      }
+      out->ccts.emplace_back(label, callpath::CallingContextTree());
+      current = &out->ccts.back().second;
+      node_map.clear();
+      node_map[0] = current->root();
+    } else if (kind == "node") {
+      if (current == nullptr) {
+        return false;
+      }
+      callpath::NodeIndex idx = 0, parent = 0;
+      std::string fn_name;
+      uint64_t samples = 0, calls = 0;
+      int64_t cpu = 0;
+      fields >> idx >> parent >> fn_name >> samples >> cpu >> calls;
+      if (fields.fail() || !node_map.contains(parent)) {
+        return false;
+      }
+      const auto fn = out->functions.Register(fn_name);
+      const callpath::NodeIndex node = current->Child(node_map[parent], fn);
+      node_map[idx] = node;
+      current->AddSample(node, samples);
+      current->AddCpuTime(node, cpu);
+      for (uint64_t c = 0; c < calls; ++c) {
+        current->AddCall(node);
+      }
+    } else if (kind == "end") {
+      return true;
+    } else if (!kind.empty()) {
+      return false;
+    }
+  }
+  return false;  // missing "end"
+}
+
+bool ParseDictionary(std::string_view text, std::map<uint32_t, std::string>* out) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "whodunit-dictionary 1") {
+    return false;
+  }
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "part") {
+      uint32_t id = 0;
+      std::string desc;
+      fields >> id >> desc;
+      (*out)[id] = desc;
+    } else if (kind == "end") {
+      return true;
+    } else if (!kind.empty()) {
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string OfflineStitch(const std::vector<LoadedProfile>& profiles,
+                          const std::map<uint32_t, std::string>& dictionary,
+                          double min_fraction) {
+  std::ostringstream out;
+  auto describe = [&dictionary](const context::Synopsis& label) {
+    if (label.parts.empty()) {
+      return std::string("(origin)");
+    }
+    std::string text;
+    for (uint32_t part : label.parts) {
+      if (!text.empty()) {
+        text += " # ";
+      }
+      auto it = dictionary.find(part);
+      text += it == dictionary.end() ? "?" + std::to_string(part) : it->second;
+    }
+    return text;
+  };
+
+  out << "===== stitched transactional profile (post mortem) =====\n";
+  for (const LoadedProfile& profile : profiles) {
+    sim::SimTime total = 0;
+    for (const auto& [label, cct] : profile.ccts) {
+      total += cct.TotalCpuTime();
+    }
+    out << "=== stage '" << profile.stage_name << "' ===\n";
+    for (const auto& [label, cct] : profile.ccts) {
+      const double share =
+          total > 0 ? 100.0 * static_cast<double>(cct.TotalCpuTime()) / static_cast<double>(total)
+                    : 0.0;
+      out << "--- context " << describe(label) << "  [" << share << "% of stage CPU]\n";
+      out << cct.Render(profile.functions, min_fraction);
+    }
+  }
+  // Request edges by the prefix rule, across the loaded stages.
+  out << "===== transaction flow edges =====\n";
+  for (const LoadedProfile& callee : profiles) {
+    for (const auto& [label, cct] : callee.ccts) {
+      if (label.parts.empty()) {
+        continue;
+      }
+      context::Synopsis prefix = label;
+      prefix.parts.pop_back();
+      for (const LoadedProfile& caller : profiles) {
+        for (const auto& [caller_label, caller_cct] : caller.ccts) {
+          if (&caller_cct == &cct) {
+            continue;
+          }
+          if (caller_label == prefix ||
+              (prefix.HasPrefix(caller_label) && caller_label.parts.size() + 1 ==
+                                                     label.parts.size())) {
+            out << "  " << caller.stage_name << " " << describe(caller_label) << " --["
+                << describe(context::Synopsis{{label.parts.back()}}) << "]--> "
+                << callee.stage_name << "\n";
+          }
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace whodunit::profiler

@@ -1,0 +1,287 @@
+#include "src/profiler/stage_profiler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace whodunit::profiler {
+
+using callpath::CountsCalls;
+using callpath::Samples;
+using callpath::TracksTransactions;
+
+StageProfiler::StageProfiler(Deployment& deployment, Options options)
+    : deployment_(deployment), options_(std::move(options)) {}
+
+ThreadProfile& StageProfiler::CreateThread(std::string thread_name) {
+  threads_.push_back(
+      std::make_unique<ThreadProfile>(std::move(thread_name), options_.sample_period));
+  ThreadProfile& tp = *threads_.back();
+  UpdateCct(tp);
+  return tp;
+}
+
+callpath::FunctionId StageProfiler::RegisterFunction(std::string_view fn_name) {
+  return deployment_.functions().Register(fn_name);
+}
+
+StageProfiler::FrameGuard::FrameGuard(StageProfiler& prof, ThreadProfile& tp,
+                                      callpath::FunctionId fn)
+    : prof_(prof), tp_(tp) {
+  tp_.stack_.Push(fn);
+  if (CountsCalls(prof_.options_.mode)) {
+    ++tp_.uncharged_pushes_;
+  }
+}
+
+StageProfiler::FrameGuard::~FrameGuard() { tp_.stack_.Pop(); }
+
+sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) {
+  sim::SimTime total = app_cost;
+  if (options_.mode == callpath::ProfilerMode::kNone) {
+    return total;
+  }
+  // gprof's mcount: a fixed cost per procedure entry since last charge.
+  if (CountsCalls(options_.mode) && tp.uncharged_pushes_ > 0) {
+    total += static_cast<sim::SimTime>(tp.uncharged_pushes_) * options_.costs.per_call;
+    tp.uncharged_pushes_ = 0;
+  }
+  // Whodunit's synopsis computation/propagation per message.
+  if (TracksTransactions(options_.mode) && tp.uncharged_messages_ > 0) {
+    total +=
+        static_cast<sim::SimTime>(tp.uncharged_messages_) * options_.costs.per_message_context;
+    tp.uncharged_messages_ = 0;
+  }
+  if (Samples(options_.mode)) {
+    const uint64_t before = tp.sampler_.samples_taken();
+    tp.sampler_.OnCpu(tp.stack_, app_cost);
+    const uint64_t fired = tp.sampler_.samples_taken() - before;
+    total += static_cast<sim::SimTime>(fired) * options_.costs.per_sample;
+  }
+  return total;
+}
+
+void StageProfiler::SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt) {
+  if (!TracksTransactions(options_.mode)) {
+    return;
+  }
+  tp.local_ctxt_ = ctxt;
+  UpdateCct(tp);
+}
+
+void StageProfiler::ResetTransaction(ThreadProfile& tp) {
+  if (!TracksTransactions(options_.mode)) {
+    return;
+  }
+  tp.incoming_ = {};
+  tp.local_ctxt_ = {};
+  tp.pending_sends_.clear();
+  UpdateCct(tp);
+}
+
+context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_response) {
+  if (!TracksTransactions(options_.mode)) {
+    return {};
+  }
+  // Transaction context at the send point: the locally accumulated
+  // elements plus the call path leading to the send (§5).
+  context::TransactionContext send_ctxt = tp.local_ctxt_;
+  send_ctxt.Append(context::Element{context::ElementKind::kCallPath,
+                                    deployment_.paths().Intern(tp.stack_.path())});
+  const uint32_t part = deployment_.synopses().Intern(send_ctxt);
+  context::Synopsis wire = tp.incoming_.Extend(context::Synopsis{{part}});
+  if (expect_response) {
+    tp.pending_sends_.emplace_back(
+        wire, ThreadProfile::SavedState{tp.incoming_, tp.local_ctxt_});
+  }
+  ++tp.uncharged_messages_;
+  return wire;
+}
+
+bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synopsis) {
+  if (!TracksTransactions(options_.mode)) {
+    return false;
+  }
+  ++tp.uncharged_messages_;
+  // Response recognition (§5): a message whose synopsis extends one we
+  // sent is the reply to that request; restore the context we had when
+  // we issued it.
+  for (auto it = tp.pending_sends_.begin(); it != tp.pending_sends_.end(); ++it) {
+    if (synopsis.parts.size() > it->first.parts.size() && synopsis.HasPrefix(it->first)) {
+      tp.incoming_ = it->second.incoming;
+      tp.local_ctxt_ = it->second.local_ctxt;
+      tp.pending_sends_.erase(it);
+      UpdateCct(tp);
+      return true;
+    }
+  }
+  // New request: adopt the sender's transaction context wholesale.
+  tp.incoming_ = synopsis;
+  tp.local_ctxt_ = {};
+  UpdateCct(tp);
+  return false;
+}
+
+uint32_t StageProfiler::CurrentCtxtId(ThreadProfile& tp) { return InternCtxt(FullSynopsis(tp)); }
+
+void StageProfiler::AdoptCtxt(ThreadProfile& tp, uint32_t ctxt_id) {
+  if (!TracksTransactions(options_.mode)) {
+    return;
+  }
+  tp.incoming_ = ctxt_table_.at(ctxt_id);
+  tp.local_ctxt_ = {};
+  UpdateCct(tp);
+}
+
+const context::Synopsis& StageProfiler::SynopsisOfCtxtId(uint32_t ctxt_id) const {
+  return ctxt_table_.at(ctxt_id);
+}
+
+uint64_t StageProfiler::CrosstalkTag(ThreadProfile& tp) {
+  return InternCtxt(ComputeLabel(tp));
+}
+
+void StageProfiler::AccountMessage(size_t payload_bytes, size_t context_bytes) {
+  payload_bytes_ += payload_bytes;
+  context_bytes_ += context_bytes;
+}
+
+const callpath::CallingContextTree* StageProfiler::FindCct(
+    const context::Synopsis& label) const {
+  auto it = ccts_.find(label);
+  return it == ccts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<context::Synopsis, const callpath::CallingContextTree*>>
+StageProfiler::LabeledCcts() const {
+  std::vector<std::pair<context::Synopsis, const callpath::CallingContextTree*>> out;
+  out.reserve(ccts_.size());
+  for (const auto& [label, cct] : ccts_) {
+    // Skip trees that were created (a thread merely passed through the
+    // context) but never accumulated any profile data.
+    if (cct->TotalCpuTime() == 0 && cct->TotalSamples() == 0 && cct->size() == 1) {
+      continue;
+    }
+    out.emplace_back(label, cct.get());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first.parts < b.first.parts;
+  });
+  return out;
+}
+
+uint64_t StageProfiler::total_samples() const {
+  uint64_t total = 0;
+  for (const auto& [label, cct] : ccts_) {
+    total += cct->TotalSamples();
+  }
+  return total;
+}
+
+sim::SimTime StageProfiler::total_cpu_time() const {
+  sim::SimTime total = 0;
+  for (const auto& [label, cct] : ccts_) {
+    total += cct->TotalCpuTime();
+  }
+  return total;
+}
+
+std::string StageProfiler::RenderTransactionalProfile(double min_fraction) const {
+  std::ostringstream out;
+  const double stage_total = static_cast<double>(total_cpu_time());
+  out << "=== transactional profile of stage '" << options_.name << "' ===\n";
+  for (const auto& [label, cct] : LabeledCcts()) {
+    const double share =
+        stage_total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / stage_total : 0.0;
+    out << "--- context " << (label.empty() ? "(origin)" : deployment_.DescribeSynopsis(label))
+        << "  [" << share << "% of stage CPU, " << cct->TotalSamples() << " samples]\n";
+    out << cct->Render(deployment_.functions(), min_fraction);
+  }
+  return out.str();
+}
+
+std::string StageProfiler::RenderFlatProfile(size_t max_rows) const {
+  struct Row {
+    sim::SimTime cpu = 0;
+    uint64_t samples = 0;
+    uint64_t calls = 0;
+  };
+  std::map<callpath::FunctionId, Row> rows;
+  for (const auto& [label, cct] : ccts_) {
+    for (callpath::NodeIndex i = 0; i < cct->size(); ++i) {
+      const auto& node = cct->node(i);
+      if (i == cct->root()) {
+        continue;
+      }
+      Row& row = rows[node.function];
+      row.cpu += node.cpu_time;
+      row.samples += node.samples;
+      row.calls += node.calls;
+    }
+  }
+  std::vector<std::pair<callpath::FunctionId, Row>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second.cpu > b.second.cpu; });
+
+  const double total = static_cast<double>(total_cpu_time());
+  std::ostringstream out;
+  out << "=== flat profile of stage '" << options_.name << "' (all contexts merged) ===\n";
+  out << "  %time        cpu   samples     calls  function\n";
+  size_t emitted = 0;
+  for (const auto& [fn, row] : sorted) {
+    if (emitted++ >= max_rows) {
+      break;
+    }
+    const double pct = total > 0 ? 100.0 * static_cast<double>(row.cpu) / total : 0.0;
+    out << "  " << pct << "%  " << sim::ToMillis(row.cpu) << "ms  " << row.samples << "  "
+        << row.calls << "  " << deployment_.functions().NameOf(fn) << "\n";
+  }
+  return out.str();
+}
+
+callpath::CallingContextTree& StageProfiler::CctFor(const context::Synopsis& label) {
+  auto it = ccts_.find(label);
+  if (it == ccts_.end()) {
+    it = ccts_.emplace(label, std::make_unique<callpath::CallingContextTree>()).first;
+  }
+  return *it->second;
+}
+
+context::Synopsis StageProfiler::ComputeLabel(const ThreadProfile& tp) {
+  if (tp.local_ctxt_.empty()) {
+    return tp.incoming_;
+  }
+  context::Synopsis label = tp.incoming_;
+  label.parts.push_back(deployment_.synopses().Intern(tp.local_ctxt_));
+  return label;
+}
+
+void StageProfiler::UpdateCct(ThreadProfile& tp) {
+  context::Synopsis label = ComputeLabel(tp);
+  if (tp.label_valid_ && label == tp.current_label_) {
+    return;
+  }
+  tp.current_label_ = label;
+  tp.label_valid_ = true;
+  tp.stack_.AttachCct(&CctFor(label));
+}
+
+context::Synopsis StageProfiler::FullSynopsis(ThreadProfile& tp) {
+  context::TransactionContext full = tp.local_ctxt_;
+  full.Append(context::Element{context::ElementKind::kCallPath,
+                               deployment_.paths().Intern(tp.stack_.path())});
+  return tp.incoming_.Extend(context::Synopsis{{deployment_.synopses().Intern(full)}});
+}
+
+uint32_t StageProfiler::InternCtxt(const context::Synopsis& synopsis) {
+  auto it = ctxt_ids_.find(synopsis);
+  if (it != ctxt_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(ctxt_table_.size());
+  ctxt_table_.push_back(synopsis);
+  ctxt_ids_.emplace(synopsis, id);
+  return id;
+}
+
+}  // namespace whodunit::profiler

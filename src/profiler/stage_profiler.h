@@ -1,0 +1,215 @@
+// Whodunit's per-stage run-time (paper §7).
+//
+// One StageProfiler profiles one stage (one simulated process). It
+// owns:
+//   * a dictionary of CCTs labeled by transaction-context synopsis;
+//     the executing thread's samples accumulate in the CCT matching
+//     its current transaction context (§7.1);
+//   * the send/receive context machinery: PrepareSend computes the
+//     synopsis at the send point and OnReceive either adopts a request
+//     context or recognizes a response by the prefix rule (§5, §7.4);
+//   * the bridge to the shared-memory flow detector: CurrentCtxtId
+//     snapshots the executing thread's full context for produce
+//     points, AdoptCtxt makes a consumer continue the producer's
+//     transaction (§3.5);
+//   * profiling-cost accounting per §9: sampling cost per sample,
+//     per-call cost in gprof mode, per-message context cost.
+#ifndef SRC_PROFILER_STAGE_PROFILER_H_
+#define SRC_PROFILER_STAGE_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/callpath/cct.h"
+#include "src/callpath/profiler_mode.h"
+#include "src/callpath/sampler.h"
+#include "src/callpath/shadow_stack.h"
+#include "src/context/synopsis.h"
+#include "src/context/transaction_context.h"
+#include "src/profiler/deployment.h"
+#include "src/sim/time.h"
+
+namespace whodunit::profiler {
+
+// Profiling state of one simulated thread of control (a worker thread,
+// an event loop, a SEDA stage worker).
+class ThreadProfile {
+ public:
+  explicit ThreadProfile(std::string name, sim::SimTime sample_period)
+      : name_(std::move(name)), sampler_(sample_period) {}
+
+  const std::string& name() const { return name_; }
+  const callpath::ShadowStack& stack() const { return stack_; }
+  const context::Synopsis& incoming() const { return incoming_; }
+  const context::TransactionContext& local_context() const { return local_ctxt_; }
+
+ private:
+  friend class StageProfiler;
+
+  struct SavedState {
+    context::Synopsis incoming;
+    context::TransactionContext local_ctxt;
+  };
+
+  std::string name_;
+  callpath::ShadowStack stack_;
+  callpath::Sampler sampler_;
+  // κ: transaction context inherited from other stages, as a synopsis.
+  context::Synopsis incoming_;
+  // Locally accumulated context elements (handlers, stages, adopted
+  // shared-memory flows).
+  context::TransactionContext local_ctxt_;
+  // Outstanding requests: sent synopsis -> state to restore when the
+  // matching response arrives.
+  std::vector<std::pair<context::Synopsis, SavedState>> pending_sends_;
+  context::Synopsis current_label_;
+  bool label_valid_ = false;
+  uint64_t uncharged_pushes_ = 0;
+  uint64_t uncharged_messages_ = 0;
+};
+
+class StageProfiler {
+ public:
+  struct Options {
+    std::string name;
+    callpath::ProfilerMode mode = callpath::ProfilerMode::kWhodunit;
+    callpath::ProfilerCosts costs;
+    // The paper samples at gprof's default, 666 Hz.
+    sim::SimTime sample_period = 1501501;
+  };
+
+  StageProfiler(Deployment& deployment, Options options);
+
+  const std::string& name() const { return options_.name; }
+  callpath::ProfilerMode mode() const { return options_.mode; }
+  Deployment& deployment() { return deployment_; }
+  const Deployment& deployment() const { return deployment_; }
+
+  // ---- Thread and call-path structure -------------------------------
+  ThreadProfile& CreateThread(std::string name);
+  callpath::FunctionId RegisterFunction(std::string_view fn_name);
+
+  // RAII procedure frame; apps mark their procedure structure with it.
+  class FrameGuard {
+   public:
+    FrameGuard(StageProfiler& prof, ThreadProfile& tp, callpath::FunctionId fn);
+    ~FrameGuard();
+    FrameGuard(const FrameGuard&) = delete;
+    FrameGuard& operator=(const FrameGuard&) = delete;
+
+   private:
+    StageProfiler& prof_;
+    ThreadProfile& tp_;
+  };
+  FrameGuard EnterFrame(ThreadProfile& tp, callpath::FunctionId fn) {
+    return FrameGuard(*this, tp, fn);
+  }
+
+  // Records `n` procedure entries executed by un-instrumented-at-
+  // source internal code (the database's per-row handler functions).
+  // They cost nothing under sampling profilers but pay gprof's mcount
+  // like any other call — the effect behind Table 2's gprof column.
+  void NoteInternalCalls(ThreadProfile& tp, uint64_t n) {
+    if (callpath::CountsCalls(options_.mode)) {
+      tp.uncharged_pushes_ += n;
+    }
+  }
+
+  // ---- CPU accounting ------------------------------------------------
+  // Returns app_cost plus the profiling overhead incurred (sampling
+  // handlers, gprof mcount work, pending message-context costs); the
+  // app charges the returned total to its CpuResource. Samples are
+  // attributed to the thread's current CCT node.
+  sim::SimTime ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost);
+
+  // ---- Transaction contexts (events / SEDA / fresh requests) ---------
+  // Replaces the thread's locally accumulated context (the event/SEDA
+  // libraries feed their curr_tran_ctxt through this).
+  void SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt);
+  // Begins a fresh top-level transaction at an origin stage.
+  void ResetTransaction(ThreadProfile& tp);
+
+  // ---- Messaging (§5, §7.4) ------------------------------------------
+  // Computes the synopsis to piggy-back on an outgoing request and
+  // saves state so the response can restore it. For one-way sends or
+  // responses pass expect_response = false.
+  context::Synopsis PrepareSend(ThreadProfile& tp, bool expect_response = true);
+  // Handles a piggy-backed synopsis on receive: recognizes responses
+  // by the prefix rule (restoring the saved context), otherwise adopts
+  // the request context. Returns true if it was a response.
+  bool OnReceive(ThreadProfile& tp, const context::Synopsis& synopsis);
+
+  // ---- Shared-memory flow (§3.5) --------------------------------------
+  // Snapshot of the thread's full current context (including its call
+  // path), as a dense id for the flow detector's dictionary.
+  uint32_t CurrentCtxtId(ThreadProfile& tp);
+  // Consumer side of a detected flow: continue the producer's
+  // transaction from here on.
+  void AdoptCtxt(ThreadProfile& tp, uint32_t ctxt_id);
+  const context::Synopsis& SynopsisOfCtxtId(uint32_t ctxt_id) const;
+
+  // ---- Crosstalk ------------------------------------------------------
+  // Tag identifying the thread's current transaction type for lock
+  // instrumentation (resolve back with SynopsisOfCtxtId).
+  uint64_t CrosstalkTag(ThreadProfile& tp);
+  // The tag a thread running under `label` would report — lets report
+  // generators join crosstalk rows with CCT labels.
+  uint64_t TagForLabel(const context::Synopsis& label) { return InternCtxt(label); }
+
+  // ---- Message byte accounting (§9.1) ---------------------------------
+  void AccountMessage(size_t payload_bytes, size_t context_bytes);
+  uint64_t payload_bytes_sent() const { return payload_bytes_; }
+  uint64_t context_bytes_sent() const { return context_bytes_; }
+
+  // ---- Results ---------------------------------------------------------
+  // CCT for a given transaction-context label (nullptr if absent).
+  const callpath::CallingContextTree* FindCct(const context::Synopsis& label) const;
+  // All labels with their CCTs, in a deterministic order.
+  std::vector<std::pair<context::Synopsis, const callpath::CallingContextTree*>> LabeledCcts()
+      const;
+  uint64_t total_samples() const;
+  sim::SimTime total_cpu_time() const;
+
+  // Renders the stage's transactional profile: one section per
+  // transaction context, with the CCT and its share of stage CPU.
+  std::string RenderTransactionalProfile(double min_fraction = 0.0) const;
+
+  // A gprof-style flat profile over ALL contexts: functions ranked by
+  // exclusive CPU time, with call counts. What a conventional profiler
+  // would report — useful as the "before" view next to the
+  // transactional profile.
+  std::string RenderFlatProfile(size_t max_rows = 20) const;
+
+ private:
+  friend class FrameGuard;
+
+  callpath::CallingContextTree& CctFor(const context::Synopsis& label);
+  context::Synopsis ComputeLabel(const ThreadProfile& tp);
+  void UpdateCct(ThreadProfile& tp);
+  // The thread's full context including its current call path.
+  context::Synopsis FullSynopsis(ThreadProfile& tp);
+  uint32_t InternCtxt(const context::Synopsis& synopsis);
+
+  Deployment& deployment_;
+  Options options_;
+  std::vector<std::unique_ptr<ThreadProfile>> threads_;
+  std::unordered_map<context::Synopsis, std::unique_ptr<callpath::CallingContextTree>,
+                     context::SynopsisHash>
+      ccts_;
+  // Dense ids for full-context snapshots handed to the flow detector
+  // and the crosstalk recorder.
+  std::unordered_map<context::Synopsis, uint32_t, context::SynopsisHash> ctxt_ids_;
+  std::vector<context::Synopsis> ctxt_table_;
+
+  uint64_t payload_bytes_ = 0;
+  uint64_t context_bytes_ = 0;
+};
+
+}  // namespace whodunit::profiler
+
+#endif  // SRC_PROFILER_STAGE_PROFILER_H_

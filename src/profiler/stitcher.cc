@@ -1,0 +1,116 @@
+#include "src/profiler/stitcher.h"
+
+#include <sstream>
+
+#include "src/profiler/stage_profiler.h"
+
+namespace whodunit::profiler {
+
+std::vector<Stitcher::Edge> Stitcher::Edges() const {
+  std::vector<Edge> edges;
+  // Index every (stage, label) pair.
+  struct Owner {
+    const StageProfiler* stage;
+    context::Synopsis label;
+  };
+  std::vector<Owner> owners;
+  for (const auto& stage : deployment_.stages()) {
+    for (const auto& [label, cct] : stage->LabeledCcts()) {
+      owners.push_back(Owner{stage.get(), label});
+    }
+  }
+  // A label with parts [p0..pn] was created by a send whose caller ran
+  // with label [p0..pn-1] (or a prefix of it, since the caller's label
+  // omits a purely-local tail). Match the longest proper prefix owned
+  // by another (or the same) stage.
+  for (const Owner& callee : owners) {
+    if (callee.label.parts.empty()) {
+      continue;
+    }
+    context::Synopsis prefix = callee.label;
+    prefix.parts.pop_back();
+    const Owner* best = nullptr;
+    size_t best_len = 0;
+    for (const Owner& caller : owners) {
+      if (&caller == &callee) {
+        continue;
+      }
+      if (prefix.HasPrefix(caller.label) && (best == nullptr ||
+                                             caller.label.parts.size() >= best_len)) {
+        best = &caller;
+        best_len = caller.label.parts.size();
+      }
+    }
+    if (best != nullptr) {
+      const uint32_t last_part = callee.label.parts.back();
+      std::string send_desc =
+          deployment_.synopses().Contains(last_part)
+              ? deployment_.DescribeContext(deployment_.synopses().Lookup(last_part))
+              : "?";
+      edges.push_back(Edge{best->stage->name(), best->label, callee.stage->name(), callee.label,
+                           std::move(send_desc)});
+    }
+  }
+  return edges;
+}
+
+std::string Stitcher::Render(double min_fraction) const {
+  std::ostringstream out;
+  out << "===== stitched transactional profile =====\n";
+  for (const auto& stage : deployment_.stages()) {
+    out << stage->RenderTransactionalProfile(min_fraction);
+  }
+  out << "===== transaction flow edges =====\n";
+  for (const Edge& e : Edges()) {
+    out << "  " << e.from_stage << " "
+        << (e.from_label.empty() ? "(origin)" : e.from_label.ToString()) << " --"
+        << e.send_context << "--> " << e.to_stage << " " << e.to_label.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::string Stitcher::RenderDot() const {
+  std::ostringstream out;
+  out << "digraph whodunit {\n  rankdir=LR;\n  node [shape=box];\n";
+  int cluster = 0;
+  auto node_id = [](const StageProfiler* stage, const context::Synopsis& label) {
+    std::string id = "\"" + stage->name() + ":";
+    id += label.empty() ? "origin" : label.ToString();
+    id += "\"";
+    return id;
+  };
+  for (const auto& stage : deployment_.stages()) {
+    out << "  subgraph cluster_" << cluster++ << " {\n    label=\"" << stage->name()
+        << "\";\n";
+    const double total = static_cast<double>(stage->total_cpu_time());
+    for (const auto& [label, cct] : stage->LabeledCcts()) {
+      const double share =
+          total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / total : 0.0;
+      out << "    " << node_id(stage.get(), label) << " [label=\""
+          << (label.empty() ? "(origin)" : deployment_.DescribeSynopsis(label)) << "\\n"
+          << share << "% CPU\"];\n";
+    }
+    out << "  }\n";
+  }
+  // Find the owning stage pointer for each edge endpoint.
+  for (const Edge& e : Edges()) {
+    const StageProfiler* from = nullptr;
+    const StageProfiler* to = nullptr;
+    for (const auto& stage : deployment_.stages()) {
+      if (stage->name() == e.from_stage) {
+        from = stage.get();
+      }
+      if (stage->name() == e.to_stage) {
+        to = stage.get();
+      }
+    }
+    if (from != nullptr && to != nullptr) {
+      out << "  " << node_id(from, e.from_label) << " -> " << node_id(to, e.to_label)
+          << " [label=\"" << e.send_context << "\", style=dashed];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace whodunit::profiler

@@ -1,0 +1,50 @@
+// Post-mortem stitching of per-stage profiles (paper §5, §7.1).
+//
+// After a run, each stage holds a dictionary of CCTs labeled by
+// transaction-context synopsis. Because a callee's label extends its
+// caller's send synopsis by exactly one part, the global transactional
+// profile is recovered by connecting each labeled CCT to the stage
+// whose send created its last synopsis part — the request/response
+// edges of Figure 7.
+#ifndef SRC_PROFILER_STITCHER_H_
+#define SRC_PROFILER_STITCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/context/synopsis.h"
+#include "src/profiler/deployment.h"
+
+namespace whodunit::profiler {
+
+class Stitcher {
+ public:
+  explicit Stitcher(const Deployment& deployment) : deployment_(deployment) {}
+
+  struct Edge {
+    std::string from_stage;
+    context::Synopsis from_label;  // caller's CCT label
+    std::string to_stage;
+    context::Synopsis to_label;  // callee's CCT label (extends the send)
+    std::string send_context;    // description of the send point
+  };
+
+  // All request edges recoverable from the stages' CCT labels.
+  std::vector<Edge> Edges() const;
+
+  // The full multi-stage transactional profile: every stage's labeled
+  // CCTs plus the stitched request edges.
+  std::string Render(double min_fraction = 0.0) const;
+
+  // Graphviz rendering of the Figure 7 graph: one cluster per stage,
+  // one node per (stage, context) CCT, request edges labeled with the
+  // send point.
+  std::string RenderDot() const;
+
+ private:
+  const Deployment& deployment_;
+};
+
+}  // namespace whodunit::profiler
+
+#endif  // SRC_PROFILER_STITCHER_H_

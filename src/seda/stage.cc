@@ -1,0 +1,77 @@
+#include "src/seda/stage.h"
+
+#include <utility>
+
+namespace whodunit::seda {
+
+StageId StageGraph::AddStage(std::string name, int workers, Body body) {
+  const auto id = static_cast<StageId>(stages_.size());
+  stages_.push_back(std::make_unique<Stage>(*this, id, std::move(name), workers,
+                                            std::move(body)));
+  return id;
+}
+
+const std::string& StageGraph::StageName(StageId id) const { return stages_[id]->name(); }
+
+void StageGraph::InjectExternal(StageId stage, uint64_t payload) {
+  stages_[stage]->Enqueue(QueueElem{payload, {}});
+}
+
+void StageGraph::Start() {
+  for (auto& s : stages_) {
+    s->Start();
+  }
+}
+
+void StageGraph::Stop() {
+  for (auto& s : stages_) {
+    s->Close();
+  }
+}
+
+void StageGraph::WorkerContext::EnqueueTo(StageId next, uint64_t next_payload) {
+  QueueElem elem{next_payload, {}};
+  if (graph.tracking()) {
+    elem.tran_ctxt = curr_ctxt;  // Figure 5, line 12
+  }
+  graph.stage(next).Enqueue(std::move(elem));
+}
+
+Stage::Stage(StageGraph& graph, StageId id, std::string name, int workers,
+             StageGraph::Body body)
+    : graph_(graph),
+      id_(id),
+      name_(std::move(name)),
+      workers_(workers),
+      body_(std::move(body)),
+      queue_(graph.scheduler()) {}
+
+void Stage::Start() {
+  for (int w = 0; w < workers_; ++w) {
+    sim::Spawn(graph_.sched_, WorkerLoop(w));
+  }
+}
+
+sim::Process Stage::WorkerLoop(int worker) {
+  for (;;) {
+    auto elem = co_await queue_.Receive();
+    if (!elem) {
+      break;
+    }
+    StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload, {}};
+    if (graph_.tracking()) {
+      // Figure 5, lines 5-6: current context = element's context
+      // concatenated with the current stage (loops pruned by Append).
+      wc.curr_ctxt = elem->tran_ctxt;
+      wc.curr_ctxt.Append(context::Element{context::ElementKind::kStage, id_},
+                          graph_.pruning());
+      if (graph_.listener_) {
+        graph_.listener_(id_, worker, wc.curr_ctxt);
+      }
+    }
+    ++processed_;
+    co_await body_(wc);
+  }
+}
+
+}  // namespace whodunit::seda

@@ -1,0 +1,125 @@
+// SEDA middleware with transaction-context propagation.
+//
+// Figure 5 of the paper: stage queues carry a transaction context per
+// element; a stage worker dequeues an element, computes its current
+// transaction context by concatenating the element's context with the
+// current stage (pruning loops), executes, and stamps any elements it
+// enqueues downstream with that context. Applications built on the
+// library need no modification for transactional profiling.
+#ifndef SRC_SEDA_STAGE_H_
+#define SRC_SEDA_STAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/context/transaction_context.h"
+#include "src/sim/channel.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+
+namespace whodunit::seda {
+
+using StageId = uint32_t;
+
+struct QueueElem {
+  uint64_t payload;
+  context::TransactionContext tran_ctxt;
+};
+
+class Stage;
+
+// One SEDA application: a set of stages wired by queues.
+class StageGraph {
+ public:
+  explicit StageGraph(sim::Scheduler& sched) : sched_(sched) {}
+
+  // Creates a stage with `workers` worker threads running `body`.
+  // Returns its id. Stages are started with Start().
+  struct WorkerContext;
+  using Body = std::function<sim::Task<void>(WorkerContext&)>;
+  StageId AddStage(std::string name, int workers, Body body);
+
+  Stage& stage(StageId id) { return *stages_[id]; }
+  const Stage& stage(StageId id) const { return *stages_[id]; }
+  const std::string& StageName(StageId id) const;
+  size_t stage_count() const { return stages_.size(); }
+
+  // Injects an external request into a stage's input queue with an
+  // empty transaction context.
+  void InjectExternal(StageId stage, uint64_t payload);
+
+  // Spawns all worker processes.
+  void Start();
+  // Closes all stage queues; workers drain and exit.
+  void Stop();
+
+  void set_tracking(bool on) { tracking_ = on; }
+  bool tracking() const { return tracking_; }
+  // Disables §4.1 loop pruning (full history, for debugging).
+  void set_pruning(bool on) { pruning_ = on; }
+  bool pruning() const { return pruning_; }
+
+  // Fired when a worker's current transaction context changes;
+  // the worker index is global across stages.
+  using ContextListener =
+      std::function<void(StageId, int worker, const context::TransactionContext&)>;
+  void set_context_listener(ContextListener listener) { listener_ = std::move(listener); }
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  // The execution context a stage body receives.
+  struct WorkerContext {
+    StageGraph& graph;
+    StageId stage;
+    int worker;  // index within the stage
+    uint64_t payload;
+    // Figure 5, lines 10-13: enqueue downstream with the current
+    // transaction context.
+    void EnqueueTo(StageId next, uint64_t next_payload);
+    const context::TransactionContext& current_context() const { return curr_ctxt; }
+
+    context::TransactionContext curr_ctxt;
+  };
+
+ private:
+  friend class Stage;
+
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  bool tracking_ = true;
+  bool pruning_ = true;
+  ContextListener listener_;
+};
+
+class Stage {
+ public:
+  Stage(StageGraph& graph, StageId id, std::string name, int workers, StageGraph::Body body);
+
+  void Enqueue(QueueElem elem) { queue_.Send(std::move(elem)); }
+  void Close() { queue_.Close(); }
+
+  const std::string& name() const { return name_; }
+  StageId id() const { return id_; }
+  int workers() const { return workers_; }
+  uint64_t processed() const { return processed_; }
+
+  void Start();
+
+ private:
+  sim::Process WorkerLoop(int worker);
+
+  StageGraph& graph_;
+  StageId id_;
+  std::string name_;
+  int workers_;
+  StageGraph::Body body_;
+  sim::Channel<QueueElem> queue_;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace whodunit::seda
+
+#endif  // SRC_SEDA_STAGE_H_

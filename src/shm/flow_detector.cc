@@ -1,0 +1,186 @@
+#include "src/shm/flow_detector.h"
+
+#include <utility>
+
+namespace whodunit::shm {
+
+FlowDetector::FlowDetector(Config config, CtxtProvider ctxt_provider)
+    : config_(config), ctxt_provider_(std::move(ctxt_provider)) {}
+
+void FlowDetector::FlushIfForeign(const vm::Loc& loc, uint64_t lock_id) {
+  auto it = dict_.find(loc);
+  if (it != dict_.end() && it->second.lock_id != lock_id) {
+    dict_.erase(it);
+  }
+}
+
+void FlowDetector::ClearThreadRegisters(vm::ThreadId t) {
+  for (uint8_t r = 0; r < vm::kNumRegs; ++r) {
+    dict_.erase(vm::Loc::Reg(t, r));
+  }
+}
+
+void FlowDetector::OnLock(vm::ThreadId t, uint64_t lock_id) {
+  ThreadState& ts = threads_[t];
+  if (ts.lock_stack.empty()) {
+    // Entering an outermost critical section: registers carry values
+    // computed in un-emulated code, so they have no associated context
+    // (§3.2, "live registers on entry"). A pending consume window is
+    // over.
+    ClearThreadRegisters(t);
+    ts.post_window_left = 0;
+  }
+  ts.lock_stack.push_back(lock_id);
+}
+
+void FlowDetector::OnUnlock(vm::ThreadId t, uint64_t lock_id) {
+  ThreadState& ts = threads_[t];
+  // Pop the matching lock (LIFO discipline is the normal case).
+  for (size_t i = ts.lock_stack.size(); i-- > 0;) {
+    if (ts.lock_stack[i] == lock_id) {
+      ts.lock_stack.erase(ts.lock_stack.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  if (ts.lock_stack.empty()) {
+    // Keep emulating for MAX instructions watching for consumption.
+    ts.post_window_left = config_.post_window;
+    ts.window_flows.clear();
+  }
+}
+
+void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) {
+  ThreadState& ts = threads_[t];
+  if (!InCriticalSection(ts)) {
+    // Outside any critical section the algorithm does not propagate;
+    // a write still clobbers whatever context the destination held.
+    dict_.erase(dst);
+    return;
+  }
+  const uint64_t lock_id = OutermostLock(ts);
+  FlushIfForeign(src, lock_id);
+  FlushIfForeign(dst, lock_id);
+
+  auto it = dict_.find(src);
+  if (it != dict_.end()) {
+    // Propagation: dst inherits src's context, valid or invalid,
+    // along with the identity of the value's original producer.
+    dict_[dst] = Entry{it->second.ctxt, lock_id, it->second.producer};
+    return;
+  }
+  // Source has no context: the executing thread is contributing a
+  // value it computed before entering the critical section. Associate
+  // the thread's transaction context with the destination. Writing
+  // such a value into *memory* is production of a resource.
+  dict_[dst] = Entry{ctxt_provider_(t), lock_id, t};
+  if (dst.is_mem()) {
+    RecordProducer(lock_id, t);
+  }
+}
+
+void FlowDetector::OnWriteValue(vm::ThreadId t, const vm::Loc& dst) {
+  ThreadState& ts = threads_[t];
+  if (!InCriticalSection(ts)) {
+    dict_.erase(dst);
+    return;
+  }
+  const uint64_t lock_id = OutermostLock(ts);
+  // Non-MOV modification: immediate store, arithmetic result. The
+  // location's value no longer carries any transaction's data.
+  dict_[dst] = Entry{kInvalidCtxt, lock_id, t};
+}
+
+void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
+  ThreadState& ts = threads_[t];
+  if (InCriticalSection(ts) || ts.post_window_left <= 0) {
+    // Reads inside critical sections are handled by OnMov propagation;
+    // reads outside the consume window are un-emulated in the real
+    // system.
+    return;
+  }
+  auto it = dict_.find(src);
+  if (it == dict_.end() || it->second.ctxt == kInvalidCtxt) {
+    return;
+  }
+  // Consumption: the thread used, after leaving the critical section,
+  // a value that carries a transaction context.
+  const Entry entry = it->second;
+  dict_.erase(it);
+  RecordConsumer(entry.lock_id, t);
+  if (entry.producer != t && !IsDemoted(entry.lock_id)) {
+    const auto key = std::make_pair(entry.lock_id, entry.ctxt);
+    for (const auto& seen : ts.window_flows) {
+      if (seen == key) {
+        return;  // same logical flow, another word of the element
+      }
+    }
+    ts.window_flows.push_back(key);
+    ++flows_detected_;
+    FlowEvent ev{entry.producer, t, entry.ctxt, entry.lock_id, src};
+    flow_log_.push_back(ev);
+    if (on_flow_) {
+      on_flow_(ev);
+    }
+  }
+}
+
+void FlowDetector::OnRetire(vm::ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (!InCriticalSection(ts) && ts.post_window_left > 0) {
+    --ts.post_window_left;
+  }
+}
+
+void FlowDetector::RecordProducer(uint64_t lock_id, vm::ThreadId t) {
+  LockRoles& roles = roles_[lock_id];
+  roles.producers.insert(t);
+  MaybeDemote(lock_id, roles);
+}
+
+void FlowDetector::RecordConsumer(uint64_t lock_id, vm::ThreadId t) {
+  LockRoles& roles = roles_[lock_id];
+  roles.consumers.insert(t);
+  MaybeDemote(lock_id, roles);
+}
+
+void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles) {
+  if (!config_.detect_demotion || roles.demoted) {
+    return;
+  }
+  // First common member of the two lists => not transaction flow
+  // (the memory-allocator pattern, §3.4).
+  const auto& small = roles.producers.size() <= roles.consumers.size() ? roles.producers
+                                                                       : roles.consumers;
+  const auto& large = roles.producers.size() <= roles.consumers.size() ? roles.consumers
+                                                                       : roles.producers;
+  for (vm::ThreadId t : small) {
+    if (large.contains(t)) {
+      roles.demoted = true;
+      if (on_demote_) {
+        on_demote_(lock_id);
+      }
+      return;
+    }
+  }
+}
+
+bool FlowDetector::ShouldEmulate(uint64_t lock_id) const { return !IsDemoted(lock_id); }
+
+bool FlowDetector::IsDemoted(uint64_t lock_id) const {
+  auto it = roles_.find(lock_id);
+  return it != roles_.end() && it->second.demoted;
+}
+
+const std::set<vm::ThreadId>& FlowDetector::producers_of(uint64_t lock_id) const {
+  static const std::set<vm::ThreadId> kEmpty;
+  auto it = roles_.find(lock_id);
+  return it == roles_.end() ? kEmpty : it->second.producers;
+}
+
+const std::set<vm::ThreadId>& FlowDetector::consumers_of(uint64_t lock_id) const {
+  static const std::set<vm::ThreadId> kEmpty;
+  auto it = roles_.find(lock_id);
+  return it == roles_.end() ? kEmpty : it->second.consumers;
+}
+
+}  // namespace whodunit::shm

@@ -1,0 +1,151 @@
+// Shared-memory transaction-flow detection (paper §3).
+//
+// The algorithm watches the instructions executed inside lock-protected
+// critical sections (delivered by the MiniVM interpreter) and maintains
+// a dictionary mapping locations (memory words and per-thread
+// registers) to transaction contexts:
+//
+//   * A MOV whose source has an associated context propagates that
+//     context (valid or invalid) to the destination.
+//   * A MOV whose source has *no* context associates the destination
+//     with the executing thread's current transaction context; if the
+//     destination is shared memory, the thread has *produced* a value.
+//   * Any non-MOV write (immediate store, arithmetic) associates the
+//     destination with invlctxt, the invalid context — this is what
+//     keeps shared counters and NULL sanity-checks from creating
+//     spurious flows (§3.4, §3.3.2).
+//   * After the outermost lock is released, emulation continues for up
+//     to kDefaultPostWindow instructions; a read of a location holding
+//     a valid context in that window means the thread *consumed* the
+//     value, establishing a transaction flow from producer to consumer.
+//
+// Per-lock producer/consumer role lists demote resources where a
+// thread appears on both sides (the memory-allocator pattern, §3.4):
+// once demoted, the lock's critical sections no longer constitute
+// transaction flow and may run natively (ShouldEmulate returns false).
+//
+// A location's dictionary entry remembers which lock protected the
+// critical section that last set it; touching the location under a
+// different lock flushes the stale context (§3.2, "used for different
+// purposes at different times").
+#ifndef SRC_SHM_FLOW_DETECTOR_H_
+#define SRC_SHM_FLOW_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/vm/interpreter.h"
+#include "src/vm/loc.h"
+
+namespace whodunit::shm {
+
+// Opaque transaction-context handle supplied by the profiler layer
+// (a synopsis part id in the full system).
+using CtxtId = uint32_t;
+inline constexpr CtxtId kInvalidCtxt = 0xffffffffu;  // invlctxt
+
+struct FlowEvent {
+  vm::ThreadId producer;
+  vm::ThreadId consumer;
+  CtxtId ctxt;       // producer's transaction context at produce time
+  uint64_t lock_id;  // lock protecting the resource the flow crossed
+  vm::Loc loc;       // location the value was consumed from
+};
+
+class FlowDetector : public vm::InstructionObserver {
+ public:
+  struct Config {
+    // MAX in the paper (§7.2): instructions emulated past the exit
+    // from a critical section while watching for consumption.
+    int post_window = kDefaultPostWindow;
+    // Demote locks whose producer and consumer role lists intersect.
+    bool detect_demotion = true;
+  };
+  static constexpr int kDefaultPostWindow = 128;
+
+  // ctxt_provider returns a thread's current transaction context; the
+  // detector calls it at produce points.
+  using CtxtProvider = std::function<CtxtId(vm::ThreadId)>;
+  using FlowCallback = std::function<void(const FlowEvent&)>;
+  using DemoteCallback = std::function<void(uint64_t lock_id)>;
+
+  FlowDetector(Config config, CtxtProvider ctxt_provider);
+  explicit FlowDetector(CtxtProvider ctxt_provider)
+      : FlowDetector(Config{}, std::move(ctxt_provider)) {}
+
+  void set_flow_callback(FlowCallback cb) { on_flow_ = std::move(cb); }
+  void set_demote_callback(DemoteCallback cb) { on_demote_ = std::move(cb); }
+
+  // vm::InstructionObserver:
+  void OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) override;
+  void OnWriteValue(vm::ThreadId t, const vm::Loc& dst) override;
+  void OnRead(vm::ThreadId t, const vm::Loc& src) override;
+  void OnLock(vm::ThreadId t, uint64_t lock_id) override;
+  void OnUnlock(vm::ThreadId t, uint64_t lock_id) override;
+  void OnRetire(vm::ThreadId t) override;
+
+  // False once the lock's resource was demoted (allocator pattern):
+  // the performance optimization of §7.2 — run such critical sections
+  // natively from then on.
+  bool ShouldEmulate(uint64_t lock_id) const;
+  bool IsDemoted(uint64_t lock_id) const;
+
+  // Introspection for tests and reports.
+  uint64_t flows_detected() const { return flows_detected_; }
+  const std::vector<FlowEvent>& flow_log() const { return flow_log_; }
+  size_t dictionary_size() const { return dict_.size(); }
+  const std::set<vm::ThreadId>& producers_of(uint64_t lock_id) const;
+  const std::set<vm::ThreadId>& consumers_of(uint64_t lock_id) const;
+
+ private:
+  struct Entry {
+    CtxtId ctxt;
+    uint64_t lock_id;       // lock of the CS that last set this entry
+    vm::ThreadId producer;  // thread whose context this value carries
+  };
+  struct ThreadState {
+    std::vector<uint64_t> lock_stack;  // held locks, outermost first
+    int post_window_left = 0;
+    // Flows already reported in the current consume window; a consumer
+    // that picks up several words of one element (Apache's sd and p)
+    // performed one logical flow, not one per word.
+    std::vector<std::pair<uint64_t, CtxtId>> window_flows;
+  };
+  struct LockRoles {
+    std::set<vm::ThreadId> producers;
+    std::set<vm::ThreadId> consumers;
+    bool demoted = false;
+  };
+
+  bool InCriticalSection(const ThreadState& ts) const { return !ts.lock_stack.empty(); }
+  // The lock whose critical section governs analysis: the outermost
+  // held lock (§3.3.2, nested locks).
+  uint64_t OutermostLock(const ThreadState& ts) const { return ts.lock_stack.front(); }
+
+  // Flushes loc's entry if it was set under a different lock.
+  void FlushIfForeign(const vm::Loc& loc, uint64_t lock_id);
+  void ClearThreadRegisters(vm::ThreadId t);
+  void RecordProducer(uint64_t lock_id, vm::ThreadId t);
+  void RecordConsumer(uint64_t lock_id, vm::ThreadId t);
+  void MaybeDemote(uint64_t lock_id, LockRoles& roles);
+
+  Config config_;
+  CtxtProvider ctxt_provider_;
+  FlowCallback on_flow_;
+  DemoteCallback on_demote_;
+
+  std::unordered_map<vm::Loc, Entry, vm::LocHash> dict_;
+  std::unordered_map<vm::ThreadId, ThreadState> threads_;
+  std::unordered_map<uint64_t, LockRoles> roles_;
+
+  uint64_t flows_detected_ = 0;
+  std::vector<FlowEvent> flow_log_;
+};
+
+}  // namespace whodunit::shm
+
+#endif  // SRC_SHM_FLOW_DETECTOR_H_

@@ -1,0 +1,335 @@
+#include "src/shm/guest_code.h"
+
+#include "src/vm/program_builder.h"
+
+namespace whodunit::shm {
+
+vm::Program ApQueuePush(uint64_t lock_id) {
+  vm::ProgramBuilder b("ap_queue_push");
+  b.Lock(lock_id)
+      .MovRM(3, 0, 0)   // r3 = queue->nelts
+      .MovRR(4, 3)      // r4 = nelts
+      .MulRI(4, kApQueueElemSize)
+      .AddRR(4, 0)      // r4 = Q + nelts*16
+      .AddRI(4, kApQueueDataOffset)
+      .MovMR(4, 0, 1)   // elem->sd = sd   (production)
+      .MovMR(4, 8, 2)   // elem->p  = p    (production)
+      .IncM(0, 0)       // queue->nelts++  (non-MOV -> invlctxt)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program ApQueuePop(uint64_t lock_id) {
+  vm::ProgramBuilder b("ap_queue_pop");
+  b.Lock(lock_id)
+      .MovRM(3, 0, 0)   // r3 = nelts
+      .SubRI(3, 1)      // --nelts (arith -> r3 invalid)
+      .MovMR(0, 0, 3)   // store nelts back (invalid propagates)
+      .MovRR(4, 3)
+      .MulRI(4, kApQueueElemSize)
+      .AddRR(4, 0)
+      .AddRI(4, kApQueueDataOffset)
+      .MovRM(1, 4, 0)   // r1 = elem->sd (inherits producer context)
+      .MovRM(2, 4, 8)   // r2 = elem->p
+      .MovMR(5, 0, 1)   // *out_sd = sd
+      .MovMR(6, 0, 2)   // *out_p  = p
+      .Unlock(lock_id)
+      // Caller uses the values after ap_queue_pop returns:
+      .MovRM(7, 5, 0)   // use *out_sd -> consumption detected here
+      .MovRM(8, 6, 0)   // use *out_p
+      .Halt();
+  return b.Build();
+}
+
+vm::Program CounterIncrement(uint64_t lock_id) {
+  vm::ProgramBuilder b("counter_increment");
+  b.Lock(lock_id)
+      .IncM(0, 0)  // count++ (non-MOV: location gets invlctxt)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program MemFree(uint64_t lock_id) {
+  vm::ProgramBuilder b("mem_free");
+  b.Lock(lock_id)
+      .MovRM(3, 0, 0)   // r3 = head
+      .MovMR(1, 0, 3)   // blk->next = head
+      .MovMR(0, 0, 1)   // head = blk (production: blk ptr computed pre-CS)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program MemAlloc(uint64_t lock_id) {
+  vm::ProgramBuilder b("mem_alloc");
+  const int done = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(1, 0, 0)  // r1 = head (inherits freeing thread's context)
+      .CmpRI(1, 0)
+      .Je(done)
+      .MovRM(3, 1, 0)  // r3 = blk->next
+      .MovMR(0, 0, 3)  // head = blk->next
+      .Bind(done)
+      .Unlock(lock_id)
+      // Caller immediately uses the returned pointer:
+      .CmpRI(1, 0)     // consumption of r1 detected here
+      .Halt();
+  return b.Build();
+}
+
+vm::Program ListEnqueue(uint64_t lock_id) {
+  vm::ProgramBuilder b("list_enqueue");
+  const int nonempty = b.DefineLabel();
+  const int done = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovMI(1, 0, 0)   // elem->next = NULL (immediate -> invlctxt)
+      .MovMR(1, 8, 2)   // elem->payload = value (production)
+      .CmpMI(0, 0, 0)   // head == NULL ?
+      .Jne(nonempty)
+      .MovMR(0, 0, 1)   // head = elem (production of the pointer)
+      .MovMR(0, 8, 1)   // tail = elem
+      .Jmp(done)
+      .Bind(nonempty)
+      .MovRM(3, 0, 8)   // r3 = tail
+      .MovMR(3, 0, 1)   // tail->next = elem (production)
+      .MovMR(0, 8, 1)   // tail = elem
+      .Bind(done)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program ListDequeue(uint64_t lock_id) {
+  vm::ProgramBuilder b("list_dequeue");
+  const int empty = b.DefineLabel();
+  const int out = b.DefineLabel();
+  const int no_use = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(1, 0, 0)  // r1 = head (producer ctxt; or invalid if the
+                       // NULL that emptied the queue propagated here)
+      .CmpRI(1, 0)
+      .Je(empty)
+      .MovRM(3, 1, 0)  // r3 = elem->next
+      .MovMR(0, 0, 3)  // head = elem->next (may propagate NULL's invl)
+      .MovRM(2, 1, 8)  // r2 = elem->payload
+      .Jmp(out)
+      .Bind(empty)
+      .MovRI(2, 0)
+      .Bind(out)
+      .Unlock(lock_id)
+      // Caller checks and uses the dequeued element:
+      .CmpRI(1, 0)     // use of elem pointer (consume if context valid)
+      .Je(no_use)
+      .CmpRI(2, 0)     // use of payload
+      .Bind(no_use)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program TailqInsertTail(uint64_t lock_id) {
+  vm::ProgramBuilder b("tailq_insert_tail");
+  const int was_empty = b.DefineLabel();
+  const int set_tail = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovMI(1, 0, 0)    // e->next = NULL (invlctxt)
+      .MovRM(3, 0, 8)    // r3 = tail
+      .MovMR(1, 8, 3)    // e->prev = tail
+      .MovMR(1, 16, 2)   // e->payload = value (production)
+      .CmpMI(0, 0, 0)    // head == NULL?
+      .Je(was_empty)
+      .MovRM(4, 0, 8)    // r4 = tail
+      .MovMR(4, 0, 1)    // tail->next = e (production of the pointer)
+      .Jmp(set_tail)
+      .Bind(was_empty)
+      .MovMR(0, 0, 1)    // head = e
+      .Bind(set_tail)
+      .MovMR(0, 8, 1)    // tail = e
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program TailqInsertHead(uint64_t lock_id) {
+  vm::ProgramBuilder b("tailq_insert_head");
+  const int had_head = b.DefineLabel();
+  const int set_head = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovMI(1, 8, 0)    // e->prev = NULL
+      .MovRM(3, 0, 0)    // r3 = old head
+      .MovMR(1, 0, 3)    // e->next = old head
+      .MovMR(1, 16, 2)   // e->payload = value (production)
+      .CmpRI(3, 0)
+      .Jne(had_head)
+      .MovMR(0, 8, 1)    // tail = e (queue was empty)
+      .Jmp(set_head)
+      .Bind(had_head)
+      .MovMR(3, 8, 1)    // old_head->prev = e
+      .Bind(set_head)
+      .MovMR(0, 0, 1)    // head = e
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program TailqRemoveHead(uint64_t lock_id) {
+  vm::ProgramBuilder b("tailq_remove_head");
+  const int empty = b.DefineLabel();
+  const int fix_prev = b.DefineLabel();
+  const int load = b.DefineLabel();
+  const int out = b.DefineLabel();
+  const int done = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(1, 0, 0)    // r1 = head (carries its producer's context)
+      .CmpRI(1, 0)
+      .Je(empty)
+      .MovRM(3, 1, 0)    // r3 = head->next
+      .MovMR(0, 0, 3)    // head = next
+      .CmpRI(3, 0)
+      .Jne(fix_prev)
+      .MovMI(0, 8, 0)    // queue now empty: tail = NULL (invlctxt)
+      .Jmp(load)
+      .Bind(fix_prev)
+      .MovMI(3, 8, 0)    // next->prev = NULL (sanity store, invlctxt)
+      .Bind(load)
+      .MovRM(2, 1, 16)   // r2 = payload
+      .Jmp(out)
+      .Bind(empty)
+      .MovRI(2, 0)
+      .Bind(out)
+      .Unlock(lock_id)
+      .CmpRI(1, 0)       // caller checks/uses the element pointer
+      .Je(done)
+      .CmpRI(2, 0)       // and the payload
+      .Bind(done)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program RingEnqueue(uint64_t lock_id) {
+  vm::ProgramBuilder b("ring_enqueue");
+  const int store = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(3, 0, 8)    // r3 = tail index
+      .MovRR(4, 3)
+      .MulRI(4, 8)
+      .AddRR(4, 0)
+      .AddRI(4, 16)      // r4 = &slot[tail]
+      .MovMR(4, 0, 1)    // slot = value (production)
+      .AddRI(3, 1)       // advance (arith -> invl)
+      .CmpRI(3, kRingCapacity)
+      .Jl(store)
+      .MovRI(3, 0)       // wrap
+      .Bind(store)
+      .MovMR(0, 8, 3)    // tail = new index
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program RingDequeue(uint64_t lock_id) {
+  vm::ProgramBuilder b("ring_dequeue");
+  const int store = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(3, 0, 0)    // r3 = head index
+      .MovRR(4, 3)
+      .MulRI(4, 8)
+      .AddRR(4, 0)
+      .AddRI(4, 16)
+      .MovRM(1, 4, 0)    // r1 = slot value (inherits producer context)
+      .AddRI(3, 1)
+      .CmpRI(3, kRingCapacity)
+      .Jl(store)
+      .MovRI(3, 0)
+      .Bind(store)
+      .MovMR(0, 0, 3)    // head = new index
+      .Unlock(lock_id)
+      .CmpRI(1, 0)       // use the value
+      .Halt();
+  return b.Build();
+}
+
+vm::Program HeapInsert(uint64_t lock_id) {
+  vm::ProgramBuilder b("heap_insert");
+  const int done = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(3, 0, 0)    // r3 = count
+      .MovRR(4, 3)
+      .MulRI(4, 16)
+      .AddRR(4, 0)
+      .AddRI(4, 8)       // r4 = &slot[count]
+      .MovMR(4, 0, 1)    // slot.key = key (production)
+      .MovMR(4, 8, 2)    // slot.payload = payload (production)
+      .IncM(0, 0)        // count++
+      .CmpRI(3, 0)       // first element? nothing to sift
+      .Je(done)
+      .MovRM(5, 0, 8)    // r5 = root.key
+      .CmpRR(1, 5)       // new key < root key?
+      .Jge(done)
+      // One-level sift-up: swap the new element with the root. The
+      // elements MOVE between addresses; their transaction contexts
+      // must move with them (§3.2).
+      .MovRM(6, 0, 8)    // r6 = root.key      (context follows)
+      .MovRM(7, 0, 16)   // r7 = root.payload
+      .MovMM(0, 8, 4, 0)   // root.key = new.key
+      .MovMM(0, 16, 4, 8)  // root.payload = new.payload
+      .MovMR(4, 0, 6)    // slot.key = old root key
+      .MovMR(4, 8, 7)    // slot.payload = old root payload
+      .Bind(done)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program HeapExtractMin(uint64_t lock_id) {
+  vm::ProgramBuilder b("heap_extract_min");
+  const int out = b.DefineLabel();
+  b.Lock(lock_id)
+      .MovRM(1, 0, 8)    // r1 = root.key (min)
+      .MovRM(2, 0, 16)   // r2 = root.payload
+      .MovRM(3, 0, 0)    // r3 = count
+      .SubRI(3, 1)
+      .MovMR(0, 0, 3)    // count--
+      .CmpRI(3, 0)
+      .Je(out)
+      .MovRR(4, 3)
+      .MulRI(4, 16)
+      .AddRR(4, 0)
+      .AddRI(4, 8)       // r4 = &slot[last]
+      .MovMM(0, 8, 4, 0)   // root = last element (element move)
+      .MovMM(0, 16, 4, 8)
+      .Bind(out)
+      .Unlock(lock_id)
+      .CmpRI(1, 0)       // caller uses key and payload
+      .CmpRI(2, 0)
+      .Halt();
+  return b.Build();
+}
+
+vm::Program TableRead(uint64_t lock_id) {
+  vm::ProgramBuilder b("table_read");
+  b.Lock(lock_id)
+      .MovRR(4, 1)
+      .MulRI(4, 8)
+      .AddRR(4, 0)     // r4 = &row
+      .MovRM(3, 4, 0)  // r3 = row value
+      .Unlock(lock_id)
+      .CmpRI(3, 0)     // query code inspects the value it read
+      .Halt();
+  return b.Build();
+}
+
+vm::Program TableWrite(uint64_t lock_id) {
+  vm::ProgramBuilder b("table_write");
+  b.Lock(lock_id)
+      .MovRR(4, 1)
+      .MulRI(4, 8)
+      .AddRR(4, 0)     // r4 = &row
+      .MovMR(4, 0, 2)  // row = r2 (computed before the critical section)
+      .Unlock(lock_id)
+      .Halt();
+  return b.Build();
+}
+
+}  // namespace whodunit::shm

@@ -1,0 +1,116 @@
+// Canonical guest programs exercising the flow-detection algorithm.
+//
+// These are MiniVM renderings of the shared-memory access patterns the
+// paper discusses:
+//   * ApQueuePush / ApQueuePop  — Apache 2.x's fd_queue critical
+//     sections (Figure 1): the true producer-consumer pattern.
+//   * CounterIncrement          — the shared counter of Figure 2:
+//     shared state, but no transaction flow.
+//   * MemAlloc / MemFree        — the memory allocator of Figure 3:
+//     isomorphic to producer-consumer, demoted via role lists.
+//   * ListEnqueue / ListDequeue — a sys/queue.h-style linked queue
+//     with NULL sanity checks (§3.3.2), including the empty-queue
+//     NULL-propagation case.
+//   * TableRead / TableWrite    — a MySQL-like pattern: server threads
+//     both inspect and update rows under one lock (§3.4, §8.1).
+//
+// Register conventions are documented per program. All programs begin
+// with a Lock marker and end with Halt; consumers include their
+// post-critical-section "use" instructions so the consume window sees
+// them.
+#ifndef SRC_SHM_GUEST_CODE_H_
+#define SRC_SHM_GUEST_CODE_H_
+
+#include <cstdint>
+
+#include "src/vm/isa.h"
+#include "src/vm/loc.h"
+
+namespace whodunit::shm {
+
+// ---- Apache fd_queue (Figure 1) -------------------------------------
+// Memory layout at base Q (register r0):
+//   [Q+0]        nelts
+//   [Q+8+16*i]   data[i].sd
+//   [Q+16+16*i]  data[i].p
+inline constexpr int64_t kApQueueDataOffset = 8;
+inline constexpr int64_t kApQueueElemSize = 16;
+
+// ap_queue_push: r0 = queue base, r1 = sd, r2 = p.
+vm::Program ApQueuePush(uint64_t lock_id);
+
+// ap_queue_pop: r0 = queue base, r5 = &out_sd, r6 = &out_p.
+// After the critical section the caller uses *out_sd and *out_p
+// (loaded into r7/r8), which is where consumption is detected.
+vm::Program ApQueuePop(uint64_t lock_id);
+
+// ---- Shared counter (Figure 2) --------------------------------------
+// count++: r0 = &count.
+vm::Program CounterIncrement(uint64_t lock_id);
+
+// ---- Memory allocator (Figure 3) ------------------------------------
+// Free list head at [r0+0]; a block's word 0 is its next pointer.
+// mem_free: r0 = &head, r1 = block being freed.
+vm::Program MemFree(uint64_t lock_id);
+// mem_alloc: r0 = &head; returns block in r1 (0 if empty); the
+// post-critical-section use of r1 is included.
+vm::Program MemAlloc(uint64_t lock_id);
+
+// ---- Linked queue with NULL sanity checks (§3.3.2) -------------------
+// Queue at base Q (r0): [Q+0]=head, [Q+8]=tail.
+// Element at e: [e+0]=next, [e+8]=payload.
+// enqueue: r0 = queue, r1 = element, r2 = payload value.
+vm::Program ListEnqueue(uint64_t lock_id);
+// dequeue: r0 = queue; element in r1 (0 if empty), payload in r2;
+// post-critical-section uses of r1/r2 included.
+vm::Program ListDequeue(uint64_t lock_id);
+
+// ---- sys/queue.h TAILQ-style doubly-linked queue (§3.3.2) ------------
+// The paper: "We have verified the correctness of our algorithm on
+// test programs involving producers and consumers using the different
+// data structures implemented by sys/queue.h."
+// Queue at base Q (r0): [Q+0]=head, [Q+8]=tail.
+// Element e: [e+0]=next, [e+8]=prev, [e+16]=payload.
+// insert at tail: r0 = queue, r1 = element, r2 = payload.
+vm::Program TailqInsertTail(uint64_t lock_id);
+// insert at head: r0 = queue, r1 = element, r2 = payload.
+vm::Program TailqInsertHead(uint64_t lock_id);
+// remove from head: r0 = queue; element in r1, payload in r2;
+// post-critical-section uses included.
+vm::Program TailqRemoveHead(uint64_t lock_id);
+
+// ---- Fixed-capacity ring buffer ---------------------------------------
+// Ring at base Q (r0): [Q+0]=head index, [Q+8]=tail index,
+// slots at [Q+16 + 8*(i % kRingCapacity)].
+inline constexpr int64_t kRingCapacity = 8;
+// enqueue: r0 = ring, r1 = value (assumes not full).
+vm::Program RingEnqueue(uint64_t lock_id);
+// dequeue: r0 = ring; value in r1 (assumes not empty);
+// post-critical-section use included.
+vm::Program RingDequeue(uint64_t lock_id);
+
+// ---- Binary-heap priority queue (§3.2, element moves) -----------------
+// The paper: "producers and consumers may also move elements in the
+// queue to maintain the priority queue properties. Our algorithm
+// automatically detects that." A 2-level sift: the dequeue moves the
+// last element to the root and sifts it down one level — elements
+// change addresses, and their transaction contexts must follow.
+// Heap at base Q (r0): [Q+0]=count, slots of (key, payload) pairs at
+// [Q+8 + 16*i]: key at +0, payload at +8.
+// insert: r0 = heap, r1 = key, r2 = payload (appends then sifts up one
+// level if smaller than the root).
+vm::Program HeapInsert(uint64_t lock_id);
+// extract-min: r0 = heap; key in r1, payload in r2; moves the last
+// element to the root; post-critical-section uses included.
+vm::Program HeapExtractMin(uint64_t lock_id);
+
+// ---- MySQL-like table access (§3.4, §8.1) ----------------------------
+// Table rows at [r0 + 8*i].
+// Reads row r1 into r3 and uses it after the critical section.
+vm::Program TableRead(uint64_t lock_id);
+// Writes the pre-computed value r2 into row r1.
+vm::Program TableWrite(uint64_t lock_id);
+
+}  // namespace whodunit::shm
+
+#endif  // SRC_SHM_GUEST_CODE_H_

@@ -1,0 +1,110 @@
+// Message channels between simulated stages.
+//
+// A Channel models any of the paper's explicit producer/consumer
+// conduits: a socket between machines (latency > 0), a pipe, or an
+// in-process queue (latency == 0). Delivery is FIFO; receivers block
+// (suspend) until a message or channel close arrives.
+#ifndef SRC_SIM_CHANNEL_H_
+#define SRC_SIM_CHANNEL_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace whodunit::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched, SimTime latency = 0) : sched_(sched), latency_(latency) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Enqueues a message; it becomes receivable `latency` ns from now.
+  // Safe to call from plain code or from a coroutine.
+  void Send(T msg) {
+    ++messages_sent_;
+    sched_.ScheduleAfter(latency_, [this, m = std::move(msg)]() mutable { Deliver(std::move(m)); });
+  }
+
+  // Awaitable: co_await ch.Receive() yields std::optional<T>;
+  // std::nullopt means the channel was closed and drained.
+  struct ReceiveAwaiter {
+    Channel& ch;
+    std::optional<T> result;
+
+    bool await_ready() {
+      if (!ch.buffer_.empty()) {
+        result = std::move(ch.buffer_.front());
+        ch.buffer_.pop_front();
+        return true;
+      }
+      if (ch.closed_) {
+        return true;  // result stays nullopt
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch.receivers_.push_back(PendingReceiver{this, h});
+    }
+    std::optional<T> await_resume() { return std::move(result); }
+  };
+  ReceiveAwaiter Receive() { return ReceiveAwaiter{*this, std::nullopt}; }
+
+  // Closes the channel: blocked and future receivers get std::nullopt
+  // once buffered messages are drained. The close travels in-band — it
+  // is delivered through the scheduler after the channel latency, so it
+  // never overtakes messages already sent.
+  void Close() {
+    sched_.ScheduleAfter(latency_, [this] {
+      closed_ = true;
+      // Wake all blocked receivers with nullopt; buffered messages were
+      // already matched to receivers in Deliver, so the buffer is empty
+      // whenever receivers_ is non-empty.
+      while (!receivers_.empty()) {
+        PendingReceiver r = receivers_.front();
+        receivers_.pop_front();
+        sched_.ResumeAfter(0, r.handle);
+      }
+    });
+  }
+
+  bool closed() const { return closed_; }
+  size_t pending() const { return buffer_.size(); }
+  size_t blocked_receivers() const { return receivers_.size(); }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct PendingReceiver {
+    ReceiveAwaiter* awaiter;
+    std::coroutine_handle<> handle;
+  };
+
+  void Deliver(T msg) {
+    if (!receivers_.empty()) {
+      PendingReceiver r = receivers_.front();
+      receivers_.pop_front();
+      r.awaiter->result = std::move(msg);
+      r.handle.resume();
+      return;
+    }
+    buffer_.push_back(std::move(msg));
+  }
+
+  Scheduler& sched_;
+  SimTime latency_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  std::deque<PendingReceiver> receivers_;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_CHANNEL_H_

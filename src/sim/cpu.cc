@@ -1,0 +1,48 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace whodunit::sim {
+
+CpuResource::CpuResource(Scheduler& sched, int cores, std::string name)
+    : sched_(sched), name_(std::move(name)) {
+  core_free_.assign(static_cast<size_t>(cores < 1 ? 1 : cores), 0);
+  std::make_heap(core_free_.begin(), core_free_.end(), std::greater<>());
+}
+
+SimTime CpuResource::Reserve(SimTime cost) {
+  std::pop_heap(core_free_.begin(), core_free_.end(), std::greater<>());
+  SimTime start = std::max(sched_.now(), core_free_.back());
+  SimTime finish = start + cost;
+  core_free_.back() = finish;
+  std::push_heap(core_free_.begin(), core_free_.end(), std::greater<>());
+  busy_ += cost;
+  ++requests_;
+  if (hook_) {
+    hook_(cost);
+  }
+  return finish;
+}
+
+bool CpuResource::ConsumeAwaiter::await_ready() {
+  if (cost <= 0) {
+    return true;
+  }
+  finish_at = cpu.Reserve(cost);
+  return false;
+}
+
+void CpuResource::ConsumeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  cpu.sched_.ResumeAt(finish_at, h);
+}
+
+double CpuResource::Utilization(SimTime window) const {
+  if (window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_) /
+         (static_cast<double>(window) * static_cast<double>(core_free_.size()));
+}
+
+}  // namespace whodunit::sim

@@ -1,0 +1,75 @@
+// CPU resources: where simulated work costs virtual time.
+//
+// Every stage (web server, proxy, database...) runs on a CpuResource
+// with a fixed core count. Consuming S ns of service occupies one core
+// for S ns; when all cores are busy, requests queue FIFO. Saturation of
+// a stage's CPU is what produces the throughput plateaus in the
+// reproduced Figures 11/12.
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace whodunit::sim {
+
+class CpuResource {
+ public:
+  // A hook invoked for every Consume with the service cost actually
+  // charged; the sampling profiler uses it to attribute CPU time to the
+  // transaction context current at the call site.
+  using ConsumeHook = std::function<void(SimTime cost)>;
+
+  CpuResource(Scheduler& sched, int cores, std::string name = "cpu");
+
+  CpuResource(const CpuResource&) = delete;
+  CpuResource& operator=(const CpuResource&) = delete;
+
+  // Awaitable: co_await cpu.Consume(cost). The awaiting process is
+  // resumed once `cost` ns of service have been rendered (queueing
+  // included). Zero/negative costs complete immediately.
+  struct ConsumeAwaiter {
+    CpuResource& cpu;
+    SimTime cost;
+    SimTime finish_at = 0;
+
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  ConsumeAwaiter Consume(SimTime cost) { return ConsumeAwaiter{*this, cost}; }
+
+  void set_consume_hook(ConsumeHook hook) { hook_ = std::move(hook); }
+
+  int cores() const { return static_cast<int>(core_free_.size()); }
+  const std::string& name() const { return name_; }
+  SimTime busy_time() const { return busy_; }
+  uint64_t requests() const { return requests_; }
+
+  // Fraction of capacity used over [0, window]; window must be > 0.
+  double Utilization(SimTime window) const;
+
+ private:
+  friend struct ConsumeAwaiter;
+
+  // Reserves a core: returns the finish time for `cost` ns of work
+  // starting no earlier than now.
+  SimTime Reserve(SimTime cost);
+
+  Scheduler& sched_;
+  std::string name_;
+  std::vector<SimTime> core_free_;  // min-heap of core-available times
+  SimTime busy_ = 0;
+  uint64_t requests_ = 0;
+  ConsumeHook hook_;
+};
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_CPU_H_

@@ -1,0 +1,54 @@
+#include "src/sim/scheduler.h"
+
+#include <utility>
+
+namespace whodunit::sim {
+
+void Scheduler::ScheduleAt(SimTime t, Callback cb) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Item{t, next_seq_++, std::move(cb)});
+}
+
+void Scheduler::ScheduleAfter(SimTime dt, Callback cb) {
+  ScheduleAt(now_ + (dt < 0 ? 0 : dt), std::move(cb));
+}
+
+void Scheduler::ResumeAt(SimTime t, std::coroutine_handle<> h) {
+  ScheduleAt(t, [h] { h.resume(); });
+}
+
+void Scheduler::ResumeAfter(SimTime dt, std::coroutine_handle<> h) {
+  ScheduleAfter(dt, [h] { h.resume(); });
+}
+
+void Scheduler::Run() {
+  while (Step()) {
+  }
+}
+
+void Scheduler::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping: the callback may schedule
+  // new events, which can reallocate the heap's storage.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.time;
+  ++events_executed_;
+  item.cb();
+  return true;
+}
+
+}  // namespace whodunit::sim

@@ -1,0 +1,84 @@
+// Discrete-event scheduler: the heart of the virtual-time simulator.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace whodunit::sim {
+
+// A calendar of (virtual time, callback) events executed in time order.
+//
+// Ties are broken by insertion order (FIFO), which keeps simulations
+// deterministic when many events share a timestamp. The scheduler is
+// deliberately minimal: coroutine awaitables (Delay, locks, channels,
+// CPU) build on ScheduleAt/ScheduleAfter.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Enqueues cb to run at absolute virtual time t (>= now).
+  void ScheduleAt(SimTime t, Callback cb);
+
+  // Enqueues cb to run dt nanoseconds from now (dt < 0 is clamped to 0).
+  void ScheduleAfter(SimTime dt, Callback cb);
+
+  // Convenience: resume a coroutine at/after a time.
+  void ResumeAt(SimTime t, std::coroutine_handle<> h);
+  void ResumeAfter(SimTime dt, std::coroutine_handle<> h);
+
+  // Runs events until the calendar is empty.
+  void Run();
+
+  // Runs events with time <= t, then sets now to t. Events scheduled
+  // beyond t stay queued.
+  void RunUntil(SimTime t);
+
+  // Executes the single earliest event; returns false if none.
+  bool Step();
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+// Awaitable that suspends the current coroutine for dt virtual ns.
+// Usage: co_await Delay{sched, Micros(5)};
+struct Delay {
+  Scheduler& sched;
+  SimTime dt;
+
+  bool await_ready() const noexcept { return dt <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const { sched.ResumeAfter(dt, h); }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,186 @@
+// Coroutine types for simulated processes.
+//
+// Two shapes cover everything the applications need:
+//
+//  * Task<T>  — a lazily-started awaitable coroutine. Used for nested
+//    calls inside a simulated thread of control ("call this simulated
+//    subroutine and wait for its result"). Completion resumes the
+//    awaiter by symmetric transfer, so arbitrarily deep chains do not
+//    grow the host stack.
+//
+//  * Process  — a detached root coroutine representing one simulated
+//    thread (a server worker, a client, an event loop). It is scheduled
+//    to start via Scheduler::Spawn-like helpers and self-destroys when
+//    it finishes.
+//
+// Exceptions escaping a simulated process indicate a bug in the
+// simulation itself, so both types terminate on unhandled exceptions.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/sim/scheduler.h"
+
+namespace whodunit::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace internal {
+
+template <typename Promise>
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::abort(); }
+};
+
+}  // namespace internal
+
+// Lazily-started awaitable coroutine returning T.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::TaskPromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::TaskFinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { Destroy(); }
+
+  // Awaiting a Task starts it and suspends the awaiter until it
+  // completes; the Task's result becomes the await expression's value.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::TaskPromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::TaskFinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// A detached root coroutine: one simulated thread of control.
+//
+// The frame self-destroys at completion (final_suspend never suspends),
+// so a Process must not be awaited; synchronization happens through
+// channels, locks, or plain counters in the enclosing harness.
+class Process {
+ public:
+  struct promise_type {
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::abort(); }
+  };
+
+  // Schedules the process to begin at the scheduler's current time.
+  void Start(Scheduler& sched) && {
+    auto h = std::exchange(handle_, nullptr);
+    sched.ResumeAfter(0, h);
+  }
+
+  // Schedules the process to begin dt ns from now.
+  void StartAfter(Scheduler& sched, SimTime dt) && {
+    auto h = std::exchange(handle_, nullptr);
+    sched.ResumeAfter(dt, h);
+  }
+
+ private:
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// Spawns a process coroutine: Spawn(sched, SomeCoroutine(args...)).
+inline void Spawn(Scheduler& sched, Process p) { std::move(p).Start(sched); }
+inline void SpawnAfter(Scheduler& sched, SimTime dt, Process p) {
+  std::move(p).StartAfter(sched, dt);
+}
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,29 @@
+// Virtual time for the discrete-event simulator.
+//
+// All experiment timing in this reproduction is virtual: the simulator
+// advances a nanosecond-resolution clock only when work is modelled.
+// That makes every throughput/latency result deterministic and
+// independent of the host machine (the paper's testbed is unavailable;
+// see DESIGN.md §2).
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace whodunit::sim {
+
+// Nanoseconds of virtual time. Signed so that durations subtract
+// naturally; 2^63 ns is ~292 years, far beyond any run.
+using SimTime = int64_t;
+
+constexpr SimTime Nanos(int64_t n) { return n; }
+constexpr SimTime Micros(int64_t us) { return us * 1000; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000000; }
+constexpr SimTime Seconds(int64_t s) { return s * 1000000000; }
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_TIME_H_

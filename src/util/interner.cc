@@ -1,0 +1,23 @@
+#include "src/util/interner.h"
+
+namespace whodunit::util {
+
+uint32_t StringInterner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t StringInterner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& StringInterner::NameOf(uint32_t id) const { return names_.at(id); }
+
+}  // namespace whodunit::util

@@ -1,0 +1,40 @@
+// String interning: stable small integer ids for names.
+//
+// The profiler manipulates function names, handler names and stage
+// names constantly; interning makes call paths and transaction contexts
+// cheap vectors of 32-bit ids instead of string lists.
+#ifndef SRC_UTIL_INTERNER_H_
+#define SRC_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace whodunit::util {
+
+// Bidirectional string <-> id map. Ids are dense, starting at 0.
+class StringInterner {
+ public:
+  // Returns the id for name, creating one if new.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the id if present, or kNotFound.
+  uint32_t Find(std::string_view name) const;
+
+  // Name for an interned id; id must be < size().
+  const std::string& NameOf(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_INTERNER_H_

@@ -1,0 +1,54 @@
+// Streaming statistics used by the experiment harnesses.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace whodunit::util {
+
+// Welford-style running mean/variance with min/max tracking.
+// Numerically stable for the long accumulation runs the benchmarks do.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 if count < 2
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another accumulator into this one (parallel-merge formula).
+  void Merge(const RunningStat& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains every sample; offers exact quantiles. Used for response-time
+// distributions where the harness reports medians/percentiles.
+class SampleSet {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return samples_.size(); }
+  double mean() const;
+  // q in [0, 1]; nearest-rank quantile. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_STATS_H_

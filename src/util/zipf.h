@@ -1,0 +1,36 @@
+// Zipf-distributed sampling over a fixed universe of n items.
+//
+// Web object popularity (the Rice trace) and TPC-W item popularity are
+// both well-modelled by Zipf-like distributions; the skew is what makes
+// the proxy/servlet caches in the reproduced experiments effective.
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace whodunit::util {
+
+// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^theta.
+//
+// Uses a precomputed CDF and binary search: O(n) setup, O(log n) per
+// draw, exact (no rejection), deterministic given the Rng.
+class ZipfSampler {
+ public:
+  // n must be >= 1; theta >= 0 (0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double theta);
+
+  // Draws a rank in [0, n); rank 0 is the most popular item.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t universe_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_ZIPF_H_

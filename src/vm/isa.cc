@@ -1,0 +1,167 @@
+#include "src/vm/isa.h"
+
+#include <sstream>
+
+namespace whodunit::vm {
+
+int64_t DirectCycles(Opcode op) {
+  switch (op) {
+    case Opcode::kMovRR:
+    case Opcode::kMovRI:
+    case Opcode::kAddRR:
+    case Opcode::kAddRI:
+    case Opcode::kSubRI:
+    case Opcode::kCmpRI:
+    case Opcode::kCmpRR:
+    case Opcode::kNop:
+      return 1;
+    case Opcode::kMulRI:
+      return 3;
+    case Opcode::kMovRM:
+    case Opcode::kMovMR:
+    case Opcode::kMovMI:
+    case Opcode::kCmpMI:
+      return 3;
+    case Opcode::kMovMM:
+    case Opcode::kIncM:
+    case Opcode::kDecM:
+    case Opcode::kAddMI:
+      return 5;
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJge:
+      return 2;
+    case Opcode::kLock:
+    case Opcode::kUnlock:
+      // Uncontended atomic + fence, the dominant direct-execution cost
+      // of the tiny Apache critical sections (Table 3: ~110-130 cycles
+      // total, mostly lock/unlock).
+      return 45;
+    case Opcode::kHalt:
+      return 0;
+  }
+  return 1;
+}
+
+int64_t EmulateCycles(Opcode op) {
+  // Dispatch + operand decode + hook delivery per emulated
+  // instruction; memory operations pay an extra soft-TLB-ish cost.
+  switch (op) {
+    case Opcode::kMovRM:
+    case Opcode::kMovMR:
+    case Opcode::kMovMI:
+    case Opcode::kMovMM:
+    case Opcode::kIncM:
+    case Opcode::kDecM:
+    case Opcode::kAddMI:
+    case Opcode::kCmpMI:
+      return 1400;
+    case Opcode::kLock:
+    case Opcode::kUnlock:
+      return 1500;
+    case Opcode::kHalt:
+      return 80;
+    default:
+      return 800;
+  }
+}
+
+int64_t TranslateCycles(Opcode op) {
+  // Decoding guest code, building the intermediate representation, and
+  // emitting the translated block: one-time cost, far larger than
+  // executing the cached translation (QEMU's behaviour in Table 3).
+  (void)op;
+  return 4200;
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kMovRR: return "mov_rr";
+    case Opcode::kMovRI: return "mov_ri";
+    case Opcode::kMovRM: return "mov_rm";
+    case Opcode::kMovMR: return "mov_mr";
+    case Opcode::kMovMI: return "mov_mi";
+    case Opcode::kMovMM: return "mov_mm";
+    case Opcode::kAddRR: return "add_rr";
+    case Opcode::kAddRI: return "add_ri";
+    case Opcode::kSubRI: return "sub_ri";
+    case Opcode::kMulRI: return "mul_ri";
+    case Opcode::kIncM: return "inc_m";
+    case Opcode::kDecM: return "dec_m";
+    case Opcode::kAddMI: return "add_mi";
+    case Opcode::kCmpRI: return "cmp_ri";
+    case Opcode::kCmpRR: return "cmp_rr";
+    case Opcode::kCmpMI: return "cmp_mi";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJe: return "je";
+    case Opcode::kJne: return "jne";
+    case Opcode::kJl: return "jl";
+    case Opcode::kJge: return "jge";
+    case Opcode::kLock: return "lock";
+    case Opcode::kUnlock: return "unlock";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string Disassemble(const Program& program) {
+  std::ostringstream out;
+  out << program.name << ":\n";
+  for (size_t i = 0; i < program.code.size(); ++i) {
+    const Instruction& ins = program.code[i];
+    out << "  " << i << ": " << OpcodeName(ins.op);
+    switch (ins.op) {
+      case Opcode::kMovRR:
+      case Opcode::kAddRR:
+      case Opcode::kCmpRR:
+        out << " r" << int{ins.r1} << ", r" << int{ins.r2};
+        break;
+      case Opcode::kMovRI:
+      case Opcode::kAddRI:
+      case Opcode::kSubRI:
+      case Opcode::kMulRI:
+      case Opcode::kCmpRI:
+        out << " r" << int{ins.r1} << ", " << ins.imm;
+        break;
+      case Opcode::kMovRM:
+        out << " r" << int{ins.r1} << ", [r" << int{ins.m1.base} << "+" << ins.m1.disp << "]";
+        break;
+      case Opcode::kMovMR:
+        out << " [r" << int{ins.m1.base} << "+" << ins.m1.disp << "], r" << int{ins.r1};
+        break;
+      case Opcode::kMovMI:
+      case Opcode::kAddMI:
+      case Opcode::kCmpMI:
+        out << " [r" << int{ins.m1.base} << "+" << ins.m1.disp << "], " << ins.imm;
+        break;
+      case Opcode::kMovMM:
+        out << " [r" << int{ins.m1.base} << "+" << ins.m1.disp << "], [r" << int{ins.m2.base}
+            << "+" << ins.m2.disp << "]";
+        break;
+      case Opcode::kIncM:
+      case Opcode::kDecM:
+        out << " [r" << int{ins.m1.base} << "+" << ins.m1.disp << "]";
+        break;
+      case Opcode::kJmp:
+      case Opcode::kJe:
+      case Opcode::kJne:
+      case Opcode::kJl:
+      case Opcode::kJge:
+        out << " -> " << ins.target;
+        break;
+      case Opcode::kLock:
+      case Opcode::kUnlock:
+        out << " #" << ins.imm;
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace whodunit::vm

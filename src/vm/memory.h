@@ -1,0 +1,40 @@
+// Sparse 64-bit word memory for MiniVM guest code.
+//
+// One Memory instance is the shared address space of one simulated
+// multithreaded process; all that process's guest programs (and all
+// its simulated threads) read and write it.
+#ifndef SRC_VM_MEMORY_H_
+#define SRC_VM_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/vm/loc.h"
+
+namespace whodunit::vm {
+
+class Memory {
+ public:
+  // Unwritten words read as zero (like freshly mapped pages).
+  uint64_t Read(Addr a) const {
+    auto it = words_.find(a);
+    return it == words_.end() ? 0 : it->second;
+  }
+
+  void Write(Addr a, uint64_t v) { words_[a] = v; }
+
+  size_t footprint_words() const { return words_.size(); }
+
+  // Sorted copy of all written words; for test comparisons and dumps.
+  std::map<Addr, uint64_t> Snapshot() const {
+    return std::map<Addr, uint64_t>(words_.begin(), words_.end());
+  }
+
+ private:
+  std::unordered_map<Addr, uint64_t> words_;
+};
+
+}  // namespace whodunit::vm
+
+#endif  // SRC_VM_MEMORY_H_

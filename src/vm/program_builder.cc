@@ -1,0 +1,114 @@
+#include "src/vm/program_builder.h"
+
+#include <cassert>
+#include <utility>
+
+namespace whodunit::vm {
+namespace {
+
+uint64_t NextProgramId() {
+  static uint64_t next = 1;
+  return next++;
+}
+
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+ProgramBuilder& ProgramBuilder::Emit(Instruction ins) {
+  code_.push_back(ins);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::MovRR(uint8_t dst, uint8_t src) {
+  return Emit({.op = Opcode::kMovRR, .r1 = dst, .r2 = src});
+}
+ProgramBuilder& ProgramBuilder::MovRI(uint8_t dst, int64_t imm) {
+  return Emit({.op = Opcode::kMovRI, .r1 = dst, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::MovRM(uint8_t dst, uint8_t base, int64_t disp) {
+  return Emit({.op = Opcode::kMovRM, .r1 = dst, .m1 = {base, disp}});
+}
+ProgramBuilder& ProgramBuilder::MovMR(uint8_t base, int64_t disp, uint8_t src) {
+  return Emit({.op = Opcode::kMovMR, .r1 = src, .m1 = {base, disp}});
+}
+ProgramBuilder& ProgramBuilder::MovMI(uint8_t base, int64_t disp, int64_t imm) {
+  return Emit({.op = Opcode::kMovMI, .m1 = {base, disp}, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::MovMM(uint8_t dst_base, int64_t dst_disp, uint8_t src_base,
+                                      int64_t src_disp) {
+  return Emit({.op = Opcode::kMovMM, .m1 = {dst_base, dst_disp}, .m2 = {src_base, src_disp}});
+}
+ProgramBuilder& ProgramBuilder::AddRR(uint8_t dst, uint8_t src) {
+  return Emit({.op = Opcode::kAddRR, .r1 = dst, .r2 = src});
+}
+ProgramBuilder& ProgramBuilder::AddRI(uint8_t dst, int64_t imm) {
+  return Emit({.op = Opcode::kAddRI, .r1 = dst, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::SubRI(uint8_t dst, int64_t imm) {
+  return Emit({.op = Opcode::kSubRI, .r1 = dst, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::MulRI(uint8_t dst, int64_t imm) {
+  return Emit({.op = Opcode::kMulRI, .r1 = dst, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::IncM(uint8_t base, int64_t disp) {
+  return Emit({.op = Opcode::kIncM, .m1 = {base, disp}});
+}
+ProgramBuilder& ProgramBuilder::DecM(uint8_t base, int64_t disp) {
+  return Emit({.op = Opcode::kDecM, .m1 = {base, disp}});
+}
+ProgramBuilder& ProgramBuilder::AddMI(uint8_t base, int64_t disp, int64_t imm) {
+  return Emit({.op = Opcode::kAddMI, .m1 = {base, disp}, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::CmpRI(uint8_t reg, int64_t imm) {
+  return Emit({.op = Opcode::kCmpRI, .r1 = reg, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::CmpRR(uint8_t a, uint8_t b) {
+  return Emit({.op = Opcode::kCmpRR, .r1 = a, .r2 = b});
+}
+ProgramBuilder& ProgramBuilder::CmpMI(uint8_t base, int64_t disp, int64_t imm) {
+  return Emit({.op = Opcode::kCmpMI, .m1 = {base, disp}, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::Nop() { return Emit({.op = Opcode::kNop}); }
+ProgramBuilder& ProgramBuilder::Halt() { return Emit({.op = Opcode::kHalt}); }
+ProgramBuilder& ProgramBuilder::Lock(uint64_t lock_id) {
+  return Emit({.op = Opcode::kLock, .imm = static_cast<int64_t>(lock_id)});
+}
+ProgramBuilder& ProgramBuilder::Unlock(uint64_t lock_id) {
+  return Emit({.op = Opcode::kUnlock, .imm = static_cast<int64_t>(lock_id)});
+}
+
+int ProgramBuilder::DefineLabel() {
+  label_targets_.push_back(-1);
+  return static_cast<int>(label_targets_.size()) - 1;
+}
+
+ProgramBuilder& ProgramBuilder::Bind(int label) {
+  label_targets_[static_cast<size_t>(label)] = static_cast<int32_t>(code_.size());
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::EmitJump(Opcode op, int label) {
+  fixups_.emplace_back(code_.size(), label);
+  return Emit({.op = op});
+}
+ProgramBuilder& ProgramBuilder::Jmp(int label) { return EmitJump(Opcode::kJmp, label); }
+ProgramBuilder& ProgramBuilder::Je(int label) { return EmitJump(Opcode::kJe, label); }
+ProgramBuilder& ProgramBuilder::Jne(int label) { return EmitJump(Opcode::kJne, label); }
+ProgramBuilder& ProgramBuilder::Jl(int label) { return EmitJump(Opcode::kJl, label); }
+ProgramBuilder& ProgramBuilder::Jge(int label) { return EmitJump(Opcode::kJge, label); }
+
+Program ProgramBuilder::Build() {
+  for (const auto& [instr, label] : fixups_) {
+    const int32_t target = label_targets_[static_cast<size_t>(label)];
+    assert(target >= 0 && "jump to unbound label");
+    code_[instr].target = target;
+  }
+  Program p;
+  p.name = name_;
+  p.code = std::move(code_);
+  p.id = NextProgramId();
+  return p;
+}
+
+}  // namespace whodunit::vm

@@ -1,0 +1,74 @@
+// Fluent assembler for MiniVM programs.
+//
+// Guest code in this reproduction (the Apache queue critical sections,
+// allocators, counters, sys/queue.h-style lists) is written against
+// this builder; see src/shm/guest_code.h for the canonical programs.
+#ifndef SRC_VM_PROGRAM_BUILDER_H_
+#define SRC_VM_PROGRAM_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vm/isa.h"
+
+namespace whodunit::vm {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // Register-register / immediate moves and arithmetic.
+  ProgramBuilder& MovRR(uint8_t dst, uint8_t src);
+  ProgramBuilder& MovRI(uint8_t dst, int64_t imm);
+  ProgramBuilder& MovRM(uint8_t dst, uint8_t base, int64_t disp = 0);
+  ProgramBuilder& MovMR(uint8_t base, int64_t disp, uint8_t src);
+  ProgramBuilder& MovMI(uint8_t base, int64_t disp, int64_t imm);
+  ProgramBuilder& MovMM(uint8_t dst_base, int64_t dst_disp, uint8_t src_base, int64_t src_disp);
+  ProgramBuilder& AddRR(uint8_t dst, uint8_t src);
+  ProgramBuilder& AddRI(uint8_t dst, int64_t imm);
+  ProgramBuilder& SubRI(uint8_t dst, int64_t imm);
+  ProgramBuilder& MulRI(uint8_t dst, int64_t imm);
+  ProgramBuilder& IncM(uint8_t base, int64_t disp = 0);
+  ProgramBuilder& DecM(uint8_t base, int64_t disp = 0);
+  ProgramBuilder& AddMI(uint8_t base, int64_t disp, int64_t imm);
+  ProgramBuilder& CmpRI(uint8_t reg, int64_t imm);
+  ProgramBuilder& CmpRR(uint8_t a, uint8_t b);
+  ProgramBuilder& CmpMI(uint8_t base, int64_t disp, int64_t imm);
+  ProgramBuilder& Nop();
+  ProgramBuilder& Halt();
+
+  // Critical-section markers. The id names the lock; the flow detector
+  // keys its per-lock state on it.
+  ProgramBuilder& Lock(uint64_t lock_id);
+  ProgramBuilder& Unlock(uint64_t lock_id);
+
+  // Labels and branches. DefineLabel returns a label handle; Bind
+  // attaches it to the next instruction; jumps may reference labels
+  // bound later (fixed up in Build).
+  int DefineLabel();
+  ProgramBuilder& Bind(int label);
+  ProgramBuilder& Jmp(int label);
+  ProgramBuilder& Je(int label);
+  ProgramBuilder& Jne(int label);
+  ProgramBuilder& Jl(int label);
+  ProgramBuilder& Jge(int label);
+
+  // Finalizes: resolves labels, assigns a fresh program id.
+  Program Build();
+
+  size_t size() const { return code_.size(); }
+
+ private:
+  ProgramBuilder& Emit(Instruction ins);
+  ProgramBuilder& EmitJump(Opcode op, int label);
+
+  std::string name_;
+  std::vector<Instruction> code_;
+  std::vector<int32_t> label_targets_;          // label -> instruction index (-1 unbound)
+  std::vector<std::pair<size_t, int>> fixups_;  // (instruction, label)
+};
+
+}  // namespace whodunit::vm
+
+#endif  // SRC_VM_PROGRAM_BUILDER_H_

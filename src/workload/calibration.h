@@ -1,0 +1,104 @@
+// Calibration constants for the reproduced experiments.
+//
+// The paper's absolute numbers come from a 2.4 GHz Pentium Xeon
+// cluster on switched Gigabit Ethernet that we do not have; instead,
+// every cost constant the simulation uses is defined here, chosen once
+// so the BASELINE operating points land near the paper's (TPC-W
+// no-cache peak ≈ 1184 tx/min; Apache peak ≈ 390 Mb/s; AdminConfirm
+// ≈ 640 ms at 100 clients), and then held fixed while experiments vary
+// only the mechanism under test. EXPERIMENTS.md records paper-vs-
+// measured for every figure and table.
+#ifndef SRC_WORKLOAD_CALIBRATION_H_
+#define SRC_WORKLOAD_CALIBRATION_H_
+
+#include "src/sim/time.h"
+
+namespace whodunit::workload {
+
+// ---- Hardware model ---------------------------------------------------
+// 2.4 GHz: cycles <-> virtual nanoseconds.
+inline constexpr double kCyclesPerNanosecond = 2.4;
+inline constexpr sim::SimTime CyclesToNs(int64_t cycles) {
+  return static_cast<sim::SimTime>(static_cast<double>(cycles) / kCyclesPerNanosecond);
+}
+
+// Switched gigabit ethernet: ~30 us one-way for small messages.
+inline constexpr sim::SimTime kLanLatency = sim::Micros(30);
+// Wire time per byte at 1 Gb/s ≈ 0.8 ns (modelled only where byte
+// volume matters, i.e. large response bodies).
+inline constexpr double kWireNsPerByte = 0.8;
+
+// ---- Profiler costs (paper §9.1) ---------------------------------------
+// gprof's default sampling frequency on the paper's platform: 666 Hz.
+inline constexpr sim::SimTime kSamplePeriod = 1501501;  // ns
+// One csprof sample: signal delivery + stack walk.
+inline constexpr sim::SimTime kPerSampleCost = sim::Nanos(900);
+// gprof mcount per procedure entry.
+inline constexpr sim::SimTime kPerCallCost = sim::Nanos(120);
+// Whodunit synopsis compute/propagate per message.
+inline constexpr sim::SimTime kPerMessageContextCost = sim::Nanos(250);
+
+// ---- Web server / proxy / SEDA costs ------------------------------------
+// Per-request protocol work (parse, headers, logging).
+inline constexpr sim::SimTime kHttpParseCost = sim::Micros(25);
+// sendfile-style transmit cost per byte (dominates large responses).
+inline constexpr double kSendNsPerByte = 37.0;
+// Accept path: kernel accept + connection setup.
+inline constexpr sim::SimTime kAcceptCost = sim::Micros(18);
+// Proxy cache lookup / store.
+inline constexpr sim::SimTime kCacheLookupCost = sim::Micros(8);
+// Origin server service per request (disk cache hit at the origin).
+inline constexpr sim::SimTime kOriginServiceCost = sim::Micros(120);
+// Proxy data path cost per byte (userspace recv+send, no sendfile).
+inline constexpr double kProxyNsPerByte = 18.0;
+// Whodunit's per-event-dispatch tracking work in an instrumented event
+// library (context concat, pruning, annotation) — the source of the
+// §9.3 Squid/Haboob overheads.
+inline constexpr sim::SimTime kPerEventTrackingCost = sim::Nanos(3500);
+// Proxy object cache capacity (objects).
+inline constexpr size_t kProxyCacheObjects = 2500;
+// Per-stage-dispatch tracking work in the instrumented SEDA middleware
+// (Java object allocation + hashtable update per queue element).
+inline constexpr sim::SimTime kSedaTrackingCost = sim::Micros(15);
+// SEDA per-stage dispatch overhead (queue + scheduling), making the
+// SEDA server markedly slower than Apache — Haboob peaks at ~31 Mb/s
+// vs Apache's ~394 Mb/s in the paper.
+inline constexpr sim::SimTime kSedaStageDispatchCost = sim::Micros(150);
+inline constexpr double kSedaSendNsPerByte = 300.0;  // Java I/O path
+
+// ---- Rice web trace model ----------------------------------------------
+inline constexpr uint64_t kTraceObjects = 20000;
+inline constexpr double kTraceZipfTheta = 0.85;
+inline constexpr uint64_t kTraceMinObjectBytes = 1200;
+inline constexpr uint64_t kTraceMaxObjectBytes = 2 * 1024 * 1024;
+// Requests per connection before the client reconnects (the paper's
+// §9.2 workload: "open new connections, send a few HTTP requests over
+// them, close").
+inline constexpr int kRequestsPerConnectionMean = 6;
+
+// ---- TPC-W model ---------------------------------------------------------
+// Closed-loop client think time (TPC-W browsing mix).
+inline constexpr sim::SimTime kTpcwThinkTimeMean = sim::Millis(7000);
+// Tomcat servlet page generation per dynamic interaction.
+inline constexpr sim::SimTime kServletCost = sim::Millis(22);
+// Serving a cached BestSellers/SearchResult page from the servlet cache.
+inline constexpr sim::SimTime kServletCacheHitCost = sim::Millis(2);
+// Squid work per forwarded dynamic request (miss path).
+inline constexpr sim::SimTime kProxyForwardCost = sim::Micros(600);
+// Squid work per cached static object (images).
+inline constexpr sim::SimTime kProxyStaticHitCost = sim::Micros(200);
+// Static images fetched per dynamic page.
+inline constexpr int kStaticImagesPerPage = 3;
+// Result-cache TTL for BestSellers / SearchResult (TPC-W clause
+// 6.3.3.1 allows 30 s).
+inline constexpr sim::SimTime kResultCacheTtl = sim::Seconds(30);
+
+// Cores per stage machine (one-socket 2007 Xeon boxes).
+inline constexpr int kProxyCores = 1;
+inline constexpr int kAppServerCores = 1;
+inline constexpr int kDbCores = 1;
+inline constexpr int kWebServerCores = 2;  // Apache box: HT pays off here
+
+}  // namespace whodunit::workload
+
+#endif  // SRC_WORKLOAD_CALIBRATION_H_

@@ -1,0 +1,199 @@
+#include "src/workload/tpcw.h"
+
+#include <cassert>
+
+namespace whodunit::workload {
+namespace {
+
+using Kind = db::QueryStep::Kind;
+
+struct MixEntry {
+  TpcwTransaction t;
+  double percent;
+};
+
+// TPC-W browsing mix (WIPSb), per the specification.
+constexpr std::array<MixEntry, kTpcwTransactionCount> kBrowsingMix = {{
+    {TpcwTransaction::kAdminConfirm, 0.09},
+    {TpcwTransaction::kAdminRequest, 0.10},
+    {TpcwTransaction::kBestSellers, 11.00},
+    {TpcwTransaction::kBuyConfirm, 0.69},
+    {TpcwTransaction::kBuyRequest, 0.75},
+    {TpcwTransaction::kCustomerRegistration, 0.82},
+    {TpcwTransaction::kHome, 29.00},
+    {TpcwTransaction::kNewProducts, 11.00},
+    {TpcwTransaction::kOrderDisplay, 0.25},
+    {TpcwTransaction::kOrderInquiry, 0.30},
+    {TpcwTransaction::kProductDetail, 21.00},
+    {TpcwTransaction::kSearchRequest, 12.00},
+    {TpcwTransaction::kSearchResult, 11.00},
+    {TpcwTransaction::kShoppingCart, 2.00},
+}};
+
+constexpr uint64_t kItemRows = 10000;
+constexpr uint64_t kOrderLineRows = 77000;
+
+}  // namespace
+
+const char* TpcwName(TpcwTransaction t) {
+  switch (t) {
+    case TpcwTransaction::kAdminConfirm: return "AdminConfirm";
+    case TpcwTransaction::kAdminRequest: return "AdminRequest";
+    case TpcwTransaction::kBestSellers: return "BestSellers";
+    case TpcwTransaction::kBuyConfirm: return "BuyConfirm";
+    case TpcwTransaction::kBuyRequest: return "BuyRequest";
+    case TpcwTransaction::kCustomerRegistration: return "CustomerRegistration";
+    case TpcwTransaction::kHome: return "Home";
+    case TpcwTransaction::kNewProducts: return "NewProducts";
+    case TpcwTransaction::kOrderDisplay: return "OrderDisplay";
+    case TpcwTransaction::kOrderInquiry: return "OrderInquiry";
+    case TpcwTransaction::kProductDetail: return "ProductDetail";
+    case TpcwTransaction::kSearchRequest: return "SearchRequest";
+    case TpcwTransaction::kSearchResult: return "SearchResult";
+    case TpcwTransaction::kShoppingCart: return "ShoppingCart";
+  }
+  return "?";
+}
+
+double BrowsingMixPercent(TpcwTransaction t) {
+  for (const MixEntry& e : kBrowsingMix) {
+    if (e.t == t) {
+      return e.percent;
+    }
+  }
+  return 0.0;
+}
+
+TpcwTransaction SampleBrowsingMix(util::Rng& rng) {
+  double u = rng.NextDouble() * 100.0;
+  for (const MixEntry& e : kBrowsingMix) {
+    if (u < e.percent) {
+      return e.t;
+    }
+    u -= e.percent;
+  }
+  return TpcwTransaction::kHome;
+}
+
+db::Query TpcwQuery(TpcwTransaction t, util::Rng& rng) {
+  db::Query q;
+  q.name = TpcwName(t);
+  switch (t) {
+    case TpcwTransaction::kBestSellers:
+      // Join of recent order_lines with item, sorted by sales: the
+      // heaviest read query (paper: 51.5% of MySQL CPU).
+      q.steps = {
+          {Kind::kScan, "order_line", 60000},
+          {Kind::kScan, "item", 40000},
+          {Kind::kSort, "", 33000},
+          {Kind::kTempTable, "", 3000},
+      };
+      break;
+    case TpcwTransaction::kSearchResult:
+      // Search by subject/title/author with a sort over matches.
+      q.steps = {
+          {Kind::kScan, "item", 50000},
+          {Kind::kScan, "author", 25000},
+          {Kind::kSort, "", 28000},
+      };
+      break;
+    case TpcwTransaction::kAdminConfirm:
+      // Sorting of table records, a temporary table, and an UPDATE of
+      // one item row (paper §8.4). Rare but enormous, and the UPDATE
+      // is what needs an exclusive lock on `item`.
+      q.steps = {
+          {Kind::kScan, "item", 100000},
+          {Kind::kScan, "order_line", 60000},
+          {Kind::kSort, "", 60000},
+          {Kind::kTempTable, "", 20000},
+          {Kind::kUpdateRow, "item", 1, rng.NextBelow(kItemRows)},
+      };
+      break;
+    case TpcwTransaction::kNewProducts:
+      q.steps = {
+          {Kind::kScan, "item", 9000},
+          {Kind::kSort, "", 1800},
+      };
+      break;
+    case TpcwTransaction::kHome:
+      q.steps = {
+          {Kind::kPointRead, "customer", 1, rng.NextBelow(2880)},
+          {Kind::kScan, "item", 700},
+      };
+      break;
+    case TpcwTransaction::kProductDetail:
+      q.steps = {
+          {Kind::kPointRead, "item", 1, rng.NextBelow(kItemRows)},
+          {Kind::kPointRead, "author", 1},
+      };
+      break;
+    case TpcwTransaction::kSearchRequest:
+      q.steps = {
+          {Kind::kScan, "item", 500},
+      };
+      break;
+    case TpcwTransaction::kShoppingCart:
+      q.steps = {
+          {Kind::kScan, "shopping_cart_line", 900},
+          {Kind::kPointRead, "item", 1, rng.NextBelow(kItemRows)},
+      };
+      break;
+    case TpcwTransaction::kBuyRequest:
+      q.steps = {
+          {Kind::kPointRead, "customer", 1},
+          {Kind::kScan, "shopping_cart_line", 800},
+          {Kind::kPointRead, "address", 1},
+      };
+      break;
+    case TpcwTransaction::kBuyConfirm:
+      q.steps = {
+          {Kind::kScan, "shopping_cart_line", 800},
+          {Kind::kUpdateRow, "orders", 1, rng.NextBelow(25920)},
+          {Kind::kUpdateRow, "order_line", 1, rng.NextBelow(kOrderLineRows)},
+          {Kind::kUpdateRow, "cc_xacts", 1, rng.NextBelow(25920)},
+      };
+      break;
+    case TpcwTransaction::kOrderDisplay:
+      q.steps = {
+          {Kind::kPointRead, "orders", 1},
+          {Kind::kScan, "order_line", 900},
+      };
+      break;
+    case TpcwTransaction::kOrderInquiry:
+      q.steps = {
+          {Kind::kPointRead, "customer", 1},
+      };
+      break;
+    case TpcwTransaction::kCustomerRegistration:
+      q.steps = {
+          {Kind::kPointRead, "customer", 1},
+      };
+      break;
+    case TpcwTransaction::kAdminRequest:
+      q.steps = {
+          {Kind::kPointRead, "item", 1, rng.NextBelow(kItemRows)},
+          {Kind::kPointRead, "author", 1},
+      };
+      break;
+  }
+  return q;
+}
+
+bool IsCacheable(TpcwTransaction t) {
+  // TPC-W clause 6.3.3.1 (paper §8.4): BestSellers and SearchResult
+  // results may be cached.
+  return t == TpcwTransaction::kBestSellers || t == TpcwTransaction::kSearchResult;
+}
+
+void CreateTpcwTables(db::Database& database, db::LockGranularity item_granularity) {
+  database.CreateTable("item", kItemRows, item_granularity);
+  database.CreateTable("author", 2500, db::LockGranularity::kTableLocks);
+  database.CreateTable("customer", 2880, db::LockGranularity::kTableLocks);
+  database.CreateTable("address", 5760, db::LockGranularity::kTableLocks);
+  database.CreateTable("orders", 25920, db::LockGranularity::kTableLocks);
+  database.CreateTable("order_line", kOrderLineRows, db::LockGranularity::kTableLocks);
+  database.CreateTable("cc_xacts", 25920, db::LockGranularity::kTableLocks);
+  database.CreateTable("shopping_cart_line", 5000, db::LockGranularity::kTableLocks);
+}
+
+}  // namespace whodunit::workload

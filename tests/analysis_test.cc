@@ -1,0 +1,103 @@
+// Tests for profile analysis queries (paper §1's motivating example).
+#include "src/profiler/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bookstore/bookstore.h"
+
+namespace whodunit::profiler {
+namespace {
+
+StageProfiler::Options Opts(std::string name) {
+  StageProfiler::Options o;
+  o.name = std::move(name);
+  o.sample_period = 100;
+  return o;
+}
+
+TEST(AnalysisTest, TopContextsRankedByCpu) {
+  Deployment dep;
+  auto& stage = dep.AddStage(std::make_unique<StageProfiler>(dep, Opts("db")));
+  ThreadProfile& tp = stage.CreateThread("t");
+  auto fn = stage.RegisterFunction("work");
+
+  stage.OnReceive(tp, context::Synopsis{{1}});
+  {
+    auto f = stage.EnterFrame(tp, fn);
+    stage.ChargeCpu(tp, 3000);
+  }
+  stage.OnReceive(tp, context::Synopsis{{2}});
+  {
+    auto f = stage.EnterFrame(tp, fn);
+    stage.ChargeCpu(tp, 1000);
+  }
+
+  Analysis analysis(dep);
+  auto rows = analysis.TopContexts(stage);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, (context::Synopsis{{1}}));
+  EXPECT_DOUBLE_EQ(rows[0].share, 75.0);
+  EXPECT_DOUBLE_EQ(rows[1].share, 25.0);
+}
+
+TEST(AnalysisTest, WhoCausesAttributesFunctionByContext) {
+  Deployment dep;
+  auto& stage = dep.AddStage(std::make_unique<StageProfiler>(dep, Opts("db")));
+  ThreadProfile& tp = stage.CreateThread("t");
+  auto exec_fn = stage.RegisterFunction("execute");
+  auto sort_fn = stage.RegisterFunction("sort");
+  auto scan_fn = stage.RegisterFunction("scan");
+
+  // Context 1 sorts a lot; context 2 only scans.
+  stage.OnReceive(tp, context::Synopsis{{1}});
+  {
+    auto f0 = stage.EnterFrame(tp, exec_fn);
+    auto f1 = stage.EnterFrame(tp, sort_fn);
+    stage.ChargeCpu(tp, 9000);
+  }
+  stage.OnReceive(tp, context::Synopsis{{2}});
+  {
+    auto f0 = stage.EnterFrame(tp, exec_fn);
+    {
+      auto f1 = stage.EnterFrame(tp, scan_fn);
+      stage.ChargeCpu(tp, 5000);
+    }
+    auto f2 = stage.EnterFrame(tp, sort_fn);
+    stage.ChargeCpu(tp, 1000);
+  }
+
+  Analysis analysis(dep);
+  auto rows = analysis.WhoCauses(stage, "sort");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, (context::Synopsis{{1}}));
+  EXPECT_EQ(rows[0].cpu, 9000);
+  EXPECT_DOUBLE_EQ(rows[0].share, 90.0);
+  EXPECT_EQ(rows[1].cpu, 1000);
+
+  // A function that never ran yields nothing.
+  EXPECT_TRUE(analysis.WhoCauses(stage, "no_such_fn").empty());
+  // Render form mentions the function and the top context.
+  std::string text = analysis.RenderWhoCauses(stage, "sort");
+  EXPECT_NE(text.find("who causes 'sort'"), std::string::npos);
+  EXPECT_NE(text.find("90%"), std::string::npos);
+}
+
+TEST(AnalysisTest, BookstoreSortBlamedOnBestSellers) {
+  // End to end: the paper's §1 promise. The DB's sort routine must be
+  // blamed primarily on BestSellers and SearchResult requests.
+  apps::BookstoreOptions o;
+  o.clients = 100;
+  o.duration = sim::Seconds(600);
+  o.warmup = sim::Seconds(120);
+  apps::BookstoreResult r = apps::RunBookstore(o);
+  ASSERT_FALSE(r.who_causes_sort.empty());
+  const size_t best = r.who_causes_sort.find("servlet_BestSellers");
+  const size_t search = r.who_causes_sort.find("servlet_SearchResult");
+  ASSERT_NE(best, std::string::npos);
+  ASSERT_NE(search, std::string::npos);
+  // BestSellers listed first (largest share of the sort's CPU).
+  EXPECT_LT(best, search);
+}
+
+}  // namespace
+}  // namespace whodunit::profiler

@@ -1,0 +1,136 @@
+// Property-based tests for transaction contexts and synopses.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/context/synopsis.h"
+#include "src/context/transaction_context.h"
+#include "src/util/rng.h"
+
+namespace whodunit::context {
+namespace {
+
+Element RandomElement(util::Rng& rng, uint32_t universe) {
+  return Element{static_cast<ElementKind>(rng.NextBelow(3)),
+                 static_cast<uint32_t>(rng.NextBelow(universe))};
+}
+
+class ContextPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContextPropertyTest, PrunedContextsNeverRepeatAnElement) {
+  // The §4.1 pruning rule implies: after any append stream, a pruned
+  // context contains each element at most once (a repeat would have
+  // closed a loop and been cut).
+  util::Rng rng(GetParam());
+  TransactionContext ctxt;
+  for (int i = 0; i < 500; ++i) {
+    ctxt.Append(RandomElement(rng, 10));
+    std::set<uint64_t> seen;
+    for (const Element& e : ctxt.elements()) {
+      EXPECT_TRUE(seen.insert(e.Packed()).second) << "duplicate element after pruning";
+    }
+  }
+}
+
+TEST_P(ContextPropertyTest, PrunedSizeBoundedByUniverse) {
+  util::Rng rng(GetParam() ^ 1);
+  TransactionContext ctxt;
+  constexpr uint32_t kUniverse = 7;
+  for (int i = 0; i < 1000; ++i) {
+    ctxt.Append(RandomElement(rng, kUniverse));
+    // 3 kinds x 7 ids = 21 possible elements.
+    EXPECT_LE(ctxt.size(), 3u * kUniverse);
+  }
+}
+
+TEST_P(ContextPropertyTest, AppendIsDeterministic) {
+  util::Rng r1(GetParam() ^ 2), r2(GetParam() ^ 2);
+  TransactionContext a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.Append(RandomElement(r1, 12));
+    b.Append(RandomElement(r2, 12));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST_P(ContextPropertyTest, AppendExistingLastElementIsIdempotent) {
+  util::Rng rng(GetParam() ^ 3);
+  TransactionContext ctxt;
+  for (int i = 0; i < 50; ++i) {
+    ctxt.Append(RandomElement(rng, 8));
+  }
+  if (ctxt.empty()) {
+    return;
+  }
+  TransactionContext before = ctxt;
+  ctxt.Append(ctxt.elements().back());
+  EXPECT_EQ(ctxt, before);
+}
+
+TEST_P(ContextPropertyTest, ConcatWithEmptyIsIdentity) {
+  util::Rng rng(GetParam() ^ 4);
+  TransactionContext ctxt;
+  for (int i = 0; i < 30; ++i) {
+    ctxt.Append(RandomElement(rng, 8));
+  }
+  EXPECT_EQ(TransactionContext::Concat(ctxt, TransactionContext{}), ctxt);
+  EXPECT_EQ(TransactionContext::Concat(TransactionContext{}, ctxt), ctxt);
+}
+
+TEST_P(ContextPropertyTest, PrefixPartialOrder) {
+  util::Rng rng(GetParam() ^ 5);
+  TransactionContext ctxt;
+  for (int i = 0; i < 40; ++i) {
+    ctxt.Append(RandomElement(rng, 20));
+  }
+  // Every prefix of the element list is a HasPrefix-prefix, and the
+  // relation is reflexive.
+  EXPECT_TRUE(ctxt.HasPrefix(ctxt));
+  TransactionContext prefix;
+  for (size_t len = 0; len < ctxt.size(); ++len) {
+    EXPECT_TRUE(ctxt.HasPrefix(prefix));
+    prefix = TransactionContext(std::vector<Element>(
+        ctxt.elements().begin(), ctxt.elements().begin() + static_cast<long>(len) + 1));
+  }
+  EXPECT_TRUE(ctxt.HasPrefix(prefix));
+}
+
+TEST_P(ContextPropertyTest, SynopsisExtendPreservesPrefix) {
+  util::Rng rng(GetParam() ^ 6);
+  Synopsis syn;
+  for (int i = 0; i < 10; ++i) {
+    Synopsis longer = syn.Extend(Synopsis{{static_cast<uint32_t>(rng.NextBelow(100))}});
+    EXPECT_TRUE(longer.HasPrefix(syn));
+    EXPECT_EQ(longer.parts.size(), syn.parts.size() + 1);
+    // Wire bytes grow by 4 (+1 for the '#' once non-empty).
+    EXPECT_EQ(longer.WireBytes(), syn.WireBytes() + (syn.empty() ? 4 : 5));
+    syn = longer;
+  }
+}
+
+TEST_P(ContextPropertyTest, DictionaryInternIsStable) {
+  util::Rng rng(GetParam() ^ 7);
+  SynopsisDictionary dict;
+  std::vector<TransactionContext> ctxts;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    TransactionContext c;
+    const int len = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int j = 0; j < len; ++j) {
+      c.Append(RandomElement(rng, 6));
+    }
+    ctxts.push_back(c);
+    ids.push_back(dict.Intern(c));
+  }
+  // Re-interning yields the same ids; lookup inverts intern.
+  for (size_t i = 0; i < ctxts.size(); ++i) {
+    EXPECT_EQ(dict.Intern(ctxts[i]), ids[i]);
+    EXPECT_EQ(dict.Lookup(ids[i]), ctxts[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContextPropertyTest, ::testing::Values(1, 7, 42, 1001, 9999));
+
+}  // namespace
+}  // namespace whodunit::context

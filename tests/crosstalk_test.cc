@@ -1,0 +1,109 @@
+#include "src/crosstalk/crosstalk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/task.h"
+
+namespace whodunit::crosstalk {
+namespace {
+
+sim::Process HoldFor(sim::Scheduler& sched, sim::SimMutex& m, uint64_t tag, sim::SimTime hold) {
+  co_await m.Acquire(tag);
+  co_await sim::Delay{sched, hold};
+  m.Release(tag);
+}
+
+TEST(CrosstalkTest, UncontendedAcquiresProduceNoCrosstalk) {
+  sim::Scheduler sched;
+  sim::SimMutex m(sched);
+  CrosstalkRecorder rec;
+  m.set_observer(&rec);
+  sim::Spawn(sched, HoldFor(sched, m, 1, 10));
+  sched.Run();
+  sim::Spawn(sched, HoldFor(sched, m, 2, 10));
+  sched.Run();
+  EXPECT_EQ(rec.acquires_observed(), 2u);
+  EXPECT_EQ(rec.WaitCount(1), 0u);
+  EXPECT_EQ(rec.WaitCount(2), 0u);
+  EXPECT_TRUE(rec.PairRows().empty());
+}
+
+TEST(CrosstalkTest, WaiterHolderPairRecorded) {
+  sim::Scheduler sched;
+  sim::SimMutex m(sched);
+  CrosstalkRecorder rec;
+  m.set_observer(&rec);
+  // Transaction type A holds 0..100; type B arrives at 10.
+  sim::Spawn(sched, HoldFor(sched, m, /*tag=*/7, 100));
+  sim::SpawnAfter(sched, 10, HoldFor(sched, m, /*tag=*/9, 10));
+  sched.Run();
+  EXPECT_EQ(rec.WaitCount(9), 1u);
+  EXPECT_DOUBLE_EQ(rec.MeanWait(9), 90.0);
+  EXPECT_DOUBLE_EQ(rec.MeanPairWait(9, 7), 90.0);
+  EXPECT_DOUBLE_EQ(rec.MeanPairWait(7, 9), 0.0);  // ordered pair
+}
+
+TEST(CrosstalkTest, MeanOverMultipleWaits) {
+  sim::Scheduler sched;
+  sim::SimMutex m(sched);
+  CrosstalkRecorder rec;
+  m.set_observer(&rec);
+  // Holder for 100; two waiters of type 9 arrive at 20 and 40.
+  sim::Spawn(sched, HoldFor(sched, m, 7, 100));
+  sim::SpawnAfter(sched, 20, HoldFor(sched, m, 9, 10));
+  sim::SpawnAfter(sched, 40, HoldFor(sched, m, 9, 10));
+  sched.Run();
+  // First waits 80; second waits 100-40+10 = 70 (queued behind first).
+  EXPECT_EQ(rec.WaitCount(9), 2u);
+  EXPECT_DOUBLE_EQ(rec.MeanWait(9), (80.0 + 70.0) / 2);
+}
+
+TEST(CrosstalkTest, SecondWaiterBlamesHolderAtEnqueue) {
+  sim::Scheduler sched;
+  sim::SimMutex m(sched);
+  CrosstalkRecorder rec;
+  m.set_observer(&rec);
+  sim::Spawn(sched, HoldFor(sched, m, 1, 50));
+  sim::SpawnAfter(sched, 10, HoldFor(sched, m, 2, 50));
+  sim::SpawnAfter(sched, 60, HoldFor(sched, m, 3, 10));  // tag 2 holds now
+  sched.Run();
+  EXPECT_DOUBLE_EQ(rec.MeanPairWait(2, 1), 40.0);
+  EXPECT_DOUBLE_EQ(rec.MeanPairWait(3, 2), 40.0);
+  EXPECT_DOUBLE_EQ(rec.MeanPairWait(3, 1), 0.0);
+}
+
+TEST(CrosstalkTest, PairRowsSortedByMeanWait) {
+  sim::Scheduler sched;
+  sim::SimMutex m1(sched), m2(sched);
+  CrosstalkRecorder rec;
+  m1.set_observer(&rec);
+  m2.set_observer(&rec);
+  sim::Spawn(sched, HoldFor(sched, m1, 1, 100));
+  sim::SpawnAfter(sched, 50, HoldFor(sched, m1, 2, 10));  // waits 50
+  sim::Spawn(sched, HoldFor(sched, m2, 3, 30));
+  sim::SpawnAfter(sched, 20, HoldFor(sched, m2, 4, 10));  // waits 10
+  sched.Run();
+  auto rows = rec.PairRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].waiter, 2u);
+  EXPECT_EQ(rows[0].holder, 1u);
+  EXPECT_EQ(rows[1].waiter, 4u);
+  EXPECT_GE(rows[0].mean_wait_ns, rows[1].mean_wait_ns);
+}
+
+TEST(CrosstalkTest, RenderUsesNamer) {
+  sim::Scheduler sched;
+  sim::SimMutex m(sched);
+  CrosstalkRecorder rec;
+  m.set_observer(&rec);
+  sim::Spawn(sched, HoldFor(sched, m, 1, 100));
+  sim::SpawnAfter(sched, 10, HoldFor(sched, m, 2, 10));
+  sched.Run();
+  std::string text = rec.Render([](uint64_t tag) {
+    return tag == 1 ? std::string("AdminConfirm") : std::string("BestSellers");
+  });
+  EXPECT_NE(text.find("BestSellers <- AdminConfirm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whodunit::crosstalk

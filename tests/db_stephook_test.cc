@@ -1,0 +1,83 @@
+// Per-step execution hooks and disk-time accounting in MiniDB.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/sim/task.h"
+
+namespace whodunit::db {
+namespace {
+
+using Kind = QueryStep::Kind;
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::CpuResource cpu{sched, 1};
+  Database database{sched, cpu, CostModel{}};
+};
+
+TEST(DbStepHookTest, HookSeesEveryStepWithItsCost) {
+  Fixture f;
+  f.database.CreateTable("t", 100, LockGranularity::kTableLocks);
+  Query q{"q",
+          {{Kind::kScan, "t", 100},
+           {Kind::kSort, "", 50},
+           {Kind::kUpdateRow, "t", 1, 3}}};
+  std::vector<std::pair<Kind, sim::SimTime>> seen;
+  sim::Spawn(f.sched, [](Fixture& fx, Query qq,
+                         std::vector<std::pair<Kind, sim::SimTime>>& log) -> sim::Process {
+    co_await fx.database.Execute(qq, 1, nullptr,
+                                 [&log](const QueryStep& step, sim::SimTime c) {
+                                   log.emplace_back(step.kind, c);
+                                   return c;
+                                 });
+  }(f, q, seen));
+  f.sched.Run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, Kind::kScan);
+  EXPECT_EQ(seen[0].second, f.database.StepCost(q.steps[0]));
+  EXPECT_EQ(seen[1].first, Kind::kSort);
+  EXPECT_EQ(seen[2].first, Kind::kUpdateRow);
+}
+
+TEST(DbStepHookTest, HookControlsConsumedCost) {
+  Fixture f;
+  f.database.CreateTable("t", 100, LockGranularity::kTableLocks);
+  Query q{"q", {{Kind::kScan, "t", 1000}}};
+  sim::Spawn(f.sched, [](Fixture& fx, Query qq) -> sim::Process {
+    co_await fx.database.Execute(qq, 1, nullptr,
+                                 [](const QueryStep&, sim::SimTime c) { return c * 2; });
+  }(f, q));
+  f.sched.Run();
+  // Fixed cost unhooked + doubled step cost.
+  EXPECT_EQ(f.cpu.busy_time(),
+            f.database.costs().fixed_per_query + 2 * f.database.StepCost(q.steps[0]));
+}
+
+TEST(DbStepHookTest, StepCostsSumToEstimate) {
+  Fixture f;
+  Query q{"q",
+          {{Kind::kScan, "t", 123},
+           {Kind::kSort, "", 77},
+           {Kind::kTempTable, "", 10},
+           {Kind::kPointRead, "t", 1},
+           {Kind::kUpdateRow, "t", 1, 0}}};
+  sim::SimTime sum = f.database.costs().fixed_per_query;
+  for (const QueryStep& s : q.steps) {
+    sum += f.database.StepCost(s);
+  }
+  EXPECT_EQ(sum, f.database.EstimateCost(q));
+}
+
+TEST(DbStepHookTest, DiskTimeOnlyFromScans) {
+  Fixture f;
+  Query scan_heavy{"a", {{Kind::kScan, "t", 10000}, {Kind::kSort, "", 10000}}};
+  Query cpu_only{"b", {{Kind::kSort, "", 10000}, {Kind::kPointRead, "t", 1}}};
+  EXPECT_EQ(f.database.EstimateDiskTime(scan_heavy),
+            10000 * f.database.costs().per_row_disk);
+  EXPECT_EQ(f.database.EstimateDiskTime(cpu_only), 0);
+}
+
+}  // namespace
+}  // namespace whodunit::db

@@ -1,0 +1,113 @@
+// Integration tests for the Apache stand-in: the §8.1 validation that
+// transaction flow through shared memory is detected in the web server
+// and (correctly) not detected in MySQL-like traffic.
+#include "src/apps/minihttpd/minihttpd.h"
+
+#include <gtest/gtest.h>
+
+namespace whodunit::apps {
+namespace {
+
+MinihttpdOptions SmallRun(callpath::ProfilerMode mode) {
+  MinihttpdOptions o;
+  o.mode = mode;
+  o.workers = 4;
+  o.clients = 16;
+  o.duration = sim::Seconds(4);
+  o.seed = 7;
+  return o;
+}
+
+TEST(MinihttpdTest, ServesTrafficAndDetectsQueueFlow) {
+  MinihttpdResult r = RunMinihttpd(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_GT(r.requests, 100u);
+  EXPECT_GT(r.connections, 20u);
+  EXPECT_GT(r.throughput_mbps, 1.0);
+  // The paper's central claim for Apache: the listener->worker flow
+  // through ap_queue_push/ap_queue_pop is detected.
+  EXPECT_TRUE(r.queue_flow_detected);
+  EXPECT_GT(r.flows_detected, 20u);
+  // And the pooled allocator is recognized as NOT transaction flow.
+  EXPECT_TRUE(r.allocator_demoted);
+  EXPECT_GT(r.critical_sections_emulated, 0u);
+}
+
+TEST(MinihttpdTest, WorkerCpuDominatesListener) {
+  // Figure 8: the listener's own context is a small share (~2.4%);
+  // almost all CPU is consumed in worker contexts adopted through the
+  // queue (ap_process_connection/sendfile).
+  MinihttpdResult r = RunMinihttpd(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_LT(r.listener_context_share, 20.0);
+  EXPECT_GT(r.worker_context_share, 80.0);
+  // The profile names the expected procedures.
+  EXPECT_NE(r.profile_text.find("ap_queue_push"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("ap_process_connection"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("sendfile"), std::string::npos);
+}
+
+TEST(MinihttpdTest, NoProfilingModeStillServes) {
+  MinihttpdResult r = RunMinihttpd(SmallRun(callpath::ProfilerMode::kNone));
+  EXPECT_GT(r.requests, 100u);
+  EXPECT_EQ(r.flows_detected, 0u);
+  EXPECT_EQ(r.critical_sections_emulated, 0u);
+}
+
+TEST(MinihttpdTest, WhodunitOverheadIsSmall) {
+  // §9.2: Whodunit costs ~2.3% of Apache's peak throughput. Assert
+  // the overhead is small but the profiled run is not faster.
+  MinihttpdResult off = RunMinihttpd(SmallRun(callpath::ProfilerMode::kNone));
+  MinihttpdResult on = RunMinihttpd(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_LE(on.throughput_mbps, off.throughput_mbps * 1.005);
+  EXPECT_GT(on.throughput_mbps, off.throughput_mbps * 0.85);
+}
+
+TEST(MinihttpdTest, DeterministicForSameSeed) {
+  MinihttpdResult a = RunMinihttpd(SmallRun(callpath::ProfilerMode::kWhodunit));
+  MinihttpdResult b = RunMinihttpd(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes_served, b.bytes_served);
+  EXPECT_EQ(a.flows_detected, b.flows_detected);
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+}
+
+TEST(MinihttpdTest, PersistentConnectionsNeedAlmostNoEmulation) {
+  // §9.2: "if all connections are persistent and no new connections
+  // are established, Whodunit does not need to emulate any code [for
+  // the queue], and the application can proceed in direct execution
+  // mode without any overhead."
+  MinihttpdOptions churn = SmallRun(callpath::ProfilerMode::kWhodunit);
+  churn.workers = 8;
+  churn.clients = 8;
+  MinihttpdResult churn_r = RunMinihttpd(churn);
+
+  MinihttpdOptions persistent = churn;
+  persistent.persistent_connections = true;
+  MinihttpdResult pers_r = RunMinihttpd(persistent);
+
+  // One queue flow per client (the initial connection), instead of one
+  // per connection of a churning workload.
+  EXPECT_LE(pers_r.connections, 8u);
+  EXPECT_LT(pers_r.flows_detected, churn_r.flows_detected / 10);
+  EXPECT_GT(pers_r.requests, 1000u);
+}
+
+TEST(MysqlValidationTest, NoTransactionFlowInMysql) {
+  // §8.1: "Our algorithm detects no transaction flow in MySQL.
+  // Whodunit detects a shared counter in MySQL, but correctly deduces
+  // that it does not constitute transaction flow."
+  MysqlShmValidationResult r = RunMysqlShmValidation();
+  EXPECT_EQ(r.flows_detected, 0u);
+  // The table resource is demoted once threads appear on both sides.
+  EXPECT_TRUE(r.table_lock_demoted);
+  EXPECT_GT(r.critical_sections_run, 100u);
+}
+
+TEST(MysqlValidationTest, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    MysqlShmValidationResult r = RunMysqlShmValidation(4, 200, seed);
+    EXPECT_EQ(r.flows_detected, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace whodunit::apps

@@ -1,0 +1,66 @@
+// Integration tests for the Squid stand-in (paper §8.2, Figure 9).
+#include "src/apps/miniproxy/miniproxy.h"
+
+#include <gtest/gtest.h>
+
+namespace whodunit::apps {
+namespace {
+
+MiniproxyOptions SmallRun(callpath::ProfilerMode mode) {
+  MiniproxyOptions o;
+  o.mode = mode;
+  o.clients = 24;
+  o.duration = sim::Seconds(6);
+  o.seed = 11;
+  return o;
+}
+
+TEST(MiniproxyTest, ServesWithHitsAndMisses) {
+  MiniproxyResult r = RunMiniproxy(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_GT(r.requests, 200u);
+  EXPECT_GT(r.cache_hits, 10u);
+  EXPECT_GT(r.cache_misses, 10u);
+  EXPECT_GT(r.hit_ratio, 0.2);
+  EXPECT_LT(r.hit_ratio, 0.98);
+  EXPECT_GT(r.throughput_mbps, 1.0);
+}
+
+TEST(MiniproxyTest, WriteHandlerAppearsInTwoContexts) {
+  // Figure 9's headline: commHandleWrite runs under exactly two
+  // transaction contexts — after [httpAccept, clientReadRequest]
+  // (cache hit), and after [... httpReadReply] (cache miss).
+  MiniproxyResult r = RunMiniproxy(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_EQ(r.write_handler_context_count, 2u);
+  EXPECT_GT(r.hit_path_share, 1.0);
+  EXPECT_GT(r.miss_path_share, 1.0);
+  // The profile names Squid's handlers.
+  EXPECT_NE(r.profile_text.find("httpAccept"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("clientReadRequest"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("commConnectHandle"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("httpReadReply"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("commHandleWrite"), std::string::npos);
+}
+
+TEST(MiniproxyTest, ProfilingOverheadSmall) {
+  // §9.3: Squid's throughput drops ~5.5% under Whodunit.
+  MiniproxyResult off = RunMiniproxy(SmallRun(callpath::ProfilerMode::kNone));
+  MiniproxyResult on = RunMiniproxy(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_LE(on.throughput_mbps, off.throughput_mbps);
+  EXPECT_GT(on.throughput_mbps, off.throughput_mbps * 0.85);
+}
+
+TEST(MiniproxyTest, UnprofiledRunTracksNoContexts) {
+  MiniproxyResult r = RunMiniproxy(SmallRun(callpath::ProfilerMode::kNone));
+  EXPECT_EQ(r.write_handler_context_count, 0u);
+}
+
+TEST(MiniproxyTest, Deterministic) {
+  MiniproxyResult a = RunMiniproxy(SmallRun(callpath::ProfilerMode::kWhodunit));
+  MiniproxyResult b = RunMiniproxy(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+}
+
+}  // namespace
+}  // namespace whodunit::apps

@@ -1,0 +1,59 @@
+// Integration tests for the Haboob stand-in (paper §8.3, Figure 10).
+#include "src/apps/sedaserver/sedaserver.h"
+
+#include <gtest/gtest.h>
+
+namespace whodunit::apps {
+namespace {
+
+SedaServerOptions SmallRun(callpath::ProfilerMode mode) {
+  SedaServerOptions o;
+  o.mode = mode;
+  o.clients = 24;
+  o.duration = sim::Seconds(6);
+  o.seed = 3;
+  return o;
+}
+
+TEST(SedaServerTest, ServesTraffic) {
+  SedaServerResult r = RunSedaServer(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_GT(r.requests, 100u);
+  EXPECT_GT(r.cache_hits, 10u);
+  EXPECT_GT(r.cache_misses, 10u);
+  EXPECT_GT(r.throughput_mbps, 0.5);
+}
+
+TEST(SedaServerTest, WriteStageInTwoContexts) {
+  // Figure 10: the WriteStage is reached via the cache-hit path and
+  // via the miss path (MissStage -> FileIoStage), as two distinct
+  // transaction contexts with separate CPU shares.
+  SedaServerResult r = RunSedaServer(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_EQ(r.write_stage_context_count, 2u);
+  EXPECT_GT(r.write_hit_share, 1.0);
+  EXPECT_GT(r.write_miss_share, 1.0);
+  // WriteStage dominates the profile, as in the paper (37.65 + 46.58 =
+  // ~84% of total CPU across the two contexts).
+  EXPECT_GT(r.write_hit_share + r.write_miss_share, 40.0);
+  EXPECT_NE(r.profile_text.find("CacheStage"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("MissStage"), std::string::npos);
+  EXPECT_NE(r.profile_text.find("WriteStage"), std::string::npos);
+}
+
+TEST(SedaServerTest, ProfilingOverheadSmall) {
+  // §9.3: Haboob's throughput drops ~4.2% under Whodunit.
+  SedaServerResult off = RunSedaServer(SmallRun(callpath::ProfilerMode::kNone));
+  SedaServerResult on = RunSedaServer(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_LE(on.throughput_mbps, off.throughput_mbps);
+  EXPECT_GT(on.throughput_mbps, off.throughput_mbps * 0.85);
+}
+
+TEST(SedaServerTest, Deterministic) {
+  SedaServerResult a = RunSedaServer(SmallRun(callpath::ProfilerMode::kWhodunit));
+  SedaServerResult b = RunSedaServer(SmallRun(callpath::ProfilerMode::kWhodunit));
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.write_hit_share, b.write_hit_share);
+}
+
+}  // namespace
+}  // namespace whodunit::apps

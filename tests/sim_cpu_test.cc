@@ -1,0 +1,96 @@
+#include "src/sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/task.h"
+
+namespace whodunit::sim {
+namespace {
+
+Process Worker(Scheduler& sched, CpuResource& cpu, SimTime cost, std::vector<SimTime>& done) {
+  co_await cpu.Consume(cost);
+  done.push_back(sched.now());
+}
+
+TEST(CpuTest, SingleCoreSerializesWork) {
+  Scheduler s;
+  CpuResource cpu(s, 1);
+  std::vector<SimTime> done;
+  Spawn(s, Worker(s, cpu, 100, done));
+  Spawn(s, Worker(s, cpu, 100, done));
+  Spawn(s, Worker(s, cpu, 100, done));
+  s.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(cpu.busy_time(), 300);
+}
+
+TEST(CpuTest, TwoCoresRunInParallel) {
+  Scheduler s;
+  CpuResource cpu(s, 2);
+  std::vector<SimTime> done;
+  Spawn(s, Worker(s, cpu, 100, done));
+  Spawn(s, Worker(s, cpu, 100, done));
+  Spawn(s, Worker(s, cpu, 100, done));
+  s.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 200}));
+}
+
+TEST(CpuTest, ZeroCostCompletesImmediately) {
+  Scheduler s;
+  CpuResource cpu(s, 1);
+  std::vector<SimTime> done;
+  Spawn(s, Worker(s, cpu, 0, done));
+  s.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{0}));
+  EXPECT_EQ(cpu.busy_time(), 0);
+  EXPECT_EQ(cpu.requests(), 0u);
+}
+
+TEST(CpuTest, LateArrivalStartsAtArrival) {
+  Scheduler s;
+  CpuResource cpu(s, 1);
+  std::vector<SimTime> done;
+  SpawnAfter(s, 500, Worker(s, cpu, 50, done));
+  s.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{550}));
+}
+
+TEST(CpuTest, UtilizationReflectsBusyTime) {
+  Scheduler s;
+  CpuResource cpu(s, 2);
+  std::vector<SimTime> done;
+  Spawn(s, Worker(s, cpu, 100, done));
+  s.Run();
+  // 100 ns busy over a 100 ns window on 2 cores -> 50%.
+  EXPECT_DOUBLE_EQ(cpu.Utilization(100), 0.5);
+  EXPECT_EQ(cpu.Utilization(0), 0.0);
+}
+
+TEST(CpuTest, ConsumeHookSeesEveryCharge) {
+  Scheduler s;
+  CpuResource cpu(s, 1);
+  SimTime hooked = 0;
+  cpu.set_consume_hook([&](SimTime c) { hooked += c; });
+  std::vector<SimTime> done;
+  Spawn(s, Worker(s, cpu, 30, done));
+  Spawn(s, Worker(s, cpu, 70, done));
+  s.Run();
+  EXPECT_EQ(hooked, 100);
+}
+
+TEST(CpuTest, FifoQueueingUnderBurst) {
+  Scheduler s;
+  CpuResource cpu(s, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 5; ++i) {
+    Spawn(s, Worker(s, cpu, 10, done));
+  }
+  s.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(cpu.requests(), 5u);
+}
+
+}  // namespace
+}  // namespace whodunit::sim

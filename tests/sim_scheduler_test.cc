@@ -1,0 +1,173 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/task.h"
+
+namespace whodunit::sim {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, TiesBreakFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAt(50, [&] { seen = s.now(); });  // in the past
+  });
+  s.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      s.ScheduleAfter(1, chain);
+    }
+  };
+  s.ScheduleAt(0, chain);
+  s.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(SchedulerTest, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(200, [&] { ++fired; });
+  s.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 100);
+  s.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.Step());
+  s.ScheduleAt(1, [] {});
+  EXPECT_TRUE(s.Step());
+  EXPECT_FALSE(s.Step());
+}
+
+Process CountTo(Scheduler& sched, int n, int& counter) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay{sched, 10};
+    ++counter;
+  }
+}
+
+TEST(ProcessTest, DelayAdvancesVirtualTime) {
+  Scheduler s;
+  int counter = 0;
+  Spawn(s, CountTo(s, 5, counter));
+  s.Run();
+  EXPECT_EQ(counter, 5);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(ProcessTest, ConcurrentProcessesInterleave) {
+  Scheduler s;
+  int a = 0, b = 0;
+  Spawn(s, CountTo(s, 3, a));
+  Spawn(s, CountTo(s, 7, b));
+  s.Run();
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 7);
+  EXPECT_EQ(s.now(), 70);
+}
+
+TEST(ProcessTest, SpawnAfterDelaysStart) {
+  Scheduler s;
+  int counter = 0;
+  SpawnAfter(s, 100, CountTo(s, 1, counter));
+  s.RunUntil(99);
+  EXPECT_EQ(counter, 0);
+  s.Run();
+  EXPECT_EQ(counter, 1);
+  EXPECT_EQ(s.now(), 110);
+}
+
+Task<int> AddAfter(Scheduler& sched, int x, int y) {
+  co_await Delay{sched, 5};
+  co_return x + y;
+}
+
+Process UseTask(Scheduler& sched, int& out) {
+  out = co_await AddAfter(sched, 2, 3);
+}
+
+TEST(TaskTest, NestedTaskReturnsValue) {
+  Scheduler s;
+  int out = 0;
+  Spawn(s, UseTask(s, out));
+  s.Run();
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(s.now(), 5);
+}
+
+Task<void> Inner(Scheduler& sched, std::vector<int>& log) {
+  log.push_back(1);
+  co_await Delay{sched, 1};
+  log.push_back(2);
+}
+
+Process Outer(Scheduler& sched, std::vector<int>& log) {
+  co_await Inner(sched, log);
+  log.push_back(3);
+}
+
+TEST(TaskTest, VoidTaskSequencing) {
+  Scheduler s;
+  std::vector<int> log;
+  Spawn(s, Outer(s, log));
+  s.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+Task<int> DeepChain(Scheduler& sched, int depth) {
+  if (depth == 0) {
+    co_return 0;
+  }
+  int below = co_await DeepChain(sched, depth - 1);
+  co_return below + 1;
+}
+
+Process RunDeep(Scheduler& sched, int& out) { out = co_await DeepChain(sched, 5000); }
+
+TEST(TaskTest, DeepChainsDoNotOverflowStack) {
+  Scheduler s;
+  int out = 0;
+  Spawn(s, RunDeep(s, out));
+  s.Run();
+  EXPECT_EQ(out, 5000);
+}
+
+}  // namespace
+}  // namespace whodunit::sim

@@ -1,0 +1,55 @@
+#include "src/util/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace whodunit::util {
+namespace {
+
+TEST(InternerTest, DenseIdsFromZero) {
+  StringInterner in;
+  EXPECT_EQ(in.Intern("alpha"), 0u);
+  EXPECT_EQ(in.Intern("beta"), 1u);
+  EXPECT_EQ(in.Intern("gamma"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(InternerTest, RepeatedInternReturnsSameId) {
+  StringInterner in;
+  uint32_t a = in.Intern("foo");
+  EXPECT_EQ(in.Intern("foo"), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(InternerTest, FindWithoutInsert) {
+  StringInterner in;
+  in.Intern("x");
+  EXPECT_EQ(in.Find("x"), 0u);
+  EXPECT_EQ(in.Find("y"), StringInterner::kNotFound);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(InternerTest, NameOfRoundTrips) {
+  StringInterner in;
+  uint32_t id = in.Intern("ap_queue_push");
+  EXPECT_EQ(in.NameOf(id), "ap_queue_push");
+}
+
+TEST(InternerTest, EmptyStringIsValid) {
+  StringInterner in;
+  uint32_t id = in.Intern("");
+  EXPECT_EQ(in.NameOf(id), "");
+  EXPECT_EQ(in.Find(""), id);
+}
+
+TEST(InternerTest, ManyStringsStayStable) {
+  StringInterner in;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.Intern("fn_" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.NameOf(static_cast<uint32_t>(i)), "fn_" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace whodunit::util

@@ -1,0 +1,7 @@
+whodunit-profile 1
+stage caller
+bytes 0 0
+cct -
+node 1 0 search 7 8000000 4
+node 2 0 browse 6 12000000 6
+end

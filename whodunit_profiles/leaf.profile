@@ -1,0 +1,8 @@
+whodunit-profile 1
+stage leaf
+bytes 0 0
+cct 0#1
+node 1 0 run_query 107 160000000 4
+cct 4#1
+node 1 0 run_query 15 24000000 6
+end

@@ -1,0 +1,8 @@
+whodunit-profile 1
+stage middle
+bytes 0 0
+cct 0
+node 1 0 business_logic 15 20000000 4
+cct 4
+node 1 0 business_logic 18 30000000 6
+end
