@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_apache_profile"
+  "../bench/bench_fig8_apache_profile.pdb"
+  "CMakeFiles/bench_fig8_apache_profile.dir/bench_fig8_apache_profile.cc.o"
+  "CMakeFiles/bench_fig8_apache_profile.dir/bench_fig8_apache_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_apache_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_squid_profile.cc" "bench_build/CMakeFiles/bench_fig9_squid_profile.dir/bench_fig9_squid_profile.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig9_squid_profile.dir/bench_fig9_squid_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/whodunit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/whodunit_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/callpath/CMakeFiles/whodunit_callpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/whodunit_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/whodunit_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/whodunit_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/seda/CMakeFiles/whodunit_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/crosstalk/CMakeFiles/whodunit_crosstalk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/whodunit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/whodunit_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whodunit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/whodunit_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whodunit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

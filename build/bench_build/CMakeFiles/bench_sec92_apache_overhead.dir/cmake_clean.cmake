@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec92_apache_overhead"
+  "../bench/bench_sec92_apache_overhead.pdb"
+  "CMakeFiles/bench_sec92_apache_overhead.dir/bench_sec92_apache_overhead.cc.o"
+  "CMakeFiles/bench_sec92_apache_overhead.dir/bench_sec92_apache_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec92_apache_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec93_proxy_seda_overhead"
+  "../bench/bench_sec93_proxy_seda_overhead.pdb"
+  "CMakeFiles/bench_sec93_proxy_seda_overhead.dir/bench_sec93_proxy_seda_overhead.cc.o"
+  "CMakeFiles/bench_sec93_proxy_seda_overhead.dir/bench_sec93_proxy_seda_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec93_proxy_seda_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_tpcw_profile"
+  "../bench/bench_table1_tpcw_profile.pdb"
+  "CMakeFiles/bench_table1_tpcw_profile.dir/bench_table1_tpcw_profile.cc.o"
+  "CMakeFiles/bench_table1_tpcw_profile.dir/bench_table1_tpcw_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tpcw_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

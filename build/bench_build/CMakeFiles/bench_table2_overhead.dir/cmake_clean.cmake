@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_overhead"
+  "../bench/bench_table2_overhead.pdb"
+  "CMakeFiles/bench_table2_overhead.dir/bench_table2_overhead.cc.o"
+  "CMakeFiles/bench_table2_overhead.dir/bench_table2_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_emulation"
+  "../bench/bench_table3_emulation.pdb"
+  "CMakeFiles/bench_table3_emulation.dir/bench_table3_emulation.cc.o"
+  "CMakeFiles/bench_table3_emulation.dir/bench_table3_emulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_tuning.dir/bookstore_tuning.cpp.o"
+  "CMakeFiles/bookstore_tuning.dir/bookstore_tuning.cpp.o.d"
+  "bookstore_tuning"
+  "bookstore_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

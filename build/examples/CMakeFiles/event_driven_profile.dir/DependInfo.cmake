@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/event_driven_profile.cpp" "examples/CMakeFiles/event_driven_profile.dir/event_driven_profile.cpp.o" "gcc" "examples/CMakeFiles/event_driven_profile.dir/event_driven_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/events/CMakeFiles/whodunit_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/whodunit_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/whodunit_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/callpath/CMakeFiles/whodunit_callpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whodunit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whodunit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

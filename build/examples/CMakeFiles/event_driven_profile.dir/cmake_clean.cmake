@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven_profile.dir/event_driven_profile.cpp.o"
+  "CMakeFiles/event_driven_profile.dir/event_driven_profile.cpp.o.d"
+  "event_driven_profile"
+  "event_driven_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_report.dir/offline_report.cpp.o"
+  "CMakeFiles/offline_report.dir/offline_report.cpp.o.d"
+  "offline_report"
+  "offline_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

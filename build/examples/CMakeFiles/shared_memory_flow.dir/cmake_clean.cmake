@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_flow.dir/shared_memory_flow.cpp.o"
+  "CMakeFiles/shared_memory_flow.dir/shared_memory_flow.cpp.o.d"
+  "shared_memory_flow"
+  "shared_memory_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

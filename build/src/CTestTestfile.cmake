@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("callpath")
+subdirs("context")
+subdirs("vm")
+subdirs("shm")
+subdirs("events")
+subdirs("seda")
+subdirs("crosstalk")
+subdirs("profiler")
+subdirs("http")
+subdirs("db")
+subdirs("workload")
+subdirs("apps")

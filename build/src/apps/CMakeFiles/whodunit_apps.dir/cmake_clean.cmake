@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_apps.dir/bookstore/bookstore.cc.o"
+  "CMakeFiles/whodunit_apps.dir/bookstore/bookstore.cc.o.d"
+  "CMakeFiles/whodunit_apps.dir/minihttpd/minihttpd.cc.o"
+  "CMakeFiles/whodunit_apps.dir/minihttpd/minihttpd.cc.o.d"
+  "CMakeFiles/whodunit_apps.dir/miniproxy/miniproxy.cc.o"
+  "CMakeFiles/whodunit_apps.dir/miniproxy/miniproxy.cc.o.d"
+  "CMakeFiles/whodunit_apps.dir/sedaserver/sedaserver.cc.o"
+  "CMakeFiles/whodunit_apps.dir/sedaserver/sedaserver.cc.o.d"
+  "libwhodunit_apps.a"
+  "libwhodunit_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

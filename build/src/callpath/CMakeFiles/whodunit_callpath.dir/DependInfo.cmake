@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/callpath/cct.cc" "src/callpath/CMakeFiles/whodunit_callpath.dir/cct.cc.o" "gcc" "src/callpath/CMakeFiles/whodunit_callpath.dir/cct.cc.o.d"
+  "/root/repo/src/callpath/gprof_report.cc" "src/callpath/CMakeFiles/whodunit_callpath.dir/gprof_report.cc.o" "gcc" "src/callpath/CMakeFiles/whodunit_callpath.dir/gprof_report.cc.o.d"
+  "/root/repo/src/callpath/sampler.cc" "src/callpath/CMakeFiles/whodunit_callpath.dir/sampler.cc.o" "gcc" "src/callpath/CMakeFiles/whodunit_callpath.dir/sampler.cc.o.d"
+  "/root/repo/src/callpath/shadow_stack.cc" "src/callpath/CMakeFiles/whodunit_callpath.dir/shadow_stack.cc.o" "gcc" "src/callpath/CMakeFiles/whodunit_callpath.dir/shadow_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/whodunit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whodunit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

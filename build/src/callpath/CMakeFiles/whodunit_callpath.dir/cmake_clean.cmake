@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_callpath.dir/cct.cc.o"
+  "CMakeFiles/whodunit_callpath.dir/cct.cc.o.d"
+  "CMakeFiles/whodunit_callpath.dir/gprof_report.cc.o"
+  "CMakeFiles/whodunit_callpath.dir/gprof_report.cc.o.d"
+  "CMakeFiles/whodunit_callpath.dir/sampler.cc.o"
+  "CMakeFiles/whodunit_callpath.dir/sampler.cc.o.d"
+  "CMakeFiles/whodunit_callpath.dir/shadow_stack.cc.o"
+  "CMakeFiles/whodunit_callpath.dir/shadow_stack.cc.o.d"
+  "libwhodunit_callpath.a"
+  "libwhodunit_callpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_callpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_context.dir/synopsis.cc.o"
+  "CMakeFiles/whodunit_context.dir/synopsis.cc.o.d"
+  "CMakeFiles/whodunit_context.dir/transaction_context.cc.o"
+  "CMakeFiles/whodunit_context.dir/transaction_context.cc.o.d"
+  "libwhodunit_context.a"
+  "libwhodunit_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

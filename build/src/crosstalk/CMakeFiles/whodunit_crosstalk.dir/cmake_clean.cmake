@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_crosstalk.dir/crosstalk.cc.o"
+  "CMakeFiles/whodunit_crosstalk.dir/crosstalk.cc.o.d"
+  "libwhodunit_crosstalk.a"
+  "libwhodunit_crosstalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

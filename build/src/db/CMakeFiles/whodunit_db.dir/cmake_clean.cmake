@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_db.dir/database.cc.o"
+  "CMakeFiles/whodunit_db.dir/database.cc.o.d"
+  "libwhodunit_db.a"
+  "libwhodunit_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

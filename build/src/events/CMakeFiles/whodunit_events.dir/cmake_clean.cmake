@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_events.dir/event_loop.cc.o"
+  "CMakeFiles/whodunit_events.dir/event_loop.cc.o.d"
+  "libwhodunit_events.a"
+  "libwhodunit_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_profiler.dir/analysis.cc.o"
+  "CMakeFiles/whodunit_profiler.dir/analysis.cc.o.d"
+  "CMakeFiles/whodunit_profiler.dir/deployment.cc.o"
+  "CMakeFiles/whodunit_profiler.dir/deployment.cc.o.d"
+  "CMakeFiles/whodunit_profiler.dir/profile_io.cc.o"
+  "CMakeFiles/whodunit_profiler.dir/profile_io.cc.o.d"
+  "CMakeFiles/whodunit_profiler.dir/stage_profiler.cc.o"
+  "CMakeFiles/whodunit_profiler.dir/stage_profiler.cc.o.d"
+  "CMakeFiles/whodunit_profiler.dir/stitcher.cc.o"
+  "CMakeFiles/whodunit_profiler.dir/stitcher.cc.o.d"
+  "libwhodunit_profiler.a"
+  "libwhodunit_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_seda.dir/stage.cc.o"
+  "CMakeFiles/whodunit_seda.dir/stage.cc.o.d"
+  "libwhodunit_seda.a"
+  "libwhodunit_seda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_seda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

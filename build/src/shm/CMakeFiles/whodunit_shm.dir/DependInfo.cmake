@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/flow_detector.cc" "src/shm/CMakeFiles/whodunit_shm.dir/flow_detector.cc.o" "gcc" "src/shm/CMakeFiles/whodunit_shm.dir/flow_detector.cc.o.d"
+  "/root/repo/src/shm/guest_code.cc" "src/shm/CMakeFiles/whodunit_shm.dir/guest_code.cc.o" "gcc" "src/shm/CMakeFiles/whodunit_shm.dir/guest_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/whodunit_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whodunit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_shm.dir/flow_detector.cc.o"
+  "CMakeFiles/whodunit_shm.dir/flow_detector.cc.o.d"
+  "CMakeFiles/whodunit_shm.dir/guest_code.cc.o"
+  "CMakeFiles/whodunit_shm.dir/guest_code.cc.o.d"
+  "libwhodunit_shm.a"
+  "libwhodunit_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

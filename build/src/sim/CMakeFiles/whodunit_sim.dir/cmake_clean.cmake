@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_sim.dir/cpu.cc.o"
+  "CMakeFiles/whodunit_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/whodunit_sim.dir/lock.cc.o"
+  "CMakeFiles/whodunit_sim.dir/lock.cc.o.d"
+  "CMakeFiles/whodunit_sim.dir/scheduler.cc.o"
+  "CMakeFiles/whodunit_sim.dir/scheduler.cc.o.d"
+  "libwhodunit_sim.a"
+  "libwhodunit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

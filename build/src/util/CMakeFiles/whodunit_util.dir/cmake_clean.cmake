@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_util.dir/interner.cc.o"
+  "CMakeFiles/whodunit_util.dir/interner.cc.o.d"
+  "CMakeFiles/whodunit_util.dir/rng.cc.o"
+  "CMakeFiles/whodunit_util.dir/rng.cc.o.d"
+  "CMakeFiles/whodunit_util.dir/stats.cc.o"
+  "CMakeFiles/whodunit_util.dir/stats.cc.o.d"
+  "CMakeFiles/whodunit_util.dir/zipf.cc.o"
+  "CMakeFiles/whodunit_util.dir/zipf.cc.o.d"
+  "libwhodunit_util.a"
+  "libwhodunit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

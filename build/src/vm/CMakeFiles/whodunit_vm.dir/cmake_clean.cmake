@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_vm.dir/interpreter.cc.o"
+  "CMakeFiles/whodunit_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/whodunit_vm.dir/isa.cc.o"
+  "CMakeFiles/whodunit_vm.dir/isa.cc.o.d"
+  "CMakeFiles/whodunit_vm.dir/program_builder.cc.o"
+  "CMakeFiles/whodunit_vm.dir/program_builder.cc.o.d"
+  "libwhodunit_vm.a"
+  "libwhodunit_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

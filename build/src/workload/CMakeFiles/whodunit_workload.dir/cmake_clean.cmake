@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whodunit_workload.dir/tpcw.cc.o"
+  "CMakeFiles/whodunit_workload.dir/tpcw.cc.o.d"
+  "libwhodunit_workload.a"
+  "libwhodunit_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whodunit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callpath_cct_test.dir/callpath_cct_test.cc.o"
+  "CMakeFiles/callpath_cct_test.dir/callpath_cct_test.cc.o.d"
+  "callpath_cct_test"
+  "callpath_cct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callpath_cct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

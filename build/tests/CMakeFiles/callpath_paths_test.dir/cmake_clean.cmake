@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callpath_paths_test.dir/callpath_paths_test.cc.o"
+  "CMakeFiles/callpath_paths_test.dir/callpath_paths_test.cc.o.d"
+  "callpath_paths_test"
+  "callpath_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callpath_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_property_test.dir/context_property_test.cc.o"
+  "CMakeFiles/context_property_test.dir/context_property_test.cc.o.d"
+  "context_property_test"
+  "context_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_test.dir/crosstalk_test.cc.o"
+  "CMakeFiles/crosstalk_test.dir/crosstalk_test.cc.o.d"
+  "crosstalk_test"
+  "crosstalk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_stephook_test.dir/db_stephook_test.cc.o"
+  "CMakeFiles/db_stephook_test.dir/db_stephook_test.cc.o.d"
+  "db_stephook_test"
+  "db_stephook_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_stephook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

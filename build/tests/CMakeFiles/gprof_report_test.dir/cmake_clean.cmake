@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprof_report_test.dir/gprof_report_test.cc.o"
+  "CMakeFiles/gprof_report_test.dir/gprof_report_test.cc.o.d"
+  "gprof_report_test"
+  "gprof_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprof_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

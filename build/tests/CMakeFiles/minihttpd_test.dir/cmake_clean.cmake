@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihttpd_test.dir/minihttpd_test.cc.o"
+  "CMakeFiles/minihttpd_test.dir/minihttpd_test.cc.o.d"
+  "minihttpd_test"
+  "minihttpd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihttpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

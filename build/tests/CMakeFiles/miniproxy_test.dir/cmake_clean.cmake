@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniproxy_test.dir/miniproxy_test.cc.o"
+  "CMakeFiles/miniproxy_test.dir/miniproxy_test.cc.o.d"
+  "miniproxy_test"
+  "miniproxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniproxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_advanced_test.dir/profiler_advanced_test.cc.o"
+  "CMakeFiles/profiler_advanced_test.dir/profiler_advanced_test.cc.o.d"
+  "profiler_advanced_test"
+  "profiler_advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seda_test.dir/seda_test.cc.o"
+  "CMakeFiles/seda_test.dir/seda_test.cc.o.d"
+  "seda_test"
+  "seda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedaserver_test.dir/sedaserver_test.cc.o"
+  "CMakeFiles/sedaserver_test.dir/sedaserver_test.cc.o.d"
+  "sedaserver_test"
+  "sedaserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedaserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

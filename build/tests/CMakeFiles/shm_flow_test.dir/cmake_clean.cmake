@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_flow_test.dir/shm_flow_test.cc.o"
+  "CMakeFiles/shm_flow_test.dir/shm_flow_test.cc.o.d"
+  "shm_flow_test"
+  "shm_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

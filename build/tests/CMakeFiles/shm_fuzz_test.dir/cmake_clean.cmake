@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_fuzz_test.dir/shm_fuzz_test.cc.o"
+  "CMakeFiles/shm_fuzz_test.dir/shm_fuzz_test.cc.o.d"
+  "shm_fuzz_test"
+  "shm_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

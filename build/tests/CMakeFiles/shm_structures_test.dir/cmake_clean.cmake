@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_structures_test.dir/shm_structures_test.cc.o"
+  "CMakeFiles/shm_structures_test.dir/shm_structures_test.cc.o.d"
+  "shm_structures_test"
+  "shm_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

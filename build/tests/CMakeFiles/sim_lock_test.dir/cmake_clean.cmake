@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_lock_test.dir/sim_lock_test.cc.o"
+  "CMakeFiles/sim_lock_test.dir/sim_lock_test.cc.o.d"
+  "sim_lock_test"
+  "sim_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

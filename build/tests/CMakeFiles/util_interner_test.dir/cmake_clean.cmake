@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_interner_test.dir/util_interner_test.cc.o"
+  "CMakeFiles/util_interner_test.dir/util_interner_test.cc.o.d"
+  "util_interner_test"
+  "util_interner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_interner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

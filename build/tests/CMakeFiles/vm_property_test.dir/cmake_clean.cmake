@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_property_test.dir/vm_property_test.cc.o"
+  "CMakeFiles/vm_property_test.dir/vm_property_test.cc.o.d"
+  "vm_property_test"
+  "vm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
