@@ -52,5 +52,6 @@ int main() {
       "read-phase and write-phase of a request) regardless of connection\n"
       "length; unpruned state grows linearly with the trace — each profile\n"
       "sample would land in a CCT of its own.");
+  whodunit::bench::DumpMetrics("ablation_pruning");
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
               100.0 * static_cast<double>(r.context_bytes) /
                   static_cast<double>(r.payload_bytes),
               100.0 * full_bytes / static_cast<double>(r.payload_bytes));
+  whodunit::bench::DumpMetrics("ablation_synopsis");
   return 0;
 }

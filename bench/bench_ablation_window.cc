@@ -75,5 +75,6 @@ int main() {
       "\nMAX=128 catches consumers that use the value within a realistic\n"
       "procedure-return distance; a tiny window misses legitimate flows,\n"
       "a huge window only adds emulation cost after every critical section.");
+  whodunit::bench::DumpMetrics("ablation_window");
   return 0;
 }

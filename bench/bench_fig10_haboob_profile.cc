@@ -32,5 +32,6 @@ int main() {
               r.write_hit_share);
   std::printf("  via miss path:        %.2f%% of CPU   (paper: 46.58%%)\n",
               r.write_miss_share);
+  whodunit::bench::DumpMetrics("fig10_haboob_profile");
   return 0;
 }

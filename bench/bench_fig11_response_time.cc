@@ -60,5 +60,6 @@ int main() {
   bench::Note(
       "\nAC-xtalk is AdminConfirm's mean lock wait under MyISAM; with InnoDB\n"
       "row locks it is (near) zero — the mechanism behind the AC-inno column.");
+  whodunit::bench::DumpMetrics("fig11_response_time");
   return 0;
 }

@@ -38,5 +38,6 @@ int main() {
   std::printf("\npeak throughput: original %.0f tx/min (paper: 1184), caching %.0f\n"
               "tx/min (paper: 3376) — ratio %.2fx (paper: 2.85x)\n",
               peak_plain, peak_cached, peak_cached / peak_plain);
+  whodunit::bench::DumpMetrics("fig12_throughput");
   return 0;
 }

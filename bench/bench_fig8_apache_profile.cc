@@ -51,5 +51,6 @@ int main() {
               static_cast<unsigned long>(v.flows_detected));
   std::printf("table resource demoted:      %s   (threads read AND write rows)\n",
               v.table_lock_demoted ? "yes" : "NO");
+  whodunit::bench::DumpMetrics("fig8_apache_profile");
   return 0;
 }

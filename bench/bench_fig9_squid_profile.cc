@@ -31,5 +31,6 @@ int main() {
   std::printf("  via cache-miss path:   %.2f%% of proxy CPU\n", r.miss_path_share);
   bench::Note("(paper Figure 9 reports 38.5% and 14.5% for the two contexts;\n"
               " the split depends on the trace's hit ratio)");
+  whodunit::bench::DumpMetrics("fig9_squid_profile");
   return 0;
 }

@@ -35,5 +35,6 @@ int main() {
               static_cast<unsigned long>(on.connections));
   std::printf("allocator critical sections demoted to direct execution: %s\n",
               on.allocator_demoted ? "yes" : "NO");
+  whodunit::bench::DumpMetrics("sec92_apache_overhead");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
     std::printf("Haboob  overhead:   %8.2f %%     (paper: 4.2%%)\n",
                 100.0 * (off.throughput_mbps - on.throughput_mbps) / off.throughput_mbps);
   }
+  whodunit::bench::DumpMetrics("sec93_proxy_seda_overhead");
   return 0;
 }

@@ -77,5 +77,6 @@ int main() {
   std::printf("Crosstalk pairs (waiter <- holder):\n%s\n", r.crosstalk_text.c_str());
   std::printf("The paper's §1 query, answered from the profile:\n%s\n",
               r.who_causes_sort.c_str());
+  whodunit::bench::DumpMetrics("table1_tpcw_profile");
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
   std::printf("communication overhead:          %.2f%% (paper: ~1%%)\n",
               100.0 * static_cast<double>(whodunit_context) /
                   static_cast<double>(whodunit_payload));
+  whodunit::bench::DumpMetrics("table2_overhead");
   return 0;
 }

@@ -148,5 +148,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  whodunit::bench::DumpMetrics("table3_emulation");
   return 0;
 }

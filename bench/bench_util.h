@@ -9,6 +9,9 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <string>
+
+#include "src/obs/export.h"
 
 namespace whodunit::bench {
 
@@ -19,6 +22,19 @@ inline void Header(const char* title) {
 }
 
 inline void Note(const char* text) { std::printf("%s\n", text); }
+
+// Writes the profiler's internal counters (src/obs, docs/METRICS.md)
+// to BENCH_<name>.metrics.json in the working directory, so result
+// trajectories carry the self-observability data next to the
+// wall-clock numbers. Call once, at bench exit.
+inline void DumpMetrics(const char* bench_name) {
+  const std::string path = std::string("BENCH_") + bench_name + ".metrics.json";
+  if (obs::DumpGlobalMetrics(path)) {
+    std::printf("\n[obs] internal metrics dumped to %s\n", path.c_str());
+  } else {
+    std::printf("\n[obs] FAILED to write %s\n", path.c_str());
+  }
+}
 
 }  // namespace whodunit::bench
 

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/export.h"
 #include "src/profiler/deployment.h"
 #include "src/profiler/profile_io.h"
 #include "src/profiler/stage_profiler.h"
@@ -108,5 +109,25 @@ int main(int argc, char** argv) {
   std::printf("%s", profiler::OfflineStitch(profiles, dictionary).c_str());
   std::printf("\nNote how the leaf's run_query cost is split by which caller path\n"
               "(search vs browse) reached it, two stages upstream.\n");
+
+  // ---- Step 3: the profiler's own telemetry, same round trip ----
+  // The obs layer (docs/METRICS.md) watched the run from the inside:
+  // dump its JSON export next to the profiles, then re-read and render
+  // it from the file alone — the path every bench's
+  // BENCH_*.metrics.json dump takes.
+  const std::filesystem::path metrics_path = dir / "metrics.json";
+  if (!obs::DumpGlobalMetrics(metrics_path.string())) {
+    std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+    return 1;
+  }
+  obs::MetricsSnapshot snapshot;
+  std::vector<obs::SpanRecord> spans;
+  if (!obs::ParseJson(ReadFile(metrics_path), &snapshot, &spans)) {
+    std::fprintf(stderr, "failed to re-read %s\n", metrics_path.c_str());
+    return 1;
+  }
+  std::printf("\n===== profiler self-observability (re-read from %s) =====\n",
+              metrics_path.c_str());
+  std::printf("%s", obs::RenderText(snapshot, &spans).c_str());
   return 0;
 }

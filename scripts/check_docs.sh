@@ -1,0 +1,42 @@
+#!/bin/sh
+# Docs drift check: every src/<subsystem>/ directory must have a section in
+# docs/ARCHITECTURE.md, and the files docs link to must exist. Run from
+# anywhere; registered with ctest as `check_docs`.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+arch="$repo_root/docs/ARCHITECTURE.md"
+status=0
+
+if [ ! -f "$arch" ]; then
+  echo "check_docs: missing $arch" >&2
+  exit 1
+fi
+
+for dir in "$repo_root"/src/*/; do
+  name=$(basename "$dir")
+  if ! grep -q "src/$name" "$arch"; then
+    echo "check_docs: src/$name/ has no section in docs/ARCHITECTURE.md" >&2
+    status=1
+  fi
+done
+
+for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/PROFILE_FORMAT.md; do
+  if [ ! -f "$repo_root/$doc" ]; then
+    echo "check_docs: missing $doc" >&2
+    status=1
+  fi
+done
+
+# README must point at the docs so they stay discoverable.
+for doc in ARCHITECTURE.md METRICS.md PROFILE_FORMAT.md; do
+  if ! grep -q "docs/$doc" "$repo_root/README.md"; then
+    echo "check_docs: README.md does not link docs/$doc" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: OK"
+fi
+exit "$status"

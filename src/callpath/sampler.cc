@@ -2,13 +2,23 @@
 
 namespace whodunit::callpath {
 
+Sampler::Sampler(sim::SimTime period)
+    : period_(period),
+      obs_samples_taken_(&obs::Registry().GetCounter("sampler.samples_taken")),
+      obs_samples_dropped_(&obs::Registry().GetCounter("sampler.samples_dropped_detached")),
+      obs_stack_depth_(&obs::Registry().GetHistogram("sampler.shadow_stack_depth",
+                                                     obs::DefaultDepthBounds())) {}
+
 void Sampler::OnCpu(ShadowStack& stack, sim::SimTime cost) {
   if (cost <= 0) {
     return;
   }
   CallingContextTree* cct = stack.cct();
   if (cct == nullptr) {
-    return;  // detached: stage not being profiled
+    // Detached: stage not being profiled. The samples a periodic timer
+    // would have delivered over this charge are dropped.
+    obs_samples_dropped_->Add(static_cast<uint64_t>(cost / period_));
+    return;
   }
   const NodeIndex node = stack.current_node();
   cct->AddCpuTime(node, cost);
@@ -18,6 +28,8 @@ void Sampler::OnCpu(ShadowStack& stack, sim::SimTime cost) {
     residue_ -= static_cast<sim::SimTime>(fired) * period_;
     cct->AddSample(node, fired);
     samples_taken_ += fired;
+    obs_samples_taken_->Add(fired);
+    obs_stack_depth_->Observe(stack.depth());
   }
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/callpath/shadow_stack.h"
+#include "src/obs/metrics.h"
 #include "src/sim/time.h"
 
 namespace whodunit::callpath {
@@ -19,7 +20,7 @@ class Sampler {
  public:
   // period: virtual ns between samples. The paper's 666 Hz is
   // 1501501 ns; see workload/calibration.h.
-  explicit Sampler(sim::SimTime period) : period_(period) {}
+  explicit Sampler(sim::SimTime period);
 
   // Charges `cost` ns of CPU against the thread owning `stack`.
   // Whole elapsed sample periods produce samples on the stack's
@@ -33,6 +34,11 @@ class Sampler {
   sim::SimTime period_;
   sim::SimTime residue_ = 0;
   uint64_t samples_taken_ = 0;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_samples_taken_;
+  obs::Counter* obs_samples_dropped_;
+  obs::Histogram* obs_stack_depth_;
 };
 
 }  // namespace whodunit::callpath

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace whodunit::context {
 
 bool Synopsis::HasPrefix(const Synopsis& p) const {
@@ -54,10 +56,14 @@ uint64_t Synopsis::Hash() const {
 }
 
 uint32_t SynopsisDictionary::Intern(const TransactionContext& ctxt) {
+  static obs::Counter& obs_hits = obs::Registry().GetCounter("synopsis.dict_hits");
+  static obs::Counter& obs_inserts = obs::Registry().GetCounter("synopsis.dict_inserts");
   auto it = ids_.find(ctxt);
   if (it != ids_.end()) {
+    obs_hits.Add();
     return it->second;
   }
+  obs_inserts.Add();
   const auto id = static_cast<uint32_t>(contexts_.size());
   contexts_.push_back(ctxt);
   ids_.emplace(ctxt, id);

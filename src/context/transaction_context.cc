@@ -2,9 +2,14 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace whodunit::context {
 
 void TransactionContext::Append(Element e, bool prune) {
+  static obs::Counter& obs_appends = obs::Registry().GetCounter("context.appends");
+  static obs::Counter& obs_prunings = obs::Registry().GetCounter("context.prunings");
+  obs_appends.Add();
   if (prune) {
     // One rule covers both cases from §4.1: if e already occurs in the
     // sequence, the new occurrence closes a loop (length 1 when it is
@@ -15,6 +20,7 @@ void TransactionContext::Append(Element e, bool prune) {
     for (size_t i = elements_.size(); i-- > 0;) {
       if (elements_[i] == e) {
         elements_.resize(i + 1);
+        obs_prunings.Add();
         return;
       }
     }

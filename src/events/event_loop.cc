@@ -5,7 +5,15 @@
 namespace whodunit::events {
 
 EventLoop::EventLoop(sim::Scheduler& sched, std::string name)
-    : sched_(sched), name_(std::move(name)), queue_(sched) {}
+    : sched_(sched),
+      name_(std::move(name)),
+      queue_(sched),
+      obs_dispatched_(&obs::Registry().GetCounter("events.dispatched")),
+      obs_external_(&obs::Registry().GetCounter("events.external_injected")),
+      obs_queue_depth_(&obs::Registry().GetHistogram("events.queue_depth",
+                                                     obs::DefaultDepthBounds())),
+      obs_handler_ns_(&obs::Registry().GetHistogram("events.handler_ns",
+                                                    obs::DefaultLatencyBoundsNs())) {}
 
 HandlerId EventLoop::RegisterHandler(std::string_view name, Handler handler) {
   const HandlerId id = handlers_.Intern(name);
@@ -25,6 +33,7 @@ void EventLoop::AddEvent(HandlerId handler, uint64_t payload) {
 }
 
 void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload) {
+  obs_external_->Add();
   queue_.Send(Event{handler, payload, {}});
 }
 
@@ -34,6 +43,7 @@ sim::Process EventLoop::Run() {
     if (!ev) {
       break;  // Stop() was called
     }
+    obs_queue_depth_->Observe(queue_.pending());
     if (tracking_) {
       // Figure 4, lines 5-6: concatenate the event's context with its
       // handler; Append prunes consecutive duplicates and loops.
@@ -45,8 +55,16 @@ sim::Process EventLoop::Run() {
       }
     }
     ++events_dispatched_;
+    obs_dispatched_->Add();
+    const sim::SimTime start = sched_.now();
     HandlerContext hc{*this, ev->payload};
     co_await handler_fns_[ev->handler](hc);
+    const sim::SimTime elapsed = sched_.now() - start;
+    obs_handler_ns_->Observe(static_cast<uint64_t>(elapsed));
+    obs::Tracer().Record(obs::SpanRecord{"events.handler", handlers_.NameOf(ev->handler),
+                                         tracking_ ? curr_tran_ctxt_.Hash() : 0,
+                                         static_cast<int64_t>(start),
+                                         static_cast<int64_t>(elapsed)});
   }
 }
 

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "src/context/transaction_context.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/channel.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/task.h"
@@ -107,6 +109,12 @@ class EventLoop {
   bool tracking_ = true;
   bool pruning_ = true;
   uint64_t events_dispatched_ = 0;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_dispatched_;
+  obs::Counter* obs_external_;
+  obs::Histogram* obs_queue_depth_;
+  obs::Histogram* obs_handler_ns_;
 };
 
 }  // namespace whodunit::events

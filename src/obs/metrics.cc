@@ -1,0 +1,158 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace whodunit::obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& s : shards_) {
+    s.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<internal::PaddedAtomic>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[bucket].v.fetch_add(1, std::memory_order_relaxed);
+  shard.count.v.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.v.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard.buckets[i].v.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) {
+      b.v.store(0, std::memory_order_relaxed);
+    }
+    shard.count.v.store(0, std::memory_order_relaxed);
+    shard.sum.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<uint64_t>& DefaultLatencyBoundsNs() {
+  static const std::vector<uint64_t> kBounds = {
+      1'000,       2'000,       5'000,       10'000,      20'000,        50'000,
+      100'000,     200'000,     500'000,     1'000'000,   2'000'000,     5'000'000,
+      10'000'000,  20'000'000,  50'000'000,  100'000'000, 200'000'000,   500'000'000,
+      1'000'000'000};
+  return kBounds;
+}
+
+const std::vector<uint64_t>& DefaultDepthBounds() {
+  static const std::vector<uint64_t> kBounds = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return kBounds;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<uint64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = hist->bounds();
+    h.counts = hist->BucketCounts();
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace whodunit::obs

@@ -1,0 +1,150 @@
+// Self-observability: metrics for the profiler's own machinery.
+//
+// Whodunit quantifies its overhead budgets from the outside (Tables
+// 2-3, §9); this layer lets the reproduction watch itself from the
+// inside: how many samples the sampler fired, how often the §3
+// dictionary propagated a context, how many synopses were recognized
+// as responses. Every subsystem registers named instruments here and
+// a snapshot (merged across threads) is exported as JSON at bench
+// exit — see docs/METRICS.md for the full catalog and schema.
+//
+// Design: instruments are lock-cheap. A Counter/Histogram holds a
+// small fixed array of cache-line-padded atomic shards; a thread
+// picks its shard once (thread-local index) and updates it with a
+// relaxed fetch_add — no mutex, no contention between simulator
+// threads or test writer threads. The registry mutex is touched only
+// at instrument creation and at snapshot time. Instrumented classes
+// cache `Counter*` handles at construction so hot paths never pay a
+// name lookup.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whodunit::obs {
+
+// Number of independent shards per instrument. Threads hash onto a
+// shard; 16 is plenty for the simulator (single-threaded) and for the
+// concurrency the tests exercise.
+inline constexpr size_t kShards = 16;
+
+// Index of the calling thread's shard, assigned round-robin on first
+// use per thread.
+size_t ThisThreadShard();
+
+namespace internal {
+struct alignas(64) PaddedAtomic {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace internal
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  std::array<internal::PaddedAtomic, kShards> shards_;
+};
+
+// Last-writer-wins instantaneous value (dictionary sizes, depths).
+// Gauges are updated rarely, so a single atomic suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+// finite buckets; one implicit overflow bucket catches the rest.
+// Observations, the running count, and the running sum are sharded
+// like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t value);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // Per-bucket counts (bounds().size() + 1 entries, overflow last).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  void Reset();
+
+ private:
+  struct Shard {
+    std::vector<internal::PaddedAtomic> buckets;
+    internal::PaddedAtomic count;
+    internal::PaddedAtomic sum;
+  };
+  std::vector<uint64_t> bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+// Virtual-time latency buckets: 1us..1s, roughly 1-2-5 per decade.
+const std::vector<uint64_t>& DefaultLatencyBoundsNs();
+// Small-cardinality buckets (queue depths, stack depths): powers of 2.
+const std::vector<uint64_t>& DefaultDepthBounds();
+
+struct HistogramSnapshot {
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1, overflow last
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+// Point-in-time merged view of every instrument in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Instruments live as long as the registry; returned references are
+  // stable, so callers cache them at construction time.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` is used only on first creation of `name`.
+  Histogram& GetHistogram(std::string_view name, const std::vector<uint64_t>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every instrument (between bench configurations, in tests).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide registry every built-in instrumentation point uses.
+MetricsRegistry& Registry();
+
+}  // namespace whodunit::obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,59 @@
+#include "src/obs/trace.h"
+
+#include <utility>
+
+namespace whodunit::obs {
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void TraceLog::Record(SpanRecord span) {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: when the ring has wrapped, next_ points at the
+  // oldest surviving span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+TraceLog& Tracer() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+}  // namespace whodunit::obs

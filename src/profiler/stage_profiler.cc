@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace whodunit::profiler {
 
 using callpath::CountsCalls;
@@ -83,6 +85,8 @@ context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_resp
   if (!TracksTransactions(options_.mode)) {
     return {};
   }
+  static obs::Counter& obs_sends = obs::Registry().GetCounter("profiler.sends_prepared");
+  obs_sends.Add();
   // Transaction context at the send point: the locally accumulated
   // elements plus the call path leading to the send (§5).
   context::TransactionContext send_ctxt = tp.local_ctxt_;
@@ -102,6 +106,8 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
   if (!TracksTransactions(options_.mode)) {
     return false;
   }
+  static obs::Counter& obs_matches = obs::Registry().GetCounter("profiler.synopsis_matches");
+  static obs::Counter& obs_misses = obs::Registry().GetCounter("profiler.synopsis_misses");
   ++tp.uncharged_messages_;
   // Response recognition (§5): a message whose synopsis extends one we
   // sent is the reply to that request; restore the context we had when
@@ -112,10 +118,12 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
       tp.local_ctxt_ = it->second.local_ctxt;
       tp.pending_sends_.erase(it);
       UpdateCct(tp);
+      obs_matches.Add();
       return true;
     }
   }
   // New request: adopt the sender's transaction context wholesale.
+  obs_misses.Add();
   tp.incoming_ = synopsis;
   tp.local_ctxt_ = {};
   UpdateCct(tp);
@@ -128,6 +136,8 @@ void StageProfiler::AdoptCtxt(ThreadProfile& tp, uint32_t ctxt_id) {
   if (!TracksTransactions(options_.mode)) {
     return;
   }
+  static obs::Counter& obs_adoptions = obs::Registry().GetCounter("profiler.flow_adoptions");
+  obs_adoptions.Add();
   tp.incoming_ = ctxt_table_.at(ctxt_id);
   tp.local_ctxt_ = {};
   UpdateCct(tp);
@@ -261,6 +271,8 @@ void StageProfiler::UpdateCct(ThreadProfile& tp) {
   if (tp.label_valid_ && label == tp.current_label_) {
     return;
   }
+  static obs::Counter& obs_switches = obs::Registry().GetCounter("profiler.cct_switches");
+  obs_switches.Add();
   tp.current_label_ = label;
   tp.label_valid_ = true;
   tp.stack_.AttachCct(&CctFor(label));

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/profiler/stage_profiler.h"
 
 namespace whodunit::profiler {
@@ -51,6 +52,7 @@ std::vector<Stitcher::Edge> Stitcher::Edges() const {
                            std::move(send_desc)});
     }
   }
+  obs::Registry().GetCounter("stitcher.edges_stitched").Add(edges.size());
   return edges;
 }
 

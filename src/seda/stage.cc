@@ -44,7 +44,13 @@ Stage::Stage(StageGraph& graph, StageId id, std::string name, int workers,
       name_(std::move(name)),
       workers_(workers),
       body_(std::move(body)),
-      queue_(graph.scheduler()) {}
+      queue_(graph.scheduler()),
+      obs_processed_(&obs::Registry().GetCounter("seda.elements_processed")),
+      obs_concats_(&obs::Registry().GetCounter("seda.context_concats")),
+      obs_queue_depth_(&obs::Registry().GetHistogram("seda.queue_depth",
+                                                     obs::DefaultDepthBounds())),
+      obs_element_ns_(&obs::Registry().GetHistogram("seda.element_ns",
+                                                    obs::DefaultLatencyBoundsNs())) {}
 
 void Stage::Start() {
   for (int w = 0; w < workers_; ++w) {
@@ -58,6 +64,7 @@ sim::Process Stage::WorkerLoop(int worker) {
     if (!elem) {
       break;
     }
+    obs_queue_depth_->Observe(queue_.pending());
     StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload, {}};
     if (graph_.tracking()) {
       // Figure 5, lines 5-6: current context = element's context
@@ -65,12 +72,21 @@ sim::Process Stage::WorkerLoop(int worker) {
       wc.curr_ctxt = elem->tran_ctxt;
       wc.curr_ctxt.Append(context::Element{context::ElementKind::kStage, id_},
                           graph_.pruning());
+      obs_concats_->Add();
       if (graph_.listener_) {
         graph_.listener_(id_, worker, wc.curr_ctxt);
       }
     }
     ++processed_;
+    obs_processed_->Add();
+    const sim::SimTime start = graph_.scheduler().now();
     co_await body_(wc);
+    const sim::SimTime elapsed = graph_.scheduler().now() - start;
+    obs_element_ns_->Observe(static_cast<uint64_t>(elapsed));
+    obs::Tracer().Record(obs::SpanRecord{"seda.element", name_,
+                                         graph_.tracking() ? wc.curr_ctxt.Hash() : 0,
+                                         static_cast<int64_t>(start),
+                                         static_cast<int64_t>(elapsed)});
   }
 }
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/context/transaction_context.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/channel.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/task.h"
@@ -118,6 +120,12 @@ class Stage {
   StageGraph::Body body_;
   sim::Channel<QueueElem> queue_;
   uint64_t processed_ = 0;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_processed_;
+  obs::Counter* obs_concats_;
+  obs::Histogram* obs_queue_depth_;
+  obs::Histogram* obs_element_ns_;
 };
 
 }  // namespace whodunit::seda

@@ -5,12 +5,23 @@
 namespace whodunit::shm {
 
 FlowDetector::FlowDetector(Config config, CtxtProvider ctxt_provider)
-    : config_(config), ctxt_provider_(std::move(ctxt_provider)) {}
+    : config_(config),
+      ctxt_provider_(std::move(ctxt_provider)),
+      obs_critical_sections_(&obs::Registry().GetCounter("shm.critical_sections")),
+      obs_propagations_(&obs::Registry().GetCounter("shm.dict_propagations")),
+      obs_associations_(&obs::Registry().GetCounter("shm.dict_associations")),
+      obs_poisonings_(&obs::Registry().GetCounter("shm.invlctxt_poisonings")),
+      obs_flushes_(&obs::Registry().GetCounter("shm.foreign_lock_flushes")),
+      obs_flows_(&obs::Registry().GetCounter("shm.flows_detected")),
+      obs_demotions_(&obs::Registry().GetCounter("shm.lock_demotions")),
+      obs_window_dedups_(&obs::Registry().GetCounter("shm.consume_window_dedups")),
+      obs_dict_size_(&obs::Registry().GetGauge("shm.dict_size")) {}
 
 void FlowDetector::FlushIfForeign(const vm::Loc& loc, uint64_t lock_id) {
   auto it = dict_.find(loc);
   if (it != dict_.end() && it->second.lock_id != lock_id) {
     dict_.erase(it);
+    obs_flushes_->Add();
   }
 }
 
@@ -29,6 +40,7 @@ void FlowDetector::OnLock(vm::ThreadId t, uint64_t lock_id) {
     // over.
     ClearThreadRegisters(t);
     ts.post_window_left = 0;
+    obs_critical_sections_->Add();
   }
   ts.lock_stack.push_back(lock_id);
 }
@@ -46,6 +58,7 @@ void FlowDetector::OnUnlock(vm::ThreadId t, uint64_t lock_id) {
     // Keep emulating for MAX instructions watching for consumption.
     ts.post_window_left = config_.post_window;
     ts.window_flows.clear();
+    obs_dict_size_->Set(static_cast<int64_t>(dict_.size()));
   }
 }
 
@@ -66,6 +79,7 @@ void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src)
     // Propagation: dst inherits src's context, valid or invalid,
     // along with the identity of the value's original producer.
     dict_[dst] = Entry{it->second.ctxt, lock_id, it->second.producer};
+    obs_propagations_->Add();
     return;
   }
   // Source has no context: the executing thread is contributing a
@@ -73,6 +87,7 @@ void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src)
   // the thread's transaction context with the destination. Writing
   // such a value into *memory* is production of a resource.
   dict_[dst] = Entry{ctxt_provider_(t), lock_id, t};
+  obs_associations_->Add();
   if (dst.is_mem()) {
     RecordProducer(lock_id, t);
   }
@@ -88,6 +103,7 @@ void FlowDetector::OnWriteValue(vm::ThreadId t, const vm::Loc& dst) {
   // Non-MOV modification: immediate store, arithmetic result. The
   // location's value no longer carries any transaction's data.
   dict_[dst] = Entry{kInvalidCtxt, lock_id, t};
+  obs_poisonings_->Add();
 }
 
 void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
@@ -111,11 +127,13 @@ void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
     const auto key = std::make_pair(entry.lock_id, entry.ctxt);
     for (const auto& seen : ts.window_flows) {
       if (seen == key) {
+        obs_window_dedups_->Add();
         return;  // same logical flow, another word of the element
       }
     }
     ts.window_flows.push_back(key);
     ++flows_detected_;
+    obs_flows_->Add();
     FlowEvent ev{entry.producer, t, entry.ctxt, entry.lock_id, src};
     flow_log_.push_back(ev);
     if (on_flow_) {
@@ -156,6 +174,7 @@ void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles) {
   for (vm::ThreadId t : small) {
     if (large.contains(t)) {
       roles.demoted = true;
+      obs_demotions_->Add();
       if (on_demote_) {
         on_demote_(lock_id);
       }

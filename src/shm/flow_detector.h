@@ -38,6 +38,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/loc.h"
 
@@ -144,6 +145,17 @@ class FlowDetector : public vm::InstructionObserver {
 
   uint64_t flows_detected_ = 0;
   std::vector<FlowEvent> flow_log_;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_critical_sections_;
+  obs::Counter* obs_propagations_;
+  obs::Counter* obs_associations_;
+  obs::Counter* obs_poisonings_;
+  obs::Counter* obs_flushes_;
+  obs::Counter* obs_flows_;
+  obs::Counter* obs_demotions_;
+  obs::Counter* obs_window_dedups_;
+  obs::Gauge* obs_dict_size_;
 };
 
 }  // namespace whodunit::shm

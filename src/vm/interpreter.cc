@@ -14,6 +14,9 @@ ExecResult Interpreter::Execute(const Program& program, ThreadId thread, CpuStat
                                 int64_t max_steps) {
   ExecResult result;
 
+  if (mode == Mode::kEmulate && translated_.contains(program.id)) {
+    obs_cache_hits_->Add();
+  }
   if (mode == Mode::kEmulate && !translated_.contains(program.id)) {
     // Translation pass: in the real system this decodes guest code and
     // emits a translated block; here the per-instruction cost model
@@ -24,6 +27,7 @@ ExecResult Interpreter::Execute(const Program& program, ThreadId thread, CpuStat
     }
     translated_.insert(program.id);
     ++translations_performed_;
+    obs_translations_->Add();
     result.translated = true;
   }
 
@@ -224,6 +228,10 @@ ExecResult Interpreter::Execute(const Program& program, ThreadId thread, CpuStat
     pc = next_pc;
   }
 
+  // Aggregated once per Execute so the per-instruction loop stays
+  // free of instrumentation.
+  (mode == Mode::kEmulate ? obs_emulated_ : obs_direct_)
+      ->Add(static_cast<uint64_t>(result.instructions));
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
 #include "src/vm/isa.h"
 #include "src/vm/loc.h"
 #include "src/vm/memory.h"
@@ -79,6 +80,12 @@ class Interpreter {
  private:
   std::unordered_set<uint64_t> translated_;
   uint64_t translations_performed_ = 0;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_translations_ = &obs::Registry().GetCounter("vm.translations");
+  obs::Counter* obs_cache_hits_ = &obs::Registry().GetCounter("vm.translation_cache_hits");
+  obs::Counter* obs_emulated_ = &obs::Registry().GetCounter("vm.instructions_emulated");
+  obs::Counter* obs_direct_ = &obs::Registry().GetCounter("vm.instructions_direct");
 };
 
 }  // namespace whodunit::vm
