@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/shm/flow_detector.h"
 #include "src/shm/guest_code.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/program_builder.h"
@@ -92,6 +93,47 @@ void BM_EmulationFromCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmulationFromCache);
+
+// Cached emulation with the flow detector attached — the full
+// Whodunit observation cost. The devirtualized variant binds the hook
+// calls to the concrete (final) FlowDetector at compile time via
+// ExecuteWith; the virtual variant goes through the
+// InstructionObserver vtable, the pre-optimization dispatch path.
+template <bool kDevirtualized>
+void EmulationWithDetector(benchmark::State& state) {
+  vm::Program push = shm::ApQueuePush(kLockId);
+  vm::Program pop = shm::ApQueuePop(kLockId);
+  vm::Memory mem;
+  vm::CpuState cpu;
+  cpu.regs[0] = kQueueBase;
+  cpu.regs[5] = 0x2000;
+  cpu.regs[6] = 0x2008;
+  vm::Interpreter interp;
+  shm::FlowDetector detector([](vm::ThreadId t) { return shm::CtxtId{t}; });
+  for (auto _ : state) {
+    cpu.regs[1] = 42;
+    cpu.regs[2] = 43;
+    if constexpr (kDevirtualized) {
+      interp.ExecuteWith(push, 0, cpu, mem, &detector);
+      interp.ExecuteWith(pop, 0, cpu, mem, &detector);
+    } else {
+      interp.Execute(push, 0, cpu, mem, &detector);
+      interp.Execute(pop, 0, cpu, mem, &detector);
+    }
+    benchmark::DoNotOptimize(cpu.regs[7]);
+  }
+  benchmark::DoNotOptimize(detector.flows_detected());
+}
+
+void BM_EmulationWithDetector(benchmark::State& state) {
+  EmulationWithDetector<true>(state);
+}
+BENCHMARK(BM_EmulationWithDetector);
+
+void BM_EmulationWithDetectorVirtual(benchmark::State& state) {
+  EmulationWithDetector<false>(state);
+}
+BENCHMARK(BM_EmulationWithDetectorVirtual);
 
 void PrintGuestCycleTable() {
   bench::Header(

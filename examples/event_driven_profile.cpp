@@ -28,8 +28,8 @@ int main() {
   EventLoop loop(sched);
   // The profiler follows the event library's current transaction
   // context — the only glue an application needs.
-  loop.set_context_listener([&](const context::TransactionContext& ctxt) {
-    prof.SetLocalContext(tp, ctxt);
+  loop.set_context_listener([&](context::NodeId node) {
+    prof.SetLocalContext(tp, node);
   });
   deployment.set_element_namer([&](context::ElementKind kind, uint32_t id) {
     return kind == context::ElementKind::kHandler ? loop.HandlerName(id) : "?";

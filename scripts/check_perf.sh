@@ -1,0 +1,64 @@
+#!/bin/sh
+# Perf regression gate (warn-only for now): re-runs the Table 3
+# emulation bench and compares the emulate-from-cache per-op cost
+# against the committed baseline in bench/baselines/. A >10% slowdown
+# prints a WARNING; set CHECK_PERF_STRICT=1 to turn the warning into a
+# failure once the numbers are stable enough to gate on.
+#
+# Usage: scripts/check_perf.sh [-B BUILD_DIR] [-n RUNS]
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+runs=3
+threshold_pct=10
+
+while getopts "B:n:" opt; do
+  case "$opt" in
+    B) build_dir="$OPTARG" ;;
+    n) runs="$OPTARG" ;;
+    *) echo "usage: $0 [-B BUILD_DIR] [-n RUNS]" >&2; exit 2 ;;
+  esac
+done
+
+baseline="$repo_root/bench/baselines/BENCH_table3_emulation.json"
+if [ ! -f "$baseline" ]; then
+  echo "check_perf: no committed baseline at $baseline; run scripts/run_benches.sh first" >&2
+  exit 1
+fi
+
+fresh_dir=$(mktemp -d)
+trap 'rm -rf "$fresh_dir"' EXIT
+
+"$repo_root/scripts/run_benches.sh" -n "$runs" -B "$build_dir" -o "$fresh_dir" \
+    bench_table3_emulation || exit 1
+
+python3 - "$baseline" "$fresh_dir/BENCH_table3_emulation.json" "$threshold_pct" <<'PYEOF'
+import json, os, sys
+
+baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+def cached_ns(doc):
+    return doc.get("derived", {}).get("emulate_cached_ns_per_op")
+
+base, now = cached_ns(baseline), cached_ns(fresh)
+if base is None or now is None:
+    print("check_perf: emulate_cached_ns_per_op missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+
+delta_pct = 100.0 * (now - base) / base
+print(f"check_perf: emulate-from-cache {base:.1f} ns/op (baseline) -> "
+      f"{now:.1f} ns/op (fresh), {delta_pct:+.1f}%")
+if delta_pct > threshold:
+    msg = (f"WARNING: bench_table3_emulation emulate-from-cache regressed "
+           f"{delta_pct:.1f}% (> {threshold:.0f}% threshold)")
+    print(msg, file=sys.stderr)
+    if os.environ.get("CHECK_PERF_STRICT") == "1":
+        sys.exit(1)
+else:
+    print("check_perf: OK")
+PYEOF

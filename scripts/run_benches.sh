@@ -1,0 +1,152 @@
+#!/bin/sh
+# Bench trajectory harness: runs each bench_* binary N times and writes
+# one BENCH_<name>.json per bench with median/min wall time, the
+# google-benchmark per-op timings (when the bench embeds gbench), the
+# instruction counts, and the obs-layer metrics snapshot of the last
+# run. The JSON schema is documented in docs/METRICS.md ("Bench
+# trajectory files"). Future PRs diff these files to prove a hot-path
+# change actually moved the needle (scripts/check_perf.sh).
+#
+# Usage: scripts/run_benches.sh [-n RUNS] [-B BUILD_DIR] [-o OUT_DIR] [bench_name ...]
+#   bench_name defaults to every build/bench/bench_* binary.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+runs=5
+build_dir="$repo_root/build"
+out_dir="$repo_root/bench/baselines"
+
+while getopts "n:B:o:" opt; do
+  case "$opt" in
+    n) runs="$OPTARG" ;;
+    B) build_dir="$OPTARG" ;;
+    o) out_dir="$OPTARG" ;;
+    *) echo "usage: $0 [-n RUNS] [-B BUILD_DIR] [-o OUT_DIR] [bench ...]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+bench_dir="$build_dir/bench"
+if [ ! -d "$bench_dir" ]; then
+  echo "run_benches: no bench binaries in $bench_dir (build first)" >&2
+  exit 1
+fi
+
+if [ "$#" -gt 0 ]; then
+  benches="$*"
+else
+  benches=$(cd "$bench_dir" && ls bench_* 2>/dev/null)
+fi
+if [ -z "$benches" ]; then
+  echo "run_benches: nothing to run" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+for bench in $benches; do
+  bin="$bench_dir/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "run_benches: skipping $bench (no binary at $bin)" >&2
+    continue
+  fi
+  # Metric dumps are named after the bench with the bench_ prefix
+  # stripped (bench_util.h: DumpMetrics("table3_emulation")).
+  name=${bench#bench_}
+  echo "== $bench ($runs runs) =="
+  : > "$workdir/$name.walls"
+  run=1
+  while [ "$run" -le "$runs" ]; do
+    # Benches that embed google-benchmark honor --benchmark_out; the
+    # plain table-printer benches never parse argv, so the flags are
+    # harmless there (gbench_N.json simply is not written).
+    start=$(date +%s%N)
+    (cd "$workdir" && "$bin" \
+        --benchmark_out="$workdir/gbench_$run.json" \
+        --benchmark_out_format=json >"$workdir/run_$run.log" 2>&1)
+    rc=$?
+    end=$(date +%s%N)
+    if [ "$rc" -ne 0 ]; then
+      echo "run_benches: $bench run $run FAILED (rc=$rc); log follows" >&2
+      cat "$workdir/run_$run.log" >&2
+      exit 1
+    fi
+    echo "$((end - start))" >> "$workdir/$name.walls"
+    run=$((run + 1))
+  done
+
+  python3 - "$name" "$workdir" "$runs" "$out_dir" <<'PYEOF'
+import json, os, statistics, sys
+
+name, workdir, runs, out_dir = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+
+walls_ns = [int(line) for line in open(os.path.join(workdir, name + ".walls"))]
+wall_ms = sorted(w / 1e6 for w in walls_ns)
+
+out = {
+    "schema": "whodunit-bench-v1",
+    "bench": name,
+    "binary": "bench_" + name,
+    "runs": runs,
+    "wall_ms": {
+        "median": round(statistics.median(wall_ms), 3),
+        "min": round(wall_ms[0], 3),
+        "all": [round(w, 3) for w in wall_ms],
+    },
+}
+
+# google-benchmark per-op timings: median across runs, per benchmark.
+gbench = {}
+for run in range(1, runs + 1):
+    path = os.path.join(workdir, f"gbench_{run}.json")
+    if not os.path.exists(path):
+        continue
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        gbench.setdefault(b["name"], []).append(
+            (b["real_time"], b["cpu_time"], b["iterations"]))
+if gbench:
+    out["google_benchmark"] = {
+        bname: {
+            "real_time_ns": round(statistics.median(r[0] for r in rows), 2),
+            "cpu_time_ns": round(statistics.median(r[1] for r in rows), 2),
+            "iterations": max(r[2] for r in rows),
+        }
+        for bname, rows in sorted(gbench.items())
+    }
+
+# Obs-layer metrics of the last run (deltas: each process starts at 0).
+metrics_path = os.path.join(workdir, f"BENCH_{name}.metrics.json")
+if os.path.exists(metrics_path):
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    out["metrics"] = metrics
+    counters = metrics.get("counters", metrics)
+    instr = {}
+    for key, dst in (("vm.instructions_emulated", "emulated"),
+                     ("vm.instructions_direct", "direct")):
+        if key in counters:
+            instr[dst] = counters[key]
+    if instr:
+        out["instructions"] = instr
+
+# The acceptance-criteria headline for the emulation bench.
+gb = out.get("google_benchmark", {})
+if "BM_EmulationFromCache" in gb:
+    out["derived"] = {
+        "emulate_cached_ns_per_op": gb["BM_EmulationFromCache"]["cpu_time_ns"],
+    }
+
+dest = os.path.join(out_dir, f"BENCH_{name}.json")
+with open(dest, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"   -> {dest}")
+PYEOF
+  [ $? -eq 0 ] || exit 1
+done

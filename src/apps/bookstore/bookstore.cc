@@ -224,12 +224,12 @@ class Bookstore {
       cpu.regs[1] = row % 64;
       cpu.regs[2] = row | 1;
       const vm::Program& prog = writes ? table_write_prog_ : table_read_prog_;
-      cycles += interp_.Execute(prog, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
+      cycles += interp_.ExecuteWith(prog, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
     }
     if (shm_detector_->ShouldEmulate(kDbCounterLockId)) {
       cpu.regs[0] = kDbCounterAddr;
-      cycles +=
-          interp_.Execute(counter_prog_, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
+      cycles += interp_.ExecuteWith(counter_prog_, t, cpu, guest_mem_, shm_detector_.get())
+                    .guest_cycles;
     }
     return workload::CyclesToNs(cycles);
   }

@@ -111,9 +111,12 @@ class Server {
       cpu_state.regs[static_cast<size_t>(r)] = v;
     }
     const bool emulate = TracksTransactions(options_.mode) && detector_.ShouldEmulate(lock_id);
-    const auto mode = emulate ? vm::Interpreter::Mode::kEmulate : vm::Interpreter::Mode::kDirect;
-    vm::ExecResult res =
-        interp_.Execute(prog, t, cpu_state, mem_, emulate ? &detector_ : nullptr, mode);
+    // ExecuteWith on the concrete (final) detector type binds the hook
+    // calls statically; the direct path compiles hooks out entirely.
+    const vm::ExecResult res =
+        emulate ? interp_.ExecuteWith(prog, t, cpu_state, mem_, &detector_)
+                : interp_.Execute(prog, t, cpu_state, mem_, nullptr,
+                                  vm::Interpreter::Mode::kDirect);
     if (emulate) {
       ++emulated_sections_;
     }

@@ -265,8 +265,8 @@ MiniproxyResult Proxy::Run() {
   loop_tp_ = &prof_.CreateThread("event_loop");
   RegisterHandlers();
   loop_.set_tracking(TracksTransactions(options_.mode));
-  loop_.set_context_listener([this](const context::TransactionContext& ctxt) {
-    prof_.SetLocalContext(*loop_tp_, ctxt);
+  loop_.set_context_listener([this](context::NodeId node) {
+    prof_.SetLocalContext(*loop_tp_, node);
   });
   dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
     return kind == context::ElementKind::kHandler ? loop_.HandlerName(id)

@@ -224,10 +224,9 @@ SedaServerResult Haboob::Run() {
           &prof_.CreateThread(graph_.StageName(s) + "_w" + std::to_string(w)));
     }
   }
-  graph_.set_context_listener(
-      [this](StageId stage, int worker, const context::TransactionContext& ctxt) {
-        prof_.SetLocalContext(TpOf(stage, worker), ctxt);
-      });
+  graph_.set_context_listener([this](StageId stage, int worker, context::NodeId node) {
+    prof_.SetLocalContext(TpOf(stage, worker), node);
+  });
   dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
     return kind == context::ElementKind::kStage ? graph_.StageName(id)
                                                 : "handler:" + std::to_string(id);

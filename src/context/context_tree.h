@@ -1,0 +1,138 @@
+// Interned transaction contexts: a global hash-consed context tree.
+//
+// A TransactionContext is an ordered element sequence, and the legacy
+// value API (transaction_context.h) copies that vector on every
+// event/SEDA hop — O(n) per append, per enqueue, per message. But the
+// set of contexts a run ever produces is tiny and highly shared (the
+// §4.1 pruning bounds each context by the element universe), so the
+// sequences form a tree: every context is a path from the root, and
+// two contexts that share a prefix share the tree nodes for it.
+//
+// This file interns that tree. A context becomes a 32-bit NodeId whose
+// node stores (parent, last element, depth, running hash), and the
+// context operations become:
+//   * Append       — one hash-cons probe, plus an ancestor walk of at
+//                    most the pruned-context length when pruning cuts
+//                    a loop (O(loop window), paper §4.1);
+//   * equality     — NodeId comparison (hash-consing is canonical:
+//                    same element sequence <=> same NodeId);
+//   * Hash         — precomputed at interning, O(1), and bit-for-bit
+//                    identical to TransactionContext::Hash();
+//   * Concat       — appends of the suffix's elements at the seam;
+//   * HasPrefix    — ancestor walk of the depth difference.
+//
+// The tree is append-only and global (GlobalContextTree); like the
+// rest of the profiler runtime it assumes the simulator's
+// single-threaded execution model. The legacy value type remains the
+// interchange/debug format; Intern/Materialize convert losslessly.
+#ifndef SRC_CONTEXT_CONTEXT_TREE_H_
+#define SRC_CONTEXT_CONTEXT_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/context/transaction_context.h"
+#include "src/obs/metrics.h"
+#include "src/util/robin_hood.h"
+
+namespace whodunit::context {
+
+// An interned transaction context. Value 0 is the empty context.
+using NodeId = uint32_t;
+inline constexpr NodeId kEmptyContext = 0;
+
+class ContextTree {
+ public:
+  ContextTree();
+
+  // The §4.1 append: collapses consecutive duplicates and cuts loops,
+  // exactly like TransactionContext::Append on the materialized
+  // sequence. O(1) hash-cons probe on the no-loop fast path; the
+  // pruning scan walks ancestors instead of a vector.
+  NodeId Append(NodeId ctxt, Element e, bool prune = true);
+
+  // Prefix-then-suffix with pruning applied at the seam; matches
+  // TransactionContext::Concat on the materialized sequences.
+  NodeId Concat(NodeId prefix, NodeId suffix, bool prune = true);
+
+  // Precomputed FNV-1a over the packed element sequence — equal to
+  // TransactionContext::Hash() of the materialized context.
+  uint64_t HashOf(NodeId ctxt) const { return nodes_[ctxt].hash; }
+
+  // Element count of the context (depth of the node).
+  uint32_t SizeOf(NodeId ctxt) const { return nodes_[ctxt].depth; }
+  bool Empty(NodeId ctxt) const { return ctxt == kEmptyContext; }
+
+  // True if `prefix` is a (not necessarily proper) prefix of `ctxt`:
+  // an ancestor-or-self check, O(depth difference).
+  bool HasPrefix(NodeId ctxt, NodeId prefix) const;
+
+  // Last element / parent of a non-empty context.
+  Element LastElement(NodeId ctxt) const { return nodes_[ctxt].elem; }
+  NodeId ParentOf(NodeId ctxt) const { return nodes_[ctxt].parent; }
+
+  // Interns the exact element sequence of a legacy value context (no
+  // re-pruning: the value API already applied its own policy).
+  NodeId Intern(const TransactionContext& ctxt);
+
+  // The inverse: materializes the node's path as a value context.
+  TransactionContext Materialize(NodeId ctxt) const;
+
+  // Debug form like "[H:accept|H:read]", mirroring
+  // TransactionContext::ToString.
+  std::string ToString(
+      NodeId ctxt,
+      const std::function<std::string(ElementKind, uint32_t)>& namer) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    NodeId parent = kEmptyContext;
+    Element elem{};      // last element of the sequence this node spells
+    uint32_t depth = 0;  // element count
+    uint64_t hash = 0;   // FNV-1a of the packed element sequence
+  };
+  struct ChildKey {
+    NodeId parent;
+    uint64_t elem;  // Element::Packed()
+    friend bool operator==(const ChildKey&, const ChildKey&) = default;
+  };
+  struct ChildKeyHash {
+    size_t operator()(const ChildKey& k) const {
+      return SplitMix(k.elem * 0x9e3779b97f4a7c15ull + k.parent);
+    }
+    static size_t SplitMix(uint64_t x) {
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  // The hash-cons step: the child of `parent` extending it with `e`,
+  // creating it on first use.
+  NodeId Child(NodeId parent, Element e);
+
+  // Appends the elements of `suffix` (as a small stack-allocated or
+  // heap spill walk) onto `onto`.
+  NodeId AppendPath(NodeId onto, NodeId suffix, bool prune);
+
+  std::vector<Node> nodes_;
+  util::RobinHoodMap<ChildKey, NodeId, ChildKeyHash> children_;
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_appends_;
+  obs::Counter* obs_prunings_;
+  obs::Gauge* obs_nodes_;
+};
+
+// The process-wide tree shared by the event library, the SEDA
+// middleware, and the profiler (single-threaded simulator).
+ContextTree& GlobalContextTree();
+
+}  // namespace whodunit::context
+
+#endif  // SRC_CONTEXT_CONTEXT_TREE_H_

@@ -55,23 +55,22 @@ uint64_t Synopsis::Hash() const {
   return h;
 }
 
-uint32_t SynopsisDictionary::Intern(const TransactionContext& ctxt) {
+uint32_t SynopsisDictionary::Intern(NodeId ctxt) {
   static obs::Counter& obs_hits = obs::Registry().GetCounter("synopsis.dict_hits");
   static obs::Counter& obs_inserts = obs::Registry().GetCounter("synopsis.dict_inserts");
-  auto it = ids_.find(ctxt);
-  if (it != ids_.end()) {
+  if (const uint32_t* found = ids_.Find(ctxt)) {
     obs_hits.Add();
-    return it->second;
+    return *found;
   }
   obs_inserts.Add();
   const auto id = static_cast<uint32_t>(contexts_.size());
   contexts_.push_back(ctxt);
-  ids_.emplace(ctxt, id);
+  ids_.Upsert(ctxt, id);
   return id;
 }
 
-const TransactionContext& SynopsisDictionary::Lookup(uint32_t part) const {
-  return contexts_.at(part);
+TransactionContext SynopsisDictionary::Lookup(uint32_t part) const {
+  return GlobalContextTree().Materialize(contexts_.at(part));
 }
 
 }  // namespace whodunit::context

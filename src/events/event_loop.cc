@@ -25,16 +25,16 @@ HandlerId EventLoop::RegisterHandler(std::string_view name, Handler handler) {
 }
 
 void EventLoop::AddEvent(HandlerId handler, uint64_t payload) {
-  Event ev{handler, payload, {}};
+  Event ev{handler, payload, context::kEmptyContext};
   if (tracking_) {
-    ev.tran_ctxt = curr_tran_ctxt_;  // Figure 4, line 12
+    ev.tran_ctxt = curr_node_;  // Figure 4, line 12
   }
   queue_.Send(std::move(ev));
 }
 
 void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload) {
   obs_external_->Add();
-  queue_.Send(Event{handler, payload, {}});
+  queue_.Send(Event{handler, payload, context::kEmptyContext});
 }
 
 sim::Process EventLoop::Run() {
@@ -46,12 +46,14 @@ sim::Process EventLoop::Run() {
     obs_queue_depth_->Observe(queue_.pending());
     if (tracking_) {
       // Figure 4, lines 5-6: concatenate the event's context with its
-      // handler; Append prunes consecutive duplicates and loops.
-      curr_tran_ctxt_ = ev->tran_ctxt;
-      curr_tran_ctxt_.Append(
+      // handler; Append prunes consecutive duplicates and loops. With
+      // the interned tree this is one hash-cons probe, not a vector
+      // copy.
+      curr_node_ = context::GlobalContextTree().Append(
+          ev->tran_ctxt,
           context::Element{context::ElementKind::kHandler, ev->handler}, pruning_);
       if (listener_) {
-        listener_(curr_tran_ctxt_);
+        listener_(curr_node_);
       }
     }
     ++events_dispatched_;
@@ -62,7 +64,7 @@ sim::Process EventLoop::Run() {
     const sim::SimTime elapsed = sched_.now() - start;
     obs_handler_ns_->Observe(static_cast<uint64_t>(elapsed));
     obs::Tracer().Record(obs::SpanRecord{"events.handler", handlers_.NameOf(ev->handler),
-                                         tracking_ ? curr_tran_ctxt_.Hash() : 0,
+                                         tracking_ ? context::GlobalContextTree().HashOf(curr_node_) : 0,
                                          static_cast<int64_t>(start),
                                          static_cast<int64_t>(elapsed)});
   }

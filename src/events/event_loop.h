@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/context/context_tree.h"
 #include "src/context/transaction_context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -32,8 +33,10 @@ using HandlerId = uint32_t;
 struct Event {
   HandlerId handler;
   uint64_t payload;  // application data (connection id, fd, ...)
-  // ev_tran_ctxt: the registering handler's transaction context.
-  context::TransactionContext tran_ctxt;
+  // ev_tran_ctxt: the registering handler's transaction context, as an
+  // interned context-tree node — a 4-byte handle, so stamping an event
+  // no longer copies the element sequence.
+  context::NodeId tran_ctxt = context::kEmptyContext;
 };
 
 class EventLoop {
@@ -44,8 +47,10 @@ class EventLoop {
   using Handler = std::function<sim::Task<void>(HandlerContext&)>;
 
   // Fired whenever the current transaction context changes (before a
-  // handler runs); the profiler glue hangs off this.
-  using ContextListener = std::function<void(const context::TransactionContext&)>;
+  // handler runs); the profiler glue hangs off this. Receives the
+  // interned node id (materialize via GlobalContextTree() if the
+  // element sequence itself is needed).
+  using ContextListener = std::function<void(context::NodeId)>;
 
   explicit EventLoop(sim::Scheduler& sched, std::string name = "event_loop");
 
@@ -65,9 +70,9 @@ class EventLoop {
   // context into the event immediately (at registration time); Post
   // queues it later, when the I/O completes, preserving that context.
   Event MakeEvent(HandlerId handler, uint64_t payload) {
-    Event ev{handler, payload, {}};
+    Event ev{handler, payload, context::kEmptyContext};
     if (tracking_) {
-      ev.tran_ctxt = curr_tran_ctxt_;
+      ev.tran_ctxt = curr_node_;
     }
     return ev;
   }
@@ -79,7 +84,12 @@ class EventLoop {
   sim::Process Run();
   void Stop() { queue_.Close(); }
 
-  const context::TransactionContext& current_context() const { return curr_tran_ctxt_; }
+  // The current transaction context as an interned node (the hot-path
+  // representation) and materialized into the legacy value form.
+  context::NodeId current_node() const { return curr_node_; }
+  context::TransactionContext current_context() const {
+    return context::GlobalContextTree().Materialize(curr_node_);
+  }
   uint64_t events_dispatched() const { return events_dispatched_; }
 
   // Whether context tracking is enabled (profiling on). When off, the
@@ -104,7 +114,7 @@ class EventLoop {
   util::StringInterner handlers_;
   std::vector<Handler> handler_fns_;
   sim::Channel<Event> queue_;
-  context::TransactionContext curr_tran_ctxt_;
+  context::NodeId curr_node_ = context::kEmptyContext;
   ContextListener listener_;
   bool tracking_ = true;
   bool pruning_ = true;

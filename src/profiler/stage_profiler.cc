@@ -63,11 +63,11 @@ sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) 
   return total;
 }
 
-void StageProfiler::SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt) {
+void StageProfiler::SetLocalContext(ThreadProfile& tp, context::NodeId node) {
   if (!TracksTransactions(options_.mode)) {
     return;
   }
-  tp.local_ctxt_ = ctxt;
+  tp.local_node_ = node;
   UpdateCct(tp);
 }
 
@@ -76,7 +76,7 @@ void StageProfiler::ResetTransaction(ThreadProfile& tp) {
     return;
   }
   tp.incoming_ = {};
-  tp.local_ctxt_ = {};
+  tp.local_node_ = context::kEmptyContext;
   tp.pending_sends_.clear();
   UpdateCct(tp);
 }
@@ -88,15 +88,16 @@ context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_resp
   static obs::Counter& obs_sends = obs::Registry().GetCounter("profiler.sends_prepared");
   obs_sends.Add();
   // Transaction context at the send point: the locally accumulated
-  // elements plus the call path leading to the send (§5).
-  context::TransactionContext send_ctxt = tp.local_ctxt_;
-  send_ctxt.Append(context::Element{context::ElementKind::kCallPath,
-                                    deployment_.paths().Intern(tp.stack_.path())});
-  const uint32_t part = deployment_.synopses().Intern(send_ctxt);
+  // elements plus the call path leading to the send (§5). Two O(1)
+  // probes: one hash-cons append, one synopsis-dictionary lookup.
+  const context::NodeId send_node = context::GlobalContextTree().Append(
+      tp.local_node_, context::Element{context::ElementKind::kCallPath,
+                                       deployment_.paths().Intern(tp.stack_.path())});
+  const uint32_t part = deployment_.synopses().Intern(send_node);
   context::Synopsis wire = tp.incoming_.Extend(context::Synopsis{{part}});
   if (expect_response) {
     tp.pending_sends_.emplace_back(
-        wire, ThreadProfile::SavedState{tp.incoming_, tp.local_ctxt_});
+        wire, ThreadProfile::SavedState{tp.incoming_, tp.local_node_});
   }
   ++tp.uncharged_messages_;
   return wire;
@@ -115,7 +116,7 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
   for (auto it = tp.pending_sends_.begin(); it != tp.pending_sends_.end(); ++it) {
     if (synopsis.parts.size() > it->first.parts.size() && synopsis.HasPrefix(it->first)) {
       tp.incoming_ = it->second.incoming;
-      tp.local_ctxt_ = it->second.local_ctxt;
+      tp.local_node_ = it->second.local_node;
       tp.pending_sends_.erase(it);
       UpdateCct(tp);
       obs_matches.Add();
@@ -125,7 +126,7 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
   // New request: adopt the sender's transaction context wholesale.
   obs_misses.Add();
   tp.incoming_ = synopsis;
-  tp.local_ctxt_ = {};
+  tp.local_node_ = context::kEmptyContext;
   UpdateCct(tp);
   return false;
 }
@@ -139,7 +140,7 @@ void StageProfiler::AdoptCtxt(ThreadProfile& tp, uint32_t ctxt_id) {
   static obs::Counter& obs_adoptions = obs::Registry().GetCounter("profiler.flow_adoptions");
   obs_adoptions.Add();
   tp.incoming_ = ctxt_table_.at(ctxt_id);
-  tp.local_ctxt_ = {};
+  tp.local_node_ = context::kEmptyContext;
   UpdateCct(tp);
 }
 
@@ -258,11 +259,11 @@ callpath::CallingContextTree& StageProfiler::CctFor(const context::Synopsis& lab
 }
 
 context::Synopsis StageProfiler::ComputeLabel(const ThreadProfile& tp) {
-  if (tp.local_ctxt_.empty()) {
+  if (tp.local_node_ == context::kEmptyContext) {
     return tp.incoming_;
   }
   context::Synopsis label = tp.incoming_;
-  label.parts.push_back(deployment_.synopses().Intern(tp.local_ctxt_));
+  label.parts.push_back(deployment_.synopses().Intern(tp.local_node_));
   return label;
 }
 
@@ -279,9 +280,9 @@ void StageProfiler::UpdateCct(ThreadProfile& tp) {
 }
 
 context::Synopsis StageProfiler::FullSynopsis(ThreadProfile& tp) {
-  context::TransactionContext full = tp.local_ctxt_;
-  full.Append(context::Element{context::ElementKind::kCallPath,
-                               deployment_.paths().Intern(tp.stack_.path())});
+  const context::NodeId full = context::GlobalContextTree().Append(
+      tp.local_node_, context::Element{context::ElementKind::kCallPath,
+                                       deployment_.paths().Intern(tp.stack_.path())});
   return tp.incoming_.Extend(context::Synopsis{{deployment_.synopses().Intern(full)}});
 }
 

@@ -29,6 +29,7 @@
 #include "src/callpath/profiler_mode.h"
 #include "src/callpath/sampler.h"
 #include "src/callpath/shadow_stack.h"
+#include "src/context/context_tree.h"
 #include "src/context/synopsis.h"
 #include "src/context/transaction_context.h"
 #include "src/profiler/deployment.h"
@@ -46,14 +47,17 @@ class ThreadProfile {
   const std::string& name() const { return name_; }
   const callpath::ShadowStack& stack() const { return stack_; }
   const context::Synopsis& incoming() const { return incoming_; }
-  const context::TransactionContext& local_context() const { return local_ctxt_; }
+  context::NodeId local_node() const { return local_node_; }
+  context::TransactionContext local_context() const {
+    return context::GlobalContextTree().Materialize(local_node_);
+  }
 
  private:
   friend class StageProfiler;
 
   struct SavedState {
     context::Synopsis incoming;
-    context::TransactionContext local_ctxt;
+    context::NodeId local_node;
   };
 
   std::string name_;
@@ -62,8 +66,8 @@ class ThreadProfile {
   // κ: transaction context inherited from other stages, as a synopsis.
   context::Synopsis incoming_;
   // Locally accumulated context elements (handlers, stages, adopted
-  // shared-memory flows).
-  context::TransactionContext local_ctxt_;
+  // shared-memory flows), interned into the global context tree.
+  context::NodeId local_node_ = context::kEmptyContext;
   // Outstanding requests: sent synopsis -> state to restore when the
   // matching response arrives.
   std::vector<std::pair<context::Synopsis, SavedState>> pending_sends_;
@@ -129,8 +133,12 @@ class StageProfiler {
 
   // ---- Transaction contexts (events / SEDA / fresh requests) ---------
   // Replaces the thread's locally accumulated context (the event/SEDA
-  // libraries feed their curr_tran_ctxt through this).
-  void SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt);
+  // libraries feed their current node through this). The NodeId form is
+  // the hot path; the value form interns first.
+  void SetLocalContext(ThreadProfile& tp, context::NodeId node);
+  void SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt) {
+    SetLocalContext(tp, context::GlobalContextTree().Intern(ctxt));
+  }
   // Begins a fresh top-level transaction at an origin stage.
   void ResetTransaction(ThreadProfile& tp);
 

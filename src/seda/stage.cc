@@ -14,7 +14,7 @@ StageId StageGraph::AddStage(std::string name, int workers, Body body) {
 const std::string& StageGraph::StageName(StageId id) const { return stages_[id]->name(); }
 
 void StageGraph::InjectExternal(StageId stage, uint64_t payload) {
-  stages_[stage]->Enqueue(QueueElem{payload, {}});
+  stages_[stage]->Enqueue(QueueElem{payload, context::kEmptyContext});
 }
 
 void StageGraph::Start() {
@@ -30,9 +30,9 @@ void StageGraph::Stop() {
 }
 
 void StageGraph::WorkerContext::EnqueueTo(StageId next, uint64_t next_payload) {
-  QueueElem elem{next_payload, {}};
+  QueueElem elem{next_payload, context::kEmptyContext};
   if (graph.tracking()) {
-    elem.tran_ctxt = curr_ctxt;  // Figure 5, line 12
+    elem.tran_ctxt = curr_node;  // Figure 5, line 12
   }
   graph.stage(next).Enqueue(std::move(elem));
 }
@@ -65,16 +65,18 @@ sim::Process Stage::WorkerLoop(int worker) {
       break;
     }
     obs_queue_depth_->Observe(queue_.pending());
-    StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload, {}};
+    StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload,
+                                 context::kEmptyContext};
     if (graph_.tracking()) {
       // Figure 5, lines 5-6: current context = element's context
       // concatenated with the current stage (loops pruned by Append).
-      wc.curr_ctxt = elem->tran_ctxt;
-      wc.curr_ctxt.Append(context::Element{context::ElementKind::kStage, id_},
-                          graph_.pruning());
+      // One hash-cons probe against the global context tree.
+      wc.curr_node = context::GlobalContextTree().Append(
+          elem->tran_ctxt, context::Element{context::ElementKind::kStage, id_},
+          graph_.pruning());
       obs_concats_->Add();
       if (graph_.listener_) {
-        graph_.listener_(id_, worker, wc.curr_ctxt);
+        graph_.listener_(id_, worker, wc.curr_node);
       }
     }
     ++processed_;
@@ -84,7 +86,9 @@ sim::Process Stage::WorkerLoop(int worker) {
     const sim::SimTime elapsed = graph_.scheduler().now() - start;
     obs_element_ns_->Observe(static_cast<uint64_t>(elapsed));
     obs::Tracer().Record(obs::SpanRecord{"seda.element", name_,
-                                         graph_.tracking() ? wc.curr_ctxt.Hash() : 0,
+                                         graph_.tracking()
+                                             ? context::GlobalContextTree().HashOf(wc.curr_node)
+                                             : 0,
                                          static_cast<int64_t>(start),
                                          static_cast<int64_t>(elapsed)});
   }

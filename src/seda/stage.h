@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/context/context_tree.h"
 #include "src/context/transaction_context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -28,7 +29,9 @@ using StageId = uint32_t;
 
 struct QueueElem {
   uint64_t payload;
-  context::TransactionContext tran_ctxt;
+  // The interned transaction context (a 4-byte handle into the global
+  // context tree), so enqueueing never copies an element sequence.
+  context::NodeId tran_ctxt = context::kEmptyContext;
 };
 
 class Stage;
@@ -65,9 +68,9 @@ class StageGraph {
   bool pruning() const { return pruning_; }
 
   // Fired when a worker's current transaction context changes;
-  // the worker index is global across stages.
-  using ContextListener =
-      std::function<void(StageId, int worker, const context::TransactionContext&)>;
+  // the worker index is global across stages. Receives the interned
+  // node id (materialize via GlobalContextTree() for the sequence).
+  using ContextListener = std::function<void(StageId, int worker, context::NodeId)>;
   void set_context_listener(ContextListener listener) { listener_ = std::move(listener); }
 
   sim::Scheduler& scheduler() { return sched_; }
@@ -81,9 +84,12 @@ class StageGraph {
     // Figure 5, lines 10-13: enqueue downstream with the current
     // transaction context.
     void EnqueueTo(StageId next, uint64_t next_payload);
-    const context::TransactionContext& current_context() const { return curr_ctxt; }
+    context::NodeId current_node() const { return curr_node; }
+    context::TransactionContext current_context() const {
+      return context::GlobalContextTree().Materialize(curr_node);
+    }
 
-    context::TransactionContext curr_ctxt;
+    context::NodeId curr_node = context::kEmptyContext;
   };
 
  private:

@@ -1,5 +1,6 @@
 #include "src/shm/flow_detector.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace whodunit::shm {
@@ -17,27 +18,62 @@ FlowDetector::FlowDetector(Config config, CtxtProvider ctxt_provider)
       obs_window_dedups_(&obs::Registry().GetCounter("shm.consume_window_dedups")),
       obs_dict_size_(&obs::Registry().GetGauge("shm.dict_size")) {}
 
+const FlowDetector::Entry* FlowDetector::FindEntry(const vm::Loc& loc) {
+  if (loc.is_mem()) {
+    return mem_dict_.Find(loc.addr);
+  }
+  ThreadState& ts = St(loc.thread);
+  const auto r = static_cast<uint32_t>(loc.addr);
+  return (ts.reg_valid >> r) & 1u ? &ts.regs[r] : nullptr;
+}
+
+void FlowDetector::SetEntry(const vm::Loc& loc, const Entry& entry) {
+  if (loc.is_mem()) {
+    mem_dict_.Upsert(loc.addr, entry);
+    return;
+  }
+  ThreadState& ts = St(loc.thread);
+  const auto r = static_cast<uint32_t>(loc.addr);
+  reg_entries_ += static_cast<size_t>(((ts.reg_valid >> r) & 1u) == 0);
+  ts.reg_valid |= 1u << r;
+  ts.regs[r] = entry;
+}
+
+bool FlowDetector::EraseEntry(const vm::Loc& loc) {
+  if (loc.is_mem()) {
+    return mem_dict_.Erase(loc.addr);
+  }
+  ThreadState& ts = St(loc.thread);
+  const auto r = static_cast<uint32_t>(loc.addr);
+  if (((ts.reg_valid >> r) & 1u) == 0) {
+    return false;
+  }
+  ts.reg_valid &= ~(1u << r);
+  --reg_entries_;
+  return true;
+}
+
 void FlowDetector::FlushIfForeign(const vm::Loc& loc, uint64_t lock_id) {
-  auto it = dict_.find(loc);
-  if (it != dict_.end() && it->second.lock_id != lock_id) {
-    dict_.erase(it);
+  const Entry* e = FindEntry(loc);
+  if (e != nullptr && e->lock_id != lock_id) {
+    EraseEntry(loc);
     obs_flushes_->Add();
   }
 }
 
 void FlowDetector::ClearThreadRegisters(vm::ThreadId t) {
-  for (uint8_t r = 0; r < vm::kNumRegs; ++r) {
-    dict_.erase(vm::Loc::Reg(t, r));
-  }
+  ThreadState& ts = St(t);
+  reg_entries_ -= std::popcount(ts.reg_valid);
+  ts.reg_valid = 0;
 }
 
 void FlowDetector::OnLock(vm::ThreadId t, uint64_t lock_id) {
-  ThreadState& ts = threads_[t];
+  ThreadState& ts = St(t);
   if (ts.lock_stack.empty()) {
     // Entering an outermost critical section: registers carry values
     // computed in un-emulated code, so they have no associated context
     // (§3.2, "live registers on entry"). A pending consume window is
-    // over.
+    // over. With the bitmask register file this is one mask reset.
     ClearThreadRegisters(t);
     ts.post_window_left = 0;
     obs_critical_sections_->Add();
@@ -46,7 +82,7 @@ void FlowDetector::OnLock(vm::ThreadId t, uint64_t lock_id) {
 }
 
 void FlowDetector::OnUnlock(vm::ThreadId t, uint64_t lock_id) {
-  ThreadState& ts = threads_[t];
+  ThreadState& ts = St(t);
   // Pop the matching lock (LIFO discipline is the normal case).
   for (size_t i = ts.lock_stack.size(); i-- > 0;) {
     if (ts.lock_stack[i] == lock_id) {
@@ -58,27 +94,26 @@ void FlowDetector::OnUnlock(vm::ThreadId t, uint64_t lock_id) {
     // Keep emulating for MAX instructions watching for consumption.
     ts.post_window_left = config_.post_window;
     ts.window_flows.clear();
-    obs_dict_size_->Set(static_cast<int64_t>(dict_.size()));
+    obs_dict_size_->Set(static_cast<int64_t>(dictionary_size()));
   }
 }
 
 void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) {
-  ThreadState& ts = threads_[t];
+  ThreadState& ts = St(t);
   if (!InCriticalSection(ts)) {
     // Outside any critical section the algorithm does not propagate;
     // a write still clobbers whatever context the destination held.
-    dict_.erase(dst);
+    EraseEntry(dst);
     return;
   }
   const uint64_t lock_id = OutermostLock(ts);
   FlushIfForeign(src, lock_id);
   FlushIfForeign(dst, lock_id);
 
-  auto it = dict_.find(src);
-  if (it != dict_.end()) {
+  if (const Entry* e = FindEntry(src)) {
     // Propagation: dst inherits src's context, valid or invalid,
     // along with the identity of the value's original producer.
-    dict_[dst] = Entry{it->second.ctxt, lock_id, it->second.producer};
+    SetEntry(dst, Entry{e->ctxt, lock_id, e->producer});
     obs_propagations_->Add();
     return;
   }
@@ -86,7 +121,7 @@ void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src)
   // value it computed before entering the critical section. Associate
   // the thread's transaction context with the destination. Writing
   // such a value into *memory* is production of a resource.
-  dict_[dst] = Entry{ctxt_provider_(t), lock_id, t};
+  SetEntry(dst, Entry{ctxt_provider_(t), lock_id, t});
   obs_associations_->Add();
   if (dst.is_mem()) {
     RecordProducer(lock_id, t);
@@ -94,34 +129,34 @@ void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src)
 }
 
 void FlowDetector::OnWriteValue(vm::ThreadId t, const vm::Loc& dst) {
-  ThreadState& ts = threads_[t];
+  ThreadState& ts = St(t);
   if (!InCriticalSection(ts)) {
-    dict_.erase(dst);
+    EraseEntry(dst);
     return;
   }
   const uint64_t lock_id = OutermostLock(ts);
   // Non-MOV modification: immediate store, arithmetic result. The
   // location's value no longer carries any transaction's data.
-  dict_[dst] = Entry{kInvalidCtxt, lock_id, t};
+  SetEntry(dst, Entry{kInvalidCtxt, lock_id, t});
   obs_poisonings_->Add();
 }
 
 void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
-  ThreadState& ts = threads_[t];
+  ThreadState& ts = St(t);
   if (InCriticalSection(ts) || ts.post_window_left <= 0) {
     // Reads inside critical sections are handled by OnMov propagation;
     // reads outside the consume window are un-emulated in the real
     // system.
     return;
   }
-  auto it = dict_.find(src);
-  if (it == dict_.end() || it->second.ctxt == kInvalidCtxt) {
+  const Entry* found = FindEntry(src);
+  if (found == nullptr || found->ctxt == kInvalidCtxt) {
     return;
   }
   // Consumption: the thread used, after leaving the critical section,
   // a value that carries a transaction context.
-  const Entry entry = it->second;
-  dict_.erase(it);
+  const Entry entry = *found;
+  EraseEntry(src);
   RecordConsumer(entry.lock_id, t);
   if (entry.producer != t && !IsDemoted(entry.lock_id)) {
     const auto key = std::make_pair(entry.lock_id, entry.ctxt);
@@ -142,21 +177,22 @@ void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
   }
 }
 
-void FlowDetector::OnRetire(vm::ThreadId t) {
-  ThreadState& ts = threads_[t];
+void FlowDetector::OnRetireBatch(vm::ThreadId t, int64_t n) {
+  ThreadState& ts = St(t);
   if (!InCriticalSection(ts) && ts.post_window_left > 0) {
-    --ts.post_window_left;
+    ts.post_window_left -=
+        static_cast<int>(std::min<int64_t>(n, ts.post_window_left));
   }
 }
 
 void FlowDetector::RecordProducer(uint64_t lock_id, vm::ThreadId t) {
-  LockRoles& roles = roles_[lock_id];
+  LockRoles& roles = roles_.GetOrInsert(lock_id);
   roles.producers.insert(t);
   MaybeDemote(lock_id, roles);
 }
 
 void FlowDetector::RecordConsumer(uint64_t lock_id, vm::ThreadId t) {
-  LockRoles& roles = roles_[lock_id];
+  LockRoles& roles = roles_.GetOrInsert(lock_id);
   roles.consumers.insert(t);
   MaybeDemote(lock_id, roles);
 }
@@ -165,20 +201,13 @@ void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles) {
   if (!config_.detect_demotion || roles.demoted) {
     return;
   }
-  // First common member of the two lists => not transaction flow
-  // (the memory-allocator pattern, §3.4).
-  const auto& small = roles.producers.size() <= roles.consumers.size() ? roles.producers
-                                                                       : roles.consumers;
-  const auto& large = roles.producers.size() <= roles.consumers.size() ? roles.consumers
-                                                                       : roles.producers;
-  for (vm::ThreadId t : small) {
-    if (large.contains(t)) {
-      roles.demoted = true;
-      obs_demotions_->Add();
-      if (on_demote_) {
-        on_demote_(lock_id);
-      }
-      return;
+  // A common member of the two lists => not transaction flow (the
+  // memory-allocator pattern, §3.4). One word AND in the dense case.
+  if (roles.producers.Intersects(roles.consumers)) {
+    roles.demoted = true;
+    obs_demotions_->Add();
+    if (on_demote_) {
+      on_demote_(lock_id);
     }
   }
 }
@@ -186,20 +215,18 @@ void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles) {
 bool FlowDetector::ShouldEmulate(uint64_t lock_id) const { return !IsDemoted(lock_id); }
 
 bool FlowDetector::IsDemoted(uint64_t lock_id) const {
-  auto it = roles_.find(lock_id);
-  return it != roles_.end() && it->second.demoted;
+  const LockRoles* roles = roles_.Find(lock_id);
+  return roles != nullptr && roles->demoted;
 }
 
-const std::set<vm::ThreadId>& FlowDetector::producers_of(uint64_t lock_id) const {
-  static const std::set<vm::ThreadId> kEmpty;
-  auto it = roles_.find(lock_id);
-  return it == roles_.end() ? kEmpty : it->second.producers;
+ThreadSet FlowDetector::producers_of(uint64_t lock_id) const {
+  const LockRoles* roles = roles_.Find(lock_id);
+  return roles == nullptr ? ThreadSet{} : roles->producers;
 }
 
-const std::set<vm::ThreadId>& FlowDetector::consumers_of(uint64_t lock_id) const {
-  static const std::set<vm::ThreadId> kEmpty;
-  auto it = roles_.find(lock_id);
-  return it == roles_.end() ? kEmpty : it->second.consumers;
+ThreadSet FlowDetector::consumers_of(uint64_t lock_id) const {
+  const LockRoles* roles = roles_.Find(lock_id);
+  return roles == nullptr ? ThreadSet{} : roles->consumers;
 }
 
 }  // namespace whodunit::shm

@@ -28,17 +28,26 @@
 // critical section that last set it; touching the location under a
 // different lock flushes the stale context (§3.2, "used for different
 // purposes at different times").
+//
+// Storage is organized for the per-instruction hot path: the §3.2
+// location namespace is split at its natural seam — shared-memory
+// words live in a flat open-addressing table keyed by address, while
+// each thread's registers are a fixed array plus a validity bitmask
+// (clearing all registers on critical-section entry is one mask
+// reset). Role lists are small bitsets, so the demotion check is a
+// word AND. The class is `final` so the interpreter's templated
+// execute loop can bind the hook calls statically.
 #ifndef SRC_SHM_FLOW_DETECTOR_H_
 #define SRC_SHM_FLOW_DETECTOR_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/robin_hood.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/loc.h"
 
@@ -57,7 +66,69 @@ struct FlowEvent {
   vm::Loc loc;       // location the value was consumed from
 };
 
-class FlowDetector : public vm::InstructionObserver {
+// A set of thread ids: one machine word for ids below 64 (the common
+// case by a wide margin — the simulator numbers threads densely from
+// zero) with a spill vector for larger ids.
+class ThreadSet {
+ public:
+  // Returns true if the thread was newly added.
+  bool insert(vm::ThreadId t) {
+    if (t < 64) {
+      const uint64_t bit = uint64_t{1} << t;
+      if ((bits_ & bit) != 0) {
+        return false;
+      }
+      bits_ |= bit;
+      return true;
+    }
+    for (vm::ThreadId o : overflow_) {
+      if (o == t) {
+        return false;
+      }
+    }
+    overflow_.push_back(t);
+    return true;
+  }
+
+  bool contains(vm::ThreadId t) const {
+    if (t < 64) {
+      return (bits_ & (uint64_t{1} << t)) != 0;
+    }
+    for (vm::ThreadId o : overflow_) {
+      if (o == t) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return bits_ == 0 && overflow_.empty(); }
+  size_t size() const { return std::popcount(bits_) + overflow_.size(); }
+
+  // Non-empty intersection test: one AND for the dense range.
+  bool Intersects(const ThreadSet& other) const {
+    if ((bits_ & other.bits_) != 0) {
+      return true;
+    }
+    for (vm::ThreadId t : overflow_) {
+      if (other.contains(t)) {
+        return true;
+      }
+    }
+    for (vm::ThreadId t : other.overflow_) {
+      if (contains(t)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+  std::vector<vm::ThreadId> overflow_;
+};
+
+class FlowDetector final : public vm::InstructionObserver {
  public:
   struct Config {
     // MAX in the paper (§7.2): instructions emulated past the exit
@@ -87,7 +158,11 @@ class FlowDetector : public vm::InstructionObserver {
   void OnRead(vm::ThreadId t, const vm::Loc& src) override;
   void OnLock(vm::ThreadId t, uint64_t lock_id) override;
   void OnUnlock(vm::ThreadId t, uint64_t lock_id) override;
-  void OnRetire(vm::ThreadId t) override;
+  void OnRetire(vm::ThreadId t) override { OnRetireBatch(t, 1); }
+  // Batched retire bookkeeping: the consume window only shrinks, and
+  // only reads delivered *between* batches can consume, so decrementing
+  // by the whole batch at once is exact.
+  void OnRetireBatch(vm::ThreadId t, int64_t n) override;
 
   // False once the lock's resource was demoted (allocator pattern):
   // the performance optimization of §7.2 — run such critical sections
@@ -98,15 +173,18 @@ class FlowDetector : public vm::InstructionObserver {
   // Introspection for tests and reports.
   uint64_t flows_detected() const { return flows_detected_; }
   const std::vector<FlowEvent>& flow_log() const { return flow_log_; }
-  size_t dictionary_size() const { return dict_.size(); }
-  const std::set<vm::ThreadId>& producers_of(uint64_t lock_id) const;
-  const std::set<vm::ThreadId>& consumers_of(uint64_t lock_id) const;
+  size_t dictionary_size() const { return mem_dict_.size() + reg_entries_; }
+  // Role lists are returned by value: a copy is two words in the dense
+  // case, and the miss path safely yields an empty set instead of a
+  // reference into mutable storage.
+  ThreadSet producers_of(uint64_t lock_id) const;
+  ThreadSet consumers_of(uint64_t lock_id) const;
 
  private:
   struct Entry {
-    CtxtId ctxt;
-    uint64_t lock_id;       // lock of the CS that last set this entry
-    vm::ThreadId producer;  // thread whose context this value carries
+    CtxtId ctxt = kInvalidCtxt;
+    uint64_t lock_id = 0;       // lock of the CS that last set this entry
+    vm::ThreadId producer = 0;  // thread whose context this value carries
   };
   struct ThreadState {
     std::vector<uint64_t> lock_stack;  // held locks, outermost first
@@ -115,17 +193,34 @@ class FlowDetector : public vm::InstructionObserver {
     // that picks up several words of one element (Apache's sd and p)
     // performed one logical flow, not one per word.
     std::vector<std::pair<uint64_t, CtxtId>> window_flows;
+    // Register namespace: fixed slots, validity tracked in one mask so
+    // clearing every register is a single store.
+    std::array<Entry, vm::kNumRegs> regs{};
+    uint32_t reg_valid = 0;
   };
   struct LockRoles {
-    std::set<vm::ThreadId> producers;
-    std::set<vm::ThreadId> consumers;
+    ThreadSet producers;
+    ThreadSet consumers;
     bool demoted = false;
   };
+  static_assert(vm::kNumRegs <= 32, "reg_valid mask is 32 bits");
+
+  ThreadState& St(vm::ThreadId t) {
+    if (t >= threads_.size()) {
+      threads_.resize(static_cast<size_t>(t) + 1);
+    }
+    return threads_[t];
+  }
 
   bool InCriticalSection(const ThreadState& ts) const { return !ts.lock_stack.empty(); }
   // The lock whose critical section governs analysis: the outermost
   // held lock (§3.3.2, nested locks).
   uint64_t OutermostLock(const ThreadState& ts) const { return ts.lock_stack.front(); }
+
+  // Dictionary access, dispatching on the location's namespace.
+  const Entry* FindEntry(const vm::Loc& loc);
+  void SetEntry(const vm::Loc& loc, const Entry& entry);
+  bool EraseEntry(const vm::Loc& loc);
 
   // Flushes loc's entry if it was set under a different lock.
   void FlushIfForeign(const vm::Loc& loc, uint64_t lock_id);
@@ -139,9 +234,12 @@ class FlowDetector : public vm::InstructionObserver {
   FlowCallback on_flow_;
   DemoteCallback on_demote_;
 
-  std::unordered_map<vm::Loc, Entry, vm::LocHash> dict_;
-  std::unordered_map<vm::ThreadId, ThreadState> threads_;
-  std::unordered_map<uint64_t, LockRoles> roles_;
+  // Memory namespace of the location dictionary; registers live in
+  // each ThreadState.
+  util::RobinHoodMap<vm::Addr, Entry> mem_dict_;
+  size_t reg_entries_ = 0;  // total set bits across all reg_valid masks
+  std::vector<ThreadState> threads_;
+  util::RobinHoodMap<uint64_t, LockRoles> roles_;
 
   uint64_t flows_detected_ = 0;
   std::vector<FlowEvent> flow_log_;

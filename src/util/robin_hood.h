@@ -1,0 +1,212 @@
+// Cache-friendly open-addressing hash map (robin-hood probing).
+//
+// The profiler's hot paths — the flow detector's location dictionary,
+// MiniVM guest memory, the translation cache, the context tree's
+// hash-consing table — do one lookup per emulated instruction or per
+// context operation. std::unordered_map pays a pointer chase per probe
+// (node-based buckets); this table keeps key, value, and probe
+// metadata in one flat array, so a lookup is a hash, a masked index,
+// and a short linear scan over adjacent cache lines.
+//
+// Robin-hood displacement bounds probe-length variance: an insert that
+// has probed farther than the resident entry swaps with it, so lookups
+// can stop as soon as they reach a slot whose resident is closer to
+// its home than the probe is ("rich" entry). Deletion uses backward
+// shifting, which preserves that invariant without tombstones.
+//
+// Requirements: Key is equality-comparable and cheap to copy; Value is
+// default-constructible and movable. Not thread-safe (the simulator is
+// single-threaded by design).
+#ifndef SRC_UTIL_ROBIN_HOOD_H_
+#define SRC_UTIL_ROBIN_HOOD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace whodunit::util {
+
+// Default hash: SplitMix64 finisher. std::hash of an integer is the
+// identity on libstdc++, which is fine for chaining but feeds raw
+// low-entropy bits to a power-of-two mask; one multiply-xorshift round
+// spreads them.
+struct SplitMix64Hash {
+  size_t operator()(uint64_t x) const {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = SplitMix64Hash>
+class RobinHoodMap {
+ public:
+  RobinHoodMap() = default;
+
+  Value* Find(const Key& key) {
+    return const_cast<Value*>(std::as_const(*this).Find(key));
+  }
+
+  const Value* Find(const Key& key) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    size_t i = Hash{}(key)&mask_;
+    for (uint8_t d = 1; slots_[i].dist >= d; ++d, i = (i + 1) & mask_) {
+      if (slots_[i].key == key) {
+        return &slots_[i].value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  // Inserts key with a default-constructed value if absent; returns
+  // the (new or existing) value.
+  Value& GetOrInsert(const Key& key) {
+    if (Value* v = Find(key)) {
+      return *v;
+    }
+    ReserveForInsert();
+    return *InsertFresh(key, Value{});
+  }
+
+  // Insert-or-assign.
+  Value& Upsert(const Key& key, Value value) {
+    if (Value* v = Find(key)) {
+      *v = std::move(value);
+      return *v;
+    }
+    ReserveForInsert();
+    return *InsertFresh(key, std::move(value));
+  }
+
+  bool Erase(const Key& key) {
+    if (size_ == 0) {
+      return false;
+    }
+    size_t i = Hash{}(key)&mask_;
+    uint8_t d = 1;
+    for (; slots_[i].dist >= d; ++d, i = (i + 1) & mask_) {
+      if (slots_[i].key == key) {
+        break;
+      }
+    }
+    if (slots_[i].dist < d) {
+      return false;
+    }
+    // Backward-shift the following displaced run one slot left.
+    size_t j = (i + 1) & mask_;
+    while (slots_[j].dist > 1) {
+      slots_[i] = std::move(slots_[j]);
+      --slots_[i].dist;
+      i = j;
+      j = (j + 1) & mask_;
+    }
+    slots_[i] = Slot{};
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.dist != 0) {
+        fn(s.key, s.value);
+      }
+    }
+  }
+
+ private:
+  // dist is the probe distance + 1 of the resident entry; 0 = empty.
+  struct Slot {
+    Key key{};
+    Value value{};
+    uint8_t dist = 0;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  void ReserveForInsert() {
+    // Grow at 7/8 load: robin hood keeps probe runs short well past
+    // 3/4, and the flat layout makes the extra density worth it.
+    if (slots_.empty() || (size_ + 1) * 8 >= slots_.size() * 7) {
+      Grow();
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const size_t cap = old.empty() ? kMinCapacity : old.size() * 2;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.dist != 0) {
+        InsertFresh(s.key, std::move(s.value));
+      }
+    }
+  }
+
+  // Inserts a key known to be absent. Returns the address of the
+  // inserted value (stable until the next insert/erase).
+  Value* InsertFresh(Key key, Value value) {
+    const Key original = key;
+    size_t i = Hash{}(key)&mask_;
+    uint8_t d = 1;
+    Value* result = nullptr;
+    for (;;) {
+      if (slots_[i].dist == 0) {
+        slots_[i].key = key;
+        slots_[i].value = std::move(value);
+        slots_[i].dist = d;
+        ++size_;
+        return result != nullptr ? result : &slots_[i].value;
+      }
+      if (slots_[i].dist < d) {
+        // The carried entry is poorer than the resident: swap them and
+        // keep probing for the evicted one.
+        std::swap(key, slots_[i].key);
+        std::swap(value, slots_[i].value);
+        std::swap(d, slots_[i].dist);
+        if (result == nullptr) {
+          result = &slots_[i].value;
+        }
+      }
+      i = (i + 1) & mask_;
+      ++d;
+      if (d == UINT8_MAX) {
+        // Probe run outgrew the metadata byte (astronomically unlikely
+        // below the load ceiling): rehash larger, finish placing the
+        // carried entry, and re-find the one this call promised.
+        Grow();
+        InsertFresh(key, std::move(value));
+        return Find(original);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_ROBIN_HOOD_H_

@@ -1,238 +1,14 @@
 #include "src/vm/interpreter.h"
 
-#include <cassert>
-
 namespace whodunit::vm {
-namespace {
 
-int Sign(int64_t v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
-
-}  // namespace
-
-ExecResult Interpreter::Execute(const Program& program, ThreadId thread, CpuState& cpu,
-                                Memory& mem, InstructionObserver* observer, Mode mode,
-                                int64_t max_steps) {
-  ExecResult result;
-
-  if (mode == Mode::kEmulate && translated_.contains(program.id)) {
-    obs_cache_hits_->Add();
-  }
-  if (mode == Mode::kEmulate && !translated_.contains(program.id)) {
-    // Translation pass: in the real system this decodes guest code and
-    // emits a translated block; here the per-instruction cost model
-    // stands in for that work. It is paid once per program until the
-    // cache is flushed.
-    for (const Instruction& ins : program.code) {
-      result.guest_cycles += TranslateCycles(ins.op);
-    }
-    translated_.insert(program.id);
-    ++translations_performed_;
-    obs_translations_->Add();
-    result.translated = true;
-  }
-
-  const bool hooks = (mode == Mode::kEmulate) && observer != nullptr;
-
-  auto ea = [&cpu](const MemRef& m) -> Addr {
-    return cpu.regs[m.base] + static_cast<uint64_t>(m.disp);
-  };
-  auto read_base = [&](const MemRef& m) {
-    if (hooks) {
-      observer->OnRead(thread, Loc::Reg(thread, m.base));
-    }
-  };
-
-  int64_t pc = 0;
-  const auto code_size = static_cast<int64_t>(program.code.size());
-  while (pc >= 0 && pc < code_size) {
-    if (result.instructions >= max_steps) {
-      assert(false && "MiniVM runaway loop");
-      break;
-    }
-    const Instruction& ins = program.code[pc];
-    ++result.instructions;
-    result.direct_cycles += DirectCycles(ins.op);
-    if (mode == Mode::kEmulate) {
-      result.guest_cycles += EmulateCycles(ins.op);
-    } else {
-      result.guest_cycles += DirectCycles(ins.op);
-    }
-    int64_t next_pc = pc + 1;
-
-    switch (ins.op) {
-      case Opcode::kMovRR:
-        if (hooks) {
-          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
-          observer->OnMov(thread, Loc::Reg(thread, ins.r1), Loc::Reg(thread, ins.r2));
-        }
-        cpu.regs[ins.r1] = cpu.regs[ins.r2];
-        break;
-      case Opcode::kMovRI:
-        if (hooks) {
-          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
-        }
-        cpu.regs[ins.r1] = static_cast<uint64_t>(ins.imm);
-        break;
-      case Opcode::kMovRM: {
-        const Addr a = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m1);
-          observer->OnRead(thread, Loc::Mem(a));
-          observer->OnMov(thread, Loc::Reg(thread, ins.r1), Loc::Mem(a));
-        }
-        cpu.regs[ins.r1] = mem.Read(a);
-        break;
-      }
-      case Opcode::kMovMR: {
-        const Addr a = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m1);
-          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
-          observer->OnMov(thread, Loc::Mem(a), Loc::Reg(thread, ins.r1));
-        }
-        mem.Write(a, cpu.regs[ins.r1]);
-        break;
-      }
-      case Opcode::kMovMI: {
-        const Addr a = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m1);
-          observer->OnWriteValue(thread, Loc::Mem(a));
-        }
-        mem.Write(a, static_cast<uint64_t>(ins.imm));
-        break;
-      }
-      case Opcode::kMovMM: {
-        const Addr src = ea(ins.m2);
-        const Addr dst = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m2);
-          read_base(ins.m1);
-          observer->OnRead(thread, Loc::Mem(src));
-          observer->OnMov(thread, Loc::Mem(dst), Loc::Mem(src));
-        }
-        mem.Write(dst, mem.Read(src));
-        break;
-      }
-      case Opcode::kAddRR:
-        if (hooks) {
-          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
-          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
-          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
-        }
-        cpu.regs[ins.r1] += cpu.regs[ins.r2];
-        break;
-      case Opcode::kAddRI:
-      case Opcode::kSubRI:
-      case Opcode::kMulRI: {
-        if (hooks) {
-          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
-          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
-        }
-        uint64_t& r = cpu.regs[ins.r1];
-        if (ins.op == Opcode::kAddRI) {
-          r += static_cast<uint64_t>(ins.imm);
-        } else if (ins.op == Opcode::kSubRI) {
-          r -= static_cast<uint64_t>(ins.imm);
-        } else {
-          r *= static_cast<uint64_t>(ins.imm);
-        }
-        break;
-      }
-      case Opcode::kIncM:
-      case Opcode::kDecM:
-      case Opcode::kAddMI: {
-        const Addr a = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m1);
-          observer->OnRead(thread, Loc::Mem(a));
-          observer->OnWriteValue(thread, Loc::Mem(a));
-        }
-        uint64_t v = mem.Read(a);
-        if (ins.op == Opcode::kIncM) {
-          ++v;
-        } else if (ins.op == Opcode::kDecM) {
-          --v;
-        } else {
-          v += static_cast<uint64_t>(ins.imm);
-        }
-        mem.Write(a, v);
-        break;
-      }
-      case Opcode::kCmpRI:
-        if (hooks) {
-          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
-        }
-        cpu.cmp = Sign(static_cast<int64_t>(cpu.regs[ins.r1]) - ins.imm);
-        break;
-      case Opcode::kCmpRR:
-        if (hooks) {
-          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
-          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
-        }
-        cpu.cmp =
-            Sign(static_cast<int64_t>(cpu.regs[ins.r1]) - static_cast<int64_t>(cpu.regs[ins.r2]));
-        break;
-      case Opcode::kCmpMI: {
-        const Addr a = ea(ins.m1);
-        if (hooks) {
-          read_base(ins.m1);
-          observer->OnRead(thread, Loc::Mem(a));
-        }
-        cpu.cmp = Sign(static_cast<int64_t>(mem.Read(a)) - ins.imm);
-        break;
-      }
-      case Opcode::kJmp:
-        next_pc = ins.target;
-        break;
-      case Opcode::kJe:
-        if (cpu.cmp == 0) {
-          next_pc = ins.target;
-        }
-        break;
-      case Opcode::kJne:
-        if (cpu.cmp != 0) {
-          next_pc = ins.target;
-        }
-        break;
-      case Opcode::kJl:
-        if (cpu.cmp < 0) {
-          next_pc = ins.target;
-        }
-        break;
-      case Opcode::kJge:
-        if (cpu.cmp >= 0) {
-          next_pc = ins.target;
-        }
-        break;
-      case Opcode::kLock:
-        if (hooks) {
-          observer->OnLock(thread, static_cast<uint64_t>(ins.imm));
-        }
-        break;
-      case Opcode::kUnlock:
-        if (hooks) {
-          observer->OnUnlock(thread, static_cast<uint64_t>(ins.imm));
-        }
-        break;
-      case Opcode::kNop:
-        break;
-      case Opcode::kHalt:
-        next_pc = code_size;
-        break;
-    }
-
-    if (hooks) {
-      observer->OnRetire(thread);
-    }
-    pc = next_pc;
-  }
-
-  // Aggregated once per Execute so the per-instruction loop stays
-  // free of instrumentation.
-  (mode == Mode::kEmulate ? obs_emulated_ : obs_direct_)
-      ->Add(static_cast<uint64_t>(result.instructions));
-  return result;
-}
+// The execute loop lives in the header as the ExecuteWith template so
+// callers can instantiate it on concrete observer types (devirtualized
+// hooks). This TU pins the common instantiations so every other TU can
+// link against them instead of re-instantiating.
+template ExecResult Interpreter::ExecuteWith<InstructionObserver>(
+    const Program&, ThreadId, CpuState&, Memory&, InstructionObserver*, Mode, int64_t);
+template ExecResult Interpreter::ExecuteWith<Interpreter::NoObserver>(
+    const Program&, ThreadId, CpuState&, Memory&, Interpreter::NoObserver*, Mode, int64_t);
 
 }  // namespace whodunit::vm

@@ -6,15 +6,28 @@
 // "directly". Translation happens once per program and is cached —
 // Table 3's three cost regimes (direct execution, translation +
 // emulation, emulation from cache) fall directly out of this design.
+//
+// The execute loop is a template over the observer's concrete type
+// (ExecuteWith). Instantiating it on a final observer class lets the
+// compiler resolve every hook call statically — no vtable dispatch in
+// the per-instruction path — and instantiating it on the NoObserver
+// tag compiles the hook code out entirely (the direct-execution
+// regime). The virtual-dispatch path survives as the
+// ExecuteWith<InstructionObserver> instantiation behind Execute(), for
+// callers that only hold the abstract interface. Retire bookkeeping is
+// batched: opcodes that deliver no hooks (jumps, nop, halt — see
+// kDeliversHooks) accumulate a pending count that is flushed as one
+// OnRetireBatch call before the next hook-delivering instruction.
 #ifndef SRC_VM_INTERPRETER_H_
 #define SRC_VM_INTERPRETER_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
 
 #include "src/obs/metrics.h"
+#include "src/util/robin_hood.h"
 #include "src/vm/isa.h"
 #include "src/vm/loc.h"
 #include "src/vm/memory.h"
@@ -29,6 +42,10 @@ struct CpuState {
 
 // Receives the instruction-level events the flow-detection algorithm
 // consumes. Default implementations ignore everything.
+namespace internal {
+inline int Sign(int64_t v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+}  // namespace internal
+
 class InstructionObserver {
  public:
   virtual ~InstructionObserver() = default;
@@ -43,6 +60,15 @@ class InstructionObserver {
   virtual void OnUnlock(ThreadId /*t*/, uint64_t /*lock_id*/) {}
   // Fired after each instruction completes.
   virtual void OnRetire(ThreadId /*t*/) {}
+  // `n` consecutive instructions retired with no intervening hook
+  // deliveries. The interpreter batches hookless stretches (control
+  // flow, nops) into one call; the default unrolls to OnRetire so
+  // observers that count retires individually keep exact semantics.
+  virtual void OnRetireBatch(ThreadId t, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      OnRetire(t);
+    }
+  }
 };
 
 struct ExecResult {
@@ -63,22 +89,48 @@ class Interpreter {
     kEmulate,  // emulated execution: hooks delivered, emulation cost
   };
 
+  // Tag type selecting the hookless instantiation of ExecuteWith: all
+  // observer code compiles out. Pass observer = nullptr with it.
+  struct NoObserver {
+    void OnMov(ThreadId, const Loc&, const Loc&) {}
+    void OnWriteValue(ThreadId, const Loc&) {}
+    void OnRead(ThreadId, const Loc&) {}
+    void OnLock(ThreadId, uint64_t) {}
+    void OnUnlock(ThreadId, uint64_t) {}
+    void OnRetireBatch(ThreadId, int64_t) {}
+  };
+
   // Runs `program` to completion (Halt or falling off the end) on the
   // given thread's register state over `mem`. Aborts after max_steps
-  // instructions as a runaway-loop guard.
+  // instructions as a runaway-loop guard. Dispatches to the hookless
+  // instantiation when no hooks can fire, the virtual one otherwise.
   ExecResult Execute(const Program& program, ThreadId thread, CpuState& cpu, Memory& mem,
                      InstructionObserver* observer = nullptr, Mode mode = Mode::kEmulate,
-                     int64_t max_steps = 1 << 20);
+                     int64_t max_steps = 1 << 20) {
+    if (observer == nullptr || mode == Mode::kDirect) {
+      return ExecuteWith<NoObserver>(program, thread, cpu, mem, nullptr, mode, max_steps);
+    }
+    return ExecuteWith(program, thread, cpu, mem, observer, mode, max_steps);
+  }
+
+  // The execute loop, statically bound to the observer's concrete
+  // type. Calling this with a `final` observer class (e.g.
+  // shm::FlowDetector) devirtualizes every hook call.
+  template <typename Obs>
+  ExecResult ExecuteWith(const Program& program, ThreadId thread, CpuState& cpu, Memory& mem,
+                         Obs* observer, Mode mode = Mode::kEmulate,
+                         int64_t max_steps = 1 << 20);
 
   // Drops all cached translations (as if the code cache were flushed).
-  void FlushTranslationCache() { translated_.clear(); }
-  bool IsTranslated(uint64_t program_id) const { return translated_.contains(program_id); }
+  void FlushTranslationCache() { translated_.Clear(); }
+  bool IsTranslated(uint64_t program_id) const { return translated_.Contains(program_id); }
   size_t translation_cache_size() const { return translated_.size(); }
 
   uint64_t translations_performed() const { return translations_performed_; }
 
  private:
-  std::unordered_set<uint64_t> translated_;
+  // Used as a set: presence of the program id means "translated".
+  util::RobinHoodMap<uint64_t, uint8_t> translated_;
   uint64_t translations_performed_ = 0;
 
   // Self-observability handles, resolved once (see docs/METRICS.md).
@@ -87,6 +139,256 @@ class Interpreter {
   obs::Counter* obs_emulated_ = &obs::Registry().GetCounter("vm.instructions_emulated");
   obs::Counter* obs_direct_ = &obs::Registry().GetCounter("vm.instructions_direct");
 };
+
+template <typename Obs>
+ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, CpuState& cpu,
+                                    Memory& mem, Obs* observer, Mode mode,
+                                    int64_t max_steps) {
+  constexpr bool kObserved = !std::is_same_v<Obs, NoObserver>;
+  ExecResult result;
+
+  const bool emulate = (mode == Mode::kEmulate);
+  if (emulate) {
+    // One translation-cache probe per Execute, hoisted out of the
+    // instruction loop (translation state cannot change mid-run).
+    if (translated_.Contains(program.id)) {
+      obs_cache_hits_->Add();
+    } else {
+      // Translation pass: in the real system this decodes guest code
+      // and emits a translated block; here the per-instruction cost
+      // model stands in for that work. Paid once per program until the
+      // cache is flushed.
+      for (const Instruction& ins : program.code) {
+        result.guest_cycles += TranslateCycles(ins.op);
+      }
+      translated_.Upsert(program.id, 1);
+      ++translations_performed_;
+      obs_translations_->Add();
+      result.translated = true;
+    }
+  }
+
+  // With Obs = NoObserver this is statically false and every hook
+  // block below is dead code.
+  const bool hooks = kObserved && emulate && observer != nullptr;
+  // Cycle-cost table for the chosen mode, selected once.
+  const int64_t* const cost = emulate ? kEmulateCycles : kDirectCycles;
+
+  // Retires accumulated since the last hook delivery; flushed as one
+  // batch before the next hook-delivering instruction so the observer
+  // sees retire counts at exactly the points where they can matter.
+  int64_t pending_retires = 0;
+  const auto flush_retires = [&] {
+    if (pending_retires > 0) {
+      observer->OnRetireBatch(thread, pending_retires);
+      pending_retires = 0;
+    }
+  };
+
+  const auto ea = [&cpu](const MemRef& m) -> Addr {
+    return cpu.regs[m.base] + static_cast<uint64_t>(m.disp);
+  };
+  const auto read_base = [&](const MemRef& m) {
+    if (hooks) {
+      observer->OnRead(thread, Loc::Reg(thread, m.base));
+    }
+  };
+
+  int64_t pc = 0;
+  const auto code_size = static_cast<int64_t>(program.code.size());
+  while (pc >= 0 && pc < code_size) {
+    if (result.instructions >= max_steps) {
+      assert(false && "MiniVM runaway loop");
+      break;
+    }
+    const Instruction& ins = program.code[pc];
+    ++result.instructions;
+    const int oi = static_cast<int>(ins.op);
+    result.direct_cycles += kDirectCycles[oi];
+    result.guest_cycles += cost[oi];
+    int64_t next_pc = pc + 1;
+
+    if (hooks && kDeliversHooks[oi]) {
+      flush_retires();
+    }
+
+    switch (ins.op) {
+      case Opcode::kMovRR:
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
+          observer->OnMov(thread, Loc::Reg(thread, ins.r1), Loc::Reg(thread, ins.r2));
+        }
+        cpu.regs[ins.r1] = cpu.regs[ins.r2];
+        break;
+      case Opcode::kMovRI:
+        if (hooks) {
+          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
+        }
+        cpu.regs[ins.r1] = static_cast<uint64_t>(ins.imm);
+        break;
+      case Opcode::kMovRM: {
+        const Addr a = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m1);
+          observer->OnRead(thread, Loc::Mem(a));
+          observer->OnMov(thread, Loc::Reg(thread, ins.r1), Loc::Mem(a));
+        }
+        cpu.regs[ins.r1] = mem.Read(a);
+        break;
+      }
+      case Opcode::kMovMR: {
+        const Addr a = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m1);
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnMov(thread, Loc::Mem(a), Loc::Reg(thread, ins.r1));
+        }
+        mem.Write(a, cpu.regs[ins.r1]);
+        break;
+      }
+      case Opcode::kMovMI: {
+        const Addr a = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m1);
+          observer->OnWriteValue(thread, Loc::Mem(a));
+        }
+        mem.Write(a, static_cast<uint64_t>(ins.imm));
+        break;
+      }
+      case Opcode::kMovMM: {
+        const Addr src = ea(ins.m2);
+        const Addr dst = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m2);
+          read_base(ins.m1);
+          observer->OnRead(thread, Loc::Mem(src));
+          observer->OnMov(thread, Loc::Mem(dst), Loc::Mem(src));
+        }
+        mem.Write(dst, mem.Read(src));
+        break;
+      }
+      case Opcode::kAddRR:
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
+          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
+        }
+        cpu.regs[ins.r1] += cpu.regs[ins.r2];
+        break;
+      case Opcode::kAddRI:
+      case Opcode::kSubRI:
+      case Opcode::kMulRI: {
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
+        }
+        uint64_t& r = cpu.regs[ins.r1];
+        if (ins.op == Opcode::kAddRI) {
+          r += static_cast<uint64_t>(ins.imm);
+        } else if (ins.op == Opcode::kSubRI) {
+          r -= static_cast<uint64_t>(ins.imm);
+        } else {
+          r *= static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      }
+      case Opcode::kIncM:
+      case Opcode::kDecM:
+      case Opcode::kAddMI: {
+        const Addr a = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m1);
+          observer->OnRead(thread, Loc::Mem(a));
+          observer->OnWriteValue(thread, Loc::Mem(a));
+        }
+        uint64_t v = mem.Read(a);
+        if (ins.op == Opcode::kIncM) {
+          ++v;
+        } else if (ins.op == Opcode::kDecM) {
+          --v;
+        } else {
+          v += static_cast<uint64_t>(ins.imm);
+        }
+        mem.Write(a, v);
+        break;
+      }
+      case Opcode::kCmpRI:
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+        }
+        cpu.cmp = internal::Sign(static_cast<int64_t>(cpu.regs[ins.r1]) - ins.imm);
+        break;
+      case Opcode::kCmpRR:
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnRead(thread, Loc::Reg(thread, ins.r2));
+        }
+        cpu.cmp = internal::Sign(static_cast<int64_t>(cpu.regs[ins.r1]) -
+                                 static_cast<int64_t>(cpu.regs[ins.r2]));
+        break;
+      case Opcode::kCmpMI: {
+        const Addr a = ea(ins.m1);
+        if (hooks) {
+          read_base(ins.m1);
+          observer->OnRead(thread, Loc::Mem(a));
+        }
+        cpu.cmp = internal::Sign(static_cast<int64_t>(mem.Read(a)) - ins.imm);
+        break;
+      }
+      case Opcode::kJmp:
+        next_pc = ins.target;
+        break;
+      case Opcode::kJe:
+        if (cpu.cmp == 0) {
+          next_pc = ins.target;
+        }
+        break;
+      case Opcode::kJne:
+        if (cpu.cmp != 0) {
+          next_pc = ins.target;
+        }
+        break;
+      case Opcode::kJl:
+        if (cpu.cmp < 0) {
+          next_pc = ins.target;
+        }
+        break;
+      case Opcode::kJge:
+        if (cpu.cmp >= 0) {
+          next_pc = ins.target;
+        }
+        break;
+      case Opcode::kLock:
+        if (hooks) {
+          observer->OnLock(thread, static_cast<uint64_t>(ins.imm));
+        }
+        break;
+      case Opcode::kUnlock:
+        if (hooks) {
+          observer->OnUnlock(thread, static_cast<uint64_t>(ins.imm));
+        }
+        break;
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        next_pc = code_size;
+        break;
+    }
+
+    if (hooks) {
+      ++pending_retires;
+    }
+    pc = next_pc;
+  }
+  if (hooks) {
+    flush_retires();
+  }
+
+  // Aggregated once per Execute so the per-instruction loop stays
+  // free of instrumentation.
+  (emulate ? obs_emulated_ : obs_direct_)->Add(static_cast<uint64_t>(result.instructions));
+  return result;
+}
 
 }  // namespace whodunit::vm
 

@@ -4,78 +4,6 @@
 
 namespace whodunit::vm {
 
-int64_t DirectCycles(Opcode op) {
-  switch (op) {
-    case Opcode::kMovRR:
-    case Opcode::kMovRI:
-    case Opcode::kAddRR:
-    case Opcode::kAddRI:
-    case Opcode::kSubRI:
-    case Opcode::kCmpRI:
-    case Opcode::kCmpRR:
-    case Opcode::kNop:
-      return 1;
-    case Opcode::kMulRI:
-      return 3;
-    case Opcode::kMovRM:
-    case Opcode::kMovMR:
-    case Opcode::kMovMI:
-    case Opcode::kCmpMI:
-      return 3;
-    case Opcode::kMovMM:
-    case Opcode::kIncM:
-    case Opcode::kDecM:
-    case Opcode::kAddMI:
-      return 5;
-    case Opcode::kJmp:
-    case Opcode::kJe:
-    case Opcode::kJne:
-    case Opcode::kJl:
-    case Opcode::kJge:
-      return 2;
-    case Opcode::kLock:
-    case Opcode::kUnlock:
-      // Uncontended atomic + fence, the dominant direct-execution cost
-      // of the tiny Apache critical sections (Table 3: ~110-130 cycles
-      // total, mostly lock/unlock).
-      return 45;
-    case Opcode::kHalt:
-      return 0;
-  }
-  return 1;
-}
-
-int64_t EmulateCycles(Opcode op) {
-  // Dispatch + operand decode + hook delivery per emulated
-  // instruction; memory operations pay an extra soft-TLB-ish cost.
-  switch (op) {
-    case Opcode::kMovRM:
-    case Opcode::kMovMR:
-    case Opcode::kMovMI:
-    case Opcode::kMovMM:
-    case Opcode::kIncM:
-    case Opcode::kDecM:
-    case Opcode::kAddMI:
-    case Opcode::kCmpMI:
-      return 1400;
-    case Opcode::kLock:
-    case Opcode::kUnlock:
-      return 1500;
-    case Opcode::kHalt:
-      return 80;
-    default:
-      return 800;
-  }
-}
-
-int64_t TranslateCycles(Opcode op) {
-  // Decoding guest code, building the intermediate representation, and
-  // emitting the translated block: one-time cost, far larger than
-  // executing the cached translation (QEMU's behaviour in Table 3).
-  (void)op;
-  return 4200;
-}
-
 const char* OpcodeName(Opcode op) {
   switch (op) {
     case Opcode::kMovRR: return "mov_rr";

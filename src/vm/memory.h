@@ -8,8 +8,8 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 
+#include "src/util/robin_hood.h"
 #include "src/vm/loc.h"
 
 namespace whodunit::vm {
@@ -18,21 +18,23 @@ class Memory {
  public:
   // Unwritten words read as zero (like freshly mapped pages).
   uint64_t Read(Addr a) const {
-    auto it = words_.find(a);
-    return it == words_.end() ? 0 : it->second;
+    const uint64_t* v = words_.Find(a);
+    return v == nullptr ? 0 : *v;
   }
 
-  void Write(Addr a, uint64_t v) { words_[a] = v; }
+  void Write(Addr a, uint64_t v) { words_.Upsert(a, v); }
 
   size_t footprint_words() const { return words_.size(); }
 
   // Sorted copy of all written words; for test comparisons and dumps.
   std::map<Addr, uint64_t> Snapshot() const {
-    return std::map<Addr, uint64_t>(words_.begin(), words_.end());
+    std::map<Addr, uint64_t> out;
+    words_.ForEach([&out](const Addr& a, const uint64_t& v) { out.emplace(a, v); });
+    return out;
   }
 
  private:
-  std::unordered_map<Addr, uint64_t> words_;
+  util::RobinHoodMap<Addr, uint64_t> words_;
 };
 
 }  // namespace whodunit::vm

@@ -19,8 +19,9 @@ struct LoopFixture {
   std::vector<TransactionContext> contexts_seen;
 
   LoopFixture() {
-    loop.set_context_listener(
-        [this](const TransactionContext& c) { contexts_seen.push_back(c); });
+    loop.set_context_listener([this](context::NodeId node) {
+      contexts_seen.push_back(context::GlobalContextTree().Materialize(node));
+    });
   }
 };
 

@@ -18,8 +18,8 @@ TEST(SedaTest, PipelinePropagatesContexts) {
   sim::Scheduler sched;
   StageGraph graph(sched);
   std::vector<std::pair<StageId, TransactionContext>> seen;
-  graph.set_context_listener([&](StageId s, int, const TransactionContext& c) {
-    seen.emplace_back(s, c);
+  graph.set_context_listener([&](StageId s, int, context::NodeId node) {
+    seen.emplace_back(s, context::GlobalContextTree().Materialize(node));
   });
 
   StageId write = 0;
