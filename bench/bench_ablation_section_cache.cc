@@ -1,0 +1,137 @@
+// Ablation: the flow-summary cache (src/shm/section_cache.h).
+//
+// Four configurations of the same steady-state Apache queue workload:
+//   interpreted     — warm translation cache, no summary cache
+//   cache (arch)    — summaries replayed, no flow detector attached
+//   cache+detector  — summaries replayed incl. dictionary effects
+//   cache+shadow    — every hit re-verified against full emulation
+//                     (the asan-ubsan configuration; upper cost bound)
+// plus a sweep of the variant ring against queue-depth churn: a
+// section whose fingerprint pins a walking value (the queue depth)
+// needs one variant per distinct depth, so hit rate degrades once the
+// working set outgrows max_variants.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/shm/flow_detector.h"
+#include "src/shm/guest_code.h"
+#include "src/shm/section_cache.h"
+#include "src/vm/interpreter.h"
+
+namespace {
+
+using namespace whodunit;
+
+constexpr uint64_t kLockId = 1;
+constexpr uint64_t kQueueBase = 0x1000;
+
+struct Fixture {
+  vm::Program push = shm::ApQueuePush(kLockId);
+  vm::Program pop = shm::ApQueuePop(kLockId);
+  vm::Memory mem;
+  vm::CpuState cpu;
+  vm::Interpreter interp;
+
+  Fixture() {
+    cpu.regs[0] = kQueueBase;
+    cpu.regs[5] = 0x2000;
+    cpu.regs[6] = 0x2008;
+  }
+};
+
+void BM_Interpreted(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    f.cpu.regs[1] = 42;
+    f.cpu.regs[2] = 43;
+    f.interp.Execute(f.push, 0, f.cpu, f.mem);
+    f.interp.Execute(f.pop, 0, f.cpu, f.mem);
+    benchmark::DoNotOptimize(f.cpu.regs[7]);
+  }
+}
+BENCHMARK(BM_Interpreted);
+
+void BM_CacheArchOnly(benchmark::State& state) {
+  Fixture f;
+  shm::SectionCache::Config cfg;
+  cfg.shadow_verify = false;
+  shm::SectionCache cache(cfg);
+  for (auto _ : state) {
+    f.cpu.regs[1] = 42;
+    f.cpu.regs[2] = 43;
+    cache.Run(f.interp, f.push, 0, f.cpu, f.mem, nullptr);
+    cache.Run(f.interp, f.pop, 0, f.cpu, f.mem, nullptr);
+    benchmark::DoNotOptimize(f.cpu.regs[7]);
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) / static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_CacheArchOnly);
+
+template <bool kShadow>
+void CacheWithDetector(benchmark::State& state) {
+  Fixture f;
+  shm::FlowDetector detector([](vm::ThreadId t) { return shm::CtxtId{t + 1}; });
+  shm::SectionCache::Config cfg;
+  cfg.shadow_verify = kShadow;
+  shm::SectionCache cache(cfg);
+  for (auto _ : state) {
+    f.cpu.regs[1] = 42;
+    f.cpu.regs[2] = 43;
+    cache.Run(f.interp, f.push, 0, f.cpu, f.mem, &detector);
+    cache.Run(f.interp, f.pop, 0, f.cpu, f.mem, &detector);
+    benchmark::DoNotOptimize(f.cpu.regs[7]);
+  }
+  benchmark::DoNotOptimize(detector.flows_detected());
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) / static_cast<double>(cache.hits() + cache.misses());
+}
+
+void BM_CacheWithDetector(benchmark::State& state) { CacheWithDetector<false>(state); }
+BENCHMARK(BM_CacheWithDetector);
+
+void BM_CacheShadowVerified(benchmark::State& state) { CacheWithDetector<true>(state); }
+BENCHMARK(BM_CacheShadowVerified);
+
+// Variant-ring churn: the producer cycles the queue depth through
+// `depth_range` values before the consumer drains it. Every depth is a
+// distinct fingerprint for both sections, so hit rate collapses once
+// 2*depth_range outgrows the ring (max_variants=8 per section).
+void BM_VariantChurn(benchmark::State& state) {
+  const auto depth_range = static_cast<uint64_t>(state.range(0));
+  Fixture f;
+  shm::SectionCache::Config cfg;
+  cfg.shadow_verify = false;
+  shm::SectionCache cache(cfg);
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < depth_range; ++i) {
+      f.cpu.regs[1] = 42;
+      f.cpu.regs[2] = 43;
+      cache.Run(f.interp, f.push, 0, f.cpu, f.mem, nullptr);
+    }
+    for (uint64_t i = 0; i < depth_range; ++i) {
+      cache.Run(f.interp, f.pop, 0, f.cpu, f.mem, nullptr);
+    }
+    benchmark::DoNotOptimize(f.cpu.regs[7]);
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) / static_cast<double>(cache.hits() + cache.misses());
+  state.counters["variants"] = static_cast<double>(cache.variants());
+}
+BENCHMARK(BM_VariantChurn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Header(
+      "Ablation: flow-summary cache\n"
+      "interpreted vs arch-only replay vs replay+dictionary vs shadow-verified,\n"
+      "then hit-rate vs queue-depth churn (variant ring, max_variants=8)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  whodunit::bench::DumpMetrics("ablation_section_cache");
+  return 0;
+}

@@ -1,9 +1,9 @@
 #!/bin/sh
-# Perf regression gate (warn-only for now): re-runs the Table 3
-# emulation bench and compares the emulate-from-cache per-op cost
-# against the committed baseline in bench/baselines/. A >10% slowdown
-# prints a WARNING; set CHECK_PERF_STRICT=1 to turn the warning into a
-# failure once the numbers are stable enough to gate on.
+# Perf regression gate: re-runs the Table 3 emulation bench and
+# compares the emulate-from-cache per-op cost against the committed
+# baseline in bench/baselines/. A >10% slowdown FAILS. On noisy or
+# shared hardware (CI runners), set CHECK_PERF_WARN_ONLY=1 to demote
+# the failure to a warning.
 #
 # Usage: scripts/check_perf.sh [-B BUILD_DIR] [-n RUNS]
 set -u
@@ -42,22 +42,30 @@ with open(baseline_path) as f:
 with open(fresh_path) as f:
     fresh = json.load(f)
 
-def cached_ns(doc):
-    return doc.get("derived", {}).get("emulate_cached_ns_per_op")
+def cached_ns(doc, floor=False):
+    derived = doc.get("derived", {})
+    if floor and "emulate_cached_ns_per_op_min" in derived:
+        return derived["emulate_cached_ns_per_op_min"]
+    return derived.get("emulate_cached_ns_per_op")
 
-base, now = cached_ns(baseline), cached_ns(fresh)
+# Gate the fresh *min* against the baseline median: individual runs on
+# shared/containerized hosts routinely read 15%+ hot, but a lost fast
+# path slows every run, including the best one.
+base, now = cached_ns(baseline), cached_ns(fresh, floor=True)
 if base is None or now is None:
     print("check_perf: emulate_cached_ns_per_op missing from bench JSON", file=sys.stderr)
     sys.exit(1)
 
 delta_pct = 100.0 * (now - base) / base
 print(f"check_perf: emulate-from-cache {base:.1f} ns/op (baseline) -> "
-      f"{now:.1f} ns/op (fresh), {delta_pct:+.1f}%")
+      f"{now:.1f} ns/op (fresh min), {delta_pct:+.1f}%")
 if delta_pct > threshold:
-    msg = (f"WARNING: bench_table3_emulation emulate-from-cache regressed "
+    msg = (f"bench_table3_emulation emulate-from-cache regressed "
            f"{delta_pct:.1f}% (> {threshold:.0f}% threshold)")
-    print(msg, file=sys.stderr)
-    if os.environ.get("CHECK_PERF_STRICT") == "1":
+    if os.environ.get("CHECK_PERF_WARN_ONLY") == "1":
+        print(f"WARNING (CHECK_PERF_WARN_ONLY=1): {msg}", file=sys.stderr)
+    else:
+        print(f"FAIL: {msg}", file=sys.stderr)
         sys.exit(1)
 else:
     print("check_perf: OK")

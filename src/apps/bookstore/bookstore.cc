@@ -14,6 +14,7 @@
 #include "src/sim/scheduler.h"
 #include "src/shm/flow_detector.h"
 #include "src/shm/guest_code.h"
+#include "src/shm/section_cache.h"
 #include "src/sim/task.h"
 #include "src/vm/interpreter.h"
 #include "src/util/rng.h"
@@ -224,12 +225,14 @@ class Bookstore {
       cpu.regs[1] = row % 64;
       cpu.regs[2] = row | 1;
       const vm::Program& prog = writes ? table_write_prog_ : table_read_prog_;
-      cycles += interp_.ExecuteWith(prog, t, cpu, guest_mem_, shm_detector_.get()).guest_cycles;
+      cycles += section_cache_.Run(interp_, prog, t, cpu, guest_mem_, shm_detector_.get())
+                    .guest_cycles;
     }
     if (shm_detector_->ShouldEmulate(kDbCounterLockId)) {
       cpu.regs[0] = kDbCounterAddr;
-      cycles += interp_.ExecuteWith(counter_prog_, t, cpu, guest_mem_, shm_detector_.get())
-                    .guest_cycles;
+      cycles +=
+          section_cache_.Run(interp_, counter_prog_, t, cpu, guest_mem_, shm_detector_.get())
+              .guest_cycles;
     }
     return workload::CyclesToNs(cycles);
   }
@@ -345,6 +348,7 @@ class Bookstore {
   static constexpr uint64_t kDbCounterAddr = 0x5000;
   std::unique_ptr<shm::FlowDetector> shm_detector_;
   vm::Interpreter interp_;
+  shm::SectionCache section_cache_;
   vm::Memory guest_mem_;
   vm::Program table_read_prog_, table_write_prog_, counter_prog_;
   std::map<vm::ThreadId, vm::CpuState> guest_cpus_;

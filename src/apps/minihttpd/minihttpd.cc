@@ -9,6 +9,7 @@
 #include "src/profiler/stage_profiler.h"
 #include "src/shm/flow_detector.h"
 #include "src/shm/guest_code.h"
+#include "src/shm/section_cache.h"
 #include "src/sim/channel.h"
 #include "src/sim/cpu.h"
 #include "src/sim/lock.h"
@@ -111,10 +112,11 @@ class Server {
       cpu_state.regs[static_cast<size_t>(r)] = v;
     }
     const bool emulate = TracksTransactions(options_.mode) && detector_.ShouldEmulate(lock_id);
-    // ExecuteWith on the concrete (final) detector type binds the hook
-    // calls statically; the direct path compiles hooks out entirely.
+    // Emulated sections go through the flow-summary cache: the first
+    // run of each section records its effects, steady-state runs
+    // replay them without re-entering the MiniVM dispatch loop.
     const vm::ExecResult res =
-        emulate ? interp_.ExecuteWith(prog, t, cpu_state, mem_, &detector_)
+        emulate ? section_cache_.Run(interp_, prog, t, cpu_state, mem_, &detector_)
                 : interp_.Execute(prog, t, cpu_state, mem_, nullptr,
                                   vm::Interpreter::Mode::kDirect);
     if (emulate) {
@@ -283,6 +285,7 @@ class Server {
   vm::Memory mem_;
   vm::Interpreter interp_;
   shm::FlowDetector detector_;
+  shm::SectionCache section_cache_;
   sim::SimMutex queue_mutex_;
   sim::SimMutex alloc_mutex_;
   sim::SimMutex stats_mutex_;

@@ -40,6 +40,13 @@
 namespace whodunit::context {
 
 // An interned transaction context. Value 0 is the empty context.
+//
+// shm::CtxtId aliases this type (src/shm/section_summary.h pins the
+// bridge with static_asserts): flow summaries store NodeIds directly,
+// so replaying a cached critical section never materializes a context.
+// shm reserves 0xffffffff as its invalid-context sentinel — keep
+// NodeIds well below it (the tree is bounded by distinct prefixes,
+// orders of magnitude smaller).
 using NodeId = uint32_t;
 inline constexpr NodeId kEmptyContext = 0;
 

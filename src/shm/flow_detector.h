@@ -47,16 +47,15 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/shm/section_summary.h"
 #include "src/util/robin_hood.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/loc.h"
 
 namespace whodunit::shm {
 
-// Opaque transaction-context handle supplied by the profiler layer
-// (a synopsis part id in the full system).
-using CtxtId = uint32_t;
-inline constexpr CtxtId kInvalidCtxt = 0xffffffffu;  // invlctxt
+// CtxtId / kInvalidCtxt live in section_summary.h (the summary data
+// model shares them) and are re-exported through this include.
 
 struct FlowEvent {
   vm::ThreadId producer;
@@ -64,6 +63,11 @@ struct FlowEvent {
   CtxtId ctxt;       // producer's transaction context at produce time
   uint64_t lock_id;  // lock protecting the resource the flow crossed
   vm::Loc loc;       // location the value was consumed from
+
+  friend bool operator==(const FlowEvent& a, const FlowEvent& b) {
+    return a.producer == b.producer && a.consumer == b.consumer && a.ctxt == b.ctxt &&
+           a.lock_id == b.lock_id && a.loc == b.loc;
+  }
 };
 
 // A set of thread ids: one machine word for ids below 64 (the common
@@ -104,6 +108,19 @@ class ThreadSet {
 
   bool empty() const { return bits_ == 0 && overflow_.empty(); }
   size_t size() const { return std::popcount(bits_) + overflow_.size(); }
+
+  // Set equality (overflow order-insensitive; ids there are unique).
+  friend bool operator==(const ThreadSet& a, const ThreadSet& b) {
+    if (a.bits_ != b.bits_ || a.overflow_.size() != b.overflow_.size()) {
+      return false;
+    }
+    for (vm::ThreadId t : a.overflow_) {
+      if (!b.contains(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   // Non-empty intersection test: one AND for the dense range.
   bool Intersects(const ThreadSet& other) const {
@@ -155,6 +172,13 @@ class FlowDetector final : public vm::InstructionObserver {
   // vm::InstructionObserver:
   void OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) override;
   void OnWriteValue(vm::ThreadId t, const vm::Loc& dst) override;
+  // Affine writes (INC/DEC/ADD-immediate) are non-MOV modifications:
+  // same invlctxt poisoning as any arithmetic. Overridden explicitly
+  // so the templated execute loop binds it statically.
+  void OnAffineWrite(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& /*src*/,
+                     uint64_t /*delta*/) override {
+    OnWriteValue(t, dst);
+  }
   void OnRead(vm::ThreadId t, const vm::Loc& src) override;
   void OnLock(vm::ThreadId t, uint64_t lock_id) override;
   void OnUnlock(vm::ThreadId t, uint64_t lock_id) override;
@@ -180,11 +204,52 @@ class FlowDetector final : public vm::InstructionObserver {
   ThreadSet producers_of(uint64_t lock_id) const;
   ThreadSet consumers_of(uint64_t lock_id) const;
 
+  // --- Section-summary recording and replay (see section_summary.h) -
+
+  // Dictionary input values captured while matching a fingerprint;
+  // symbolic provenances resolve against these during ApplySection.
+  struct ResolvedDictInputs {
+    std::vector<CtxtId> ctxts;
+    std::vector<vm::ThreadId> producers;
+    bool has_current = false;
+    CtxtId current = kInvalidCtxt;
+  };
+
+  // Recording is only sound from a clean section boundary: the thread
+  // must not already hold a lock.
+  bool CanRecordSection(vm::ThreadId t) const;
+  // Installs `rec` as the recording sink for thread t's next section
+  // run; every hook reports its classification and effects into it.
+  void BeginSectionRecording(SectionRecording* rec, vm::ThreadId t);
+  // Uninstalls the sink and collapses the recording.
+  DictEffects EndSectionRecording();
+
+  // True when the live dictionary/window state matches the summary's
+  // fingerprint; fills `out` with the input entries' live contexts and
+  // producers (and the thread's current context if the summary needs
+  // it).
+  bool MatchSection(const DictEffects& fx, vm::ThreadId t, ResolvedDictInputs* out) const;
+  // Replays the summary: ordered ops (lock resets, window starts,
+  // role updates, consumes with live dedup/demotion/flow emission),
+  // then the collapsed per-location dictionary writes.
+  void ApplySection(const DictEffects& fx, vm::ThreadId t, const ResolvedDictInputs& r);
+
+  int post_window_config() const { return config_.post_window; }
+
+  // Shadow-verify support: an independent copy whose callbacks (and
+  // recording sink) are detached, and a deep structural comparison.
+  FlowDetector CloneForShadow() const;
+  bool DeepEquals(const FlowDetector& other) const;
+
  private:
   struct Entry {
     CtxtId ctxt = kInvalidCtxt;
     uint64_t lock_id = 0;       // lock of the CS that last set this entry
     vm::ThreadId producer = 0;  // thread whose context this value carries
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.ctxt == b.ctxt && a.lock_id == b.lock_id && a.producer == b.producer;
+    }
   };
   struct ThreadState {
     std::vector<uint64_t> lock_stack;  // held locks, outermost first
@@ -219,8 +284,25 @@ class FlowDetector final : public vm::InstructionObserver {
 
   // Dictionary access, dispatching on the location's namespace.
   const Entry* FindEntry(const vm::Loc& loc);
+  const Entry* FindEntryConst(const vm::Loc& loc) const;
   void SetEntry(const vm::Loc& loc, const Entry& entry);
   bool EraseEntry(const vm::Loc& loc);
+
+  CtxtId ResolveCtxt(const CtxtProv& p, const ResolvedDictInputs& r) const {
+    switch (p.kind) {
+      case CtxtProv::Kind::kCurrent:
+        return r.current;
+      case CtxtProv::Kind::kInput:
+        return r.ctxts[static_cast<size_t>(p.input)];
+      case CtxtProv::Kind::kConcrete:
+        break;
+    }
+    return p.value;
+  }
+  vm::ThreadId ResolveProducer(const ProducerProv& p, const ResolvedDictInputs& r) const {
+    return p.kind == ProducerProv::Kind::kInput ? r.producers[static_cast<size_t>(p.input)]
+                                                : p.value;
+  }
 
   // Flushes loc's entry if it was set under a different lock.
   void FlushIfForeign(const vm::Loc& loc, uint64_t lock_id);
@@ -233,6 +315,11 @@ class FlowDetector final : public vm::InstructionObserver {
   CtxtProvider ctxt_provider_;
   FlowCallback on_flow_;
   DemoteCallback on_demote_;
+
+  // Active recording sink (null outside a recorded cold run). Each
+  // hook pays one predictable-not-taken branch on it.
+  SectionRecording* rec_ = nullptr;
+  vm::ThreadId rec_thread_ = 0;
 
   // Memory namespace of the location dictionary; registers live in
   // each ThreadState.

@@ -1,0 +1,225 @@
+// Flow-summary cache: memoized critical-section execution (§7.2).
+//
+// Whodunit's dominant cost is emulating critical sections that are
+// short and executed over and over (queue push/pop, allocator paths —
+// paper §3, Table 3). The first time a section runs, the cache records
+// its *net effect* — architectural (vm::ArchEffects: the read-set
+// fingerprint and the final register/memory/flag writes with MOV
+// chains kept symbolic) and dictionary-side (shm::DictEffects:
+// propagations, poisonings, consume ops, role updates with contexts
+// kept symbolic) — keyed by the program id and the executing thread.
+// Subsequent executions whose fingerprints match replay the summary
+// and bypass the MiniVM dispatch loop entirely.
+//
+// Invalidation is structural rather than epochal:
+//   * guest-code change  — programs are immutable and get fresh ids
+//     from the builder, so a rebuilt section simply misses;
+//   * fingerprint mismatch — a pinned value or dictionary shape
+//     differs; the cold run records a new variant (per-section ring,
+//     `max_variants`);
+//   * demotion-state / window state — never stale by construction:
+//     demotion checks, window dedup and flow emission re-execute live
+//     during replay, and summaries whose behavior depended on the
+//     inherited consume window pin it in their fingerprint;
+//   * translation-cache flush — a summary only replays while the
+//     interpreter still holds the translation (IsTranslated), so the
+//     re-translation cost is paid by a real cold run.
+//
+// Shadow-verify mode (WHODUNIT_SHADOW_VERIFY, on in the asan-ubsan
+// preset) replays every hit against copies of the machine and
+// dictionary state, then runs the authoritative full emulation and
+// aborts on any divergence — the fast path stays honest.
+#ifndef SRC_SHM_SECTION_CACHE_H_
+#define SRC_SHM_SECTION_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/shm/flow_detector.h"
+#include "src/shm/section_summary.h"
+#include "src/util/robin_hood.h"
+#include "src/vm/interpreter.h"
+
+namespace whodunit::shm {
+
+#ifdef WHODUNIT_SHADOW_VERIFY
+inline constexpr bool kShadowVerifyDefault = true;
+#else
+inline constexpr bool kShadowVerifyDefault = false;
+#endif
+
+class SectionCache {
+ public:
+  struct Config {
+    bool enabled = true;
+    // Fingerprint variants retained per (program, thread) section; a
+    // ring evicts the oldest beyond this. Sections whose pinned values
+    // walk (a queue fingerprinting its depth) get one variant per
+    // distinct value, so steady-state workloads cycle within the ring.
+    size_t max_variants = 8;
+    // Churn guard: once a section has recorded this many variants while
+    // replaying fewer hits than recordings, it is demoted to plain
+    // emulation for good. Recording costs several times a plain run, so
+    // a section whose pinned values walk on every execution (a queue
+    // fingerprinting a monotonically growing depth) would otherwise
+    // turn the cache into a steady-state slowdown. 0 disables.
+    uint32_t churn_demote_records = 32;
+    // Re-emulate every hit and assert equivalence (debug).
+    bool shadow_verify = kShadowVerifyDefault;
+  };
+
+  SectionCache() : SectionCache(Config{}) {}
+  explicit SectionCache(Config config);
+
+  // Executes `program` through the cache. Semantically identical to
+  // interp.ExecuteWith(program, t, cpu, mem, det) — including the
+  // returned simulated-cost accounting — but replays a stored summary
+  // when one matches the live machine/dictionary state. `det` may be
+  // null (architectural effects only).
+  //
+  // Defined inline so the steady-state scan + replay compiles into the
+  // caller; everything past a fingerprint miss goes out-of-line.
+  vm::ExecResult Run(vm::Interpreter& interp, const vm::Program& program, vm::ThreadId t,
+                     vm::CpuState& cpu, vm::Memory& mem, FlowDetector* det) {
+    if (config_.enabled) {
+      Variants* v = table_.Find(program.id);
+      if (v != nullptr && !v->summaries.empty() && interp.IsTranslated(program.id)) {
+        for (SectionSummary& s : v->summaries) {
+          if (s.thread != t || s.has_dict != (det != nullptr)) {
+            continue;
+          }
+          if (!MatchArch(s.arch, cpu, mem)) {
+            continue;
+          }
+          if (det != nullptr && !det->MatchSection(s.dict, t, &resolved_)) {
+            continue;
+          }
+          ++hits_;
+          ++v->replay_hits;
+          obs_hits_->Add();
+          if (config_.shadow_verify) {
+            return ShadowVerifyHit(s, interp, program, t, cpu, mem, det);
+          }
+          ApplyArch(s.arch, cpu, mem);
+          if (det != nullptr) {
+            det->ApplySection(s.dict, t, resolved_);
+          }
+          return s.base;
+        }
+        obs_fingerprint_misses_->Add();
+      }
+    }
+    return RunMiss(interp, program, t, cpu, mem, det);
+  }
+
+  // Drops all summaries for one program / for everything.
+  void Invalidate(uint64_t program_id);
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t sections() const { return table_.size(); }
+  size_t variants() const { return variant_count_; }
+
+ private:
+  struct Variants {
+    std::vector<SectionSummary> summaries;
+    size_t next_evict = 0;
+    // Recording/replay tallies for the churn guard: a section whose
+    // recordings outpace its hits past `churn_demote_records` is
+    // paying record cost on ~every run and gets demoted.
+    uint32_t records = 0;
+    uint64_t replay_hits = 0;
+    // Set when a recording declared the section uncacheable (effect
+    // overflow, mid-section context change, lock held at exit) or the
+    // churn guard demoted it: skip the recording overhead on later
+    // runs too.
+    bool never_cache = false;
+  };
+
+  static vm::ExecResult Plain(vm::Interpreter& interp, const vm::Program& program,
+                              vm::ThreadId t, vm::CpuState& cpu, vm::Memory& mem,
+                              FlowDetector* det);
+
+  // Single gather pass: reads every input's live value into arch_vals_
+  // (ApplyArch reuses them — a section may overwrite its own inputs)
+  // and fail-fasts on a pinned-value mismatch.
+  bool MatchArch(const vm::ArchEffects& fx, const vm::CpuState& cpu, const vm::Memory& mem) {
+    if (cpu.cmp != fx.initial_cmp) {
+      return false;
+    }
+    const size_t n = fx.inputs.size();
+    for (size_t i = 0; i < n; ++i) {
+      const vm::ArchInput& in = fx.inputs[i];
+      const uint64_t live = in.loc.kind == vm::Loc::Kind::kReg ? cpu.regs[in.loc.addr]
+                                                               : mem.Read(in.loc.addr);
+      if (in.required && live != in.value) {
+        return false;
+      }
+      arch_vals_[i] = live;
+    }
+    return true;
+  }
+
+  // Writes the recorded final state; only valid immediately after a
+  // successful MatchArch (consumes arch_vals_).
+  void ApplyArch(const vm::ArchEffects& fx, vm::CpuState& cpu, vm::Memory& mem) const {
+    for (const vm::ArchWrite& w : fx.writes) {
+      uint64_t v;
+      switch (w.kind) {
+        case vm::ArchWrite::Kind::kCopy:
+          v = arch_vals_[w.input];
+          break;
+        case vm::ArchWrite::Kind::kAffine:
+          v = arch_vals_[w.input] + w.delta;
+          break;
+        case vm::ArchWrite::Kind::kConcrete:
+        default:
+          v = w.value;
+          break;
+      }
+      if (w.loc.kind == vm::Loc::Kind::kReg) {
+        cpu.regs[w.loc.addr] = v;
+      } else {
+        mem.Write(w.loc.addr, v);
+      }
+    }
+    cpu.cmp = fx.final_cmp;
+  }
+
+  vm::ExecResult RunMiss(vm::Interpreter& interp, const vm::Program& program, vm::ThreadId t,
+                         vm::CpuState& cpu, vm::Memory& mem, FlowDetector* det);
+  vm::ExecResult RecordCold(vm::Interpreter& interp, const vm::Program& program,
+                            vm::ThreadId t, vm::CpuState& cpu, vm::Memory& mem,
+                            FlowDetector* det);
+  vm::ExecResult ShadowVerifyHit(const SectionSummary& s, vm::Interpreter& interp,
+                                 const vm::Program& program, vm::ThreadId t,
+                                 vm::CpuState& cpu, vm::Memory& mem, FlowDetector* det);
+
+  Config config_;
+  util::RobinHoodMap<uint64_t, Variants> table_;
+  size_t variant_count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // Scratch reused across calls so the hit path never allocates once
+  // capacities are warm. arch_vals_ is bounded by the recording cap.
+  FlowDetector::ResolvedDictInputs resolved_;
+  uint64_t arch_vals_[vm::kMaxArchEntries];
+
+  // Self-observability handles, resolved once (see docs/METRICS.md).
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_fingerprint_misses_;
+  obs::Counter* obs_records_;
+  obs::Counter* obs_uncacheable_;
+  obs::Counter* obs_churn_demotions_;
+  obs::Counter* obs_invalidations_;
+  obs::Counter* obs_shadow_checks_;
+  obs::Gauge* obs_sections_;
+  obs::Gauge* obs_variants_;
+};
+
+}  // namespace whodunit::shm
+
+#endif  // SRC_SHM_SECTION_CACHE_H_

@@ -1,0 +1,478 @@
+// Flow-summary cache data model (paper §3 + §7.2 memoization).
+//
+// A critical section's effect on the flow dictionary is a pure
+// function of (the hook stream, the dictionary's pre-state, the
+// thread's current transaction context, the per-lock role lists). The
+// hook stream itself is pinned by the architectural fingerprint
+// (vm::ArchEffects validates every value that fed addressing, compares
+// or arithmetic, plus the initial flags), so a SectionSummary only has
+// to fingerprint the *dictionary* pre-state the cold run observed and
+// store the effects with their context/producer kept symbolic:
+//
+//   * a propagated context is "whatever input entry j holds at replay"
+//     (kInput), not the concrete CtxtId of the cold run;
+//   * an associated context is "the thread's current context at
+//     replay" (kCurrent);
+//   * only invlctxt poisonings are concrete.
+//
+// This is what lets a queue push recorded under transaction A replay
+// under transaction B: the dictionary *shape* (entry present? valid?
+// produced by self? under which lock?) repeats even though the context
+// values never do. Role bookkeeping that must stay exact under
+// symbolic resolution — consume-window dedup, demotion checks, flow
+// emission — is re-executed live from a compact op log rather than
+// baked into the summary.
+//
+// Contexts here are context-tree node ids: the profiler layer hands
+// the detector interned context::NodeId values, and summaries store
+// them verbatim (kInput/kCurrent provenance aside).
+#ifndef SRC_SHM_SECTION_SUMMARY_H_
+#define SRC_SHM_SECTION_SUMMARY_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/context/context_tree.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/loc.h"
+
+namespace whodunit::shm {
+
+// Opaque transaction-context handle supplied by the profiler layer —
+// an interned context-tree node id (synopsis part id in the full
+// system).
+using CtxtId = uint32_t;
+inline constexpr CtxtId kInvalidCtxt = 0xffffffffu;  // invlctxt
+
+static_assert(std::is_same_v<CtxtId, context::NodeId>,
+              "section summaries store interned context-tree node ids");
+static_assert(kInvalidCtxt != context::kEmptyContext,
+              "invlctxt must not collide with the empty context");
+
+// Provenance of a context value stored/emitted by a summary replay.
+struct CtxtProv {
+  enum class Kind : uint8_t {
+    kConcrete,  // value recorded on the cold run (invlctxt poisonings)
+    kCurrent,   // the thread's current context, resolved at replay
+    kInput,     // context of dictionary input `input` at replay
+  };
+  Kind kind = Kind::kConcrete;
+  CtxtId value = kInvalidCtxt;
+  int32_t input = -1;
+};
+
+// Provenance of a producer thread id, same idea.
+struct ProducerProv {
+  enum class Kind : uint8_t { kConcrete, kInput };
+  Kind kind = Kind::kConcrete;
+  vm::ThreadId value = 0;
+  int32_t input = -1;
+};
+
+// One dictionary location whose pre-state the cold run branched on.
+// The fingerprint pins the branch-relevant *shape*, never the context
+// value itself.
+struct DictInput {
+  enum class Role : uint8_t {
+    kMovSrc,   // read as a MOV source inside the critical section
+    kConsume,  // read in the post-critical-section consume window
+  };
+  enum class Shape : uint8_t {
+    kAbsent,   // no dictionary entry
+    kForeign,  // entry set under a different lock (kMovSrc only: flushed)
+    kPresent,  // entry present (same lock for kMovSrc)
+  };
+  vm::Loc loc;
+  Role role = Role::kMovSrc;
+  Shape shape = Shape::kAbsent;
+  bool invalid = false;        // entry.ctxt == invlctxt   (kPresent only)
+  bool producer_self = false;  // entry.producer == thread (valid entries)
+  // kMovSrc: the critical section's lock (kForeign means "any other").
+  // kConsume: the entry's own lock (feeds RecordConsumer/IsDemoted);
+  // don't-care for invalid entries, which never consume.
+  uint64_t lock_id = 0;
+};
+
+// Ordered side effects whose outcome depends on live state (role
+// lists, demotion, window dedup) and therefore re-executes at replay
+// instead of being collapsed.
+struct DictOp {
+  enum class Kind : uint8_t {
+    kLockReset,    // outermost lock entry: clear regs, close window
+    kWindowStart,  // outermost unlock: open consume window
+    kProduce,      // RecordProducer(lock_id, t) + demotion check
+    kConsume,      // RecordConsumer + dedup + flow emission
+  };
+  Kind kind = Kind::kLockReset;
+  uint64_t lock_id = 0;
+  vm::Loc loc;                 // kConsume: location consumed from
+  bool flow_eligible = false;  // kConsume: cold-run producer != thread
+  CtxtProv ctxt;               // kConsume: flow context
+  ProducerProv producer;       // kConsume: flow producer
+};
+
+// Final dictionary state of one location touched by the section,
+// applied after the op log.
+struct DictWrite {
+  vm::Loc loc;
+  bool erase = false;
+  uint64_t lock_id = 0;
+  CtxtProv ctxt;
+  ProducerProv producer;
+};
+
+struct DictEffects {
+  std::vector<DictInput> inputs;
+  std::vector<DictOp> ops;
+  std::vector<DictWrite> writes;
+  // Detector configuration the recording assumed.
+  int post_window_config = 0;
+  // Pre-state pins beyond the per-location inputs. The consume window
+  // inherited from the previous section only matters when the run
+  // touched it before (or without) opening its own window.
+  bool pin_pre_window = false;
+  int pre_post_window = 0;
+  bool pin_pre_window_flows = false;
+  std::vector<std::pair<uint64_t, CtxtId>> pre_window_flows;
+  int final_post_window = 0;
+  // Current-context resolution: whether any effect uses kCurrent, and
+  // whether the cold run's current context was invlctxt (the replay's
+  // must be in the same validity class — consume branches depend on it).
+  bool uses_current = false;
+  bool current_was_invalid = false;
+  // Deterministic counter deltas (exact given a fingerprint match,
+  // except dst-side foreign flushes — see docs/METRICS.md).
+  uint32_t n_propagations = 0;
+  uint32_t n_associations = 0;
+  uint32_t n_poisonings = 0;
+  uint32_t n_flushes = 0;
+  bool cacheable = true;
+};
+
+// Live scratch state the FlowDetector reports into during one recorded
+// section run (FlowDetector::BeginSectionRecording installs it; the
+// Note* methods are called from the hook bodies). Finish() collapses
+// it into DictEffects.
+class SectionRecording {
+ public:
+  // Caps touched-location tracking; larger sections are uncacheable.
+  static constexpr size_t kMaxLocs = 256;
+
+  void Begin(vm::ThreadId t, int pre_post_window,
+             std::vector<std::pair<uint64_t, CtxtId>> pre_window_flows,
+             int post_window_config) {
+    t_ = t;
+    fx_ = DictEffects{};
+    fx_.post_window_config = post_window_config;
+    fx_.pre_post_window = pre_post_window;
+    fx_.pre_window_flows = std::move(pre_window_flows);
+    locs_.clear();
+    saw_window_start_ = false;
+    saw_lock_reset_ = false;
+    window_sensitive_ = false;
+    consumed_pre_reset_ = false;
+    has_current_ = false;
+    current_ = kInvalidCtxt;
+    cacheable_ = true;
+  }
+
+  void NoteLockReset(uint64_t lock_id) {
+    saw_lock_reset_ = true;
+    fx_.ops.push_back(DictOp{DictOp::Kind::kLockReset, lock_id, {}, false, {}, {}});
+    // The reset clears every register entry of the recorded thread;
+    // tracked register locations become (deterministically) absent.
+    for (LocState& ls : locs_) {
+      if (!ls.loc.is_mem() && ls.loc.thread == t_) {
+        ls.present = false;
+      }
+    }
+  }
+
+  void NoteWindowStart() {
+    saw_window_start_ = true;
+    fx_.ops.push_back(DictOp{DictOp::Kind::kWindowStart, 0, {}, false, {}, {}});
+  }
+
+  // Pre-state observation: MOV source inside a critical section. `e`
+  // is the raw dictionary entry (may be null), *before* the foreign
+  // flush. ectxt/elock/eproducer are e's fields when e != null.
+  void NoteMovSrcAccess(const vm::Loc& src, bool present, CtxtId ectxt, uint64_t elock,
+                        vm::ThreadId eproducer, uint64_t section_lock) {
+    if (FindLoc(src) != nullptr || DeterministicReg(src)) {
+      return;  // internal state or post-reset register: no pin needed
+    }
+    DictInput in;
+    in.loc = src;
+    in.role = DictInput::Role::kMovSrc;
+    in.lock_id = section_lock;
+    if (!present) {
+      in.shape = DictInput::Shape::kAbsent;
+    } else if (elock != section_lock) {
+      in.shape = DictInput::Shape::kForeign;
+    } else {
+      in.shape = DictInput::Shape::kPresent;
+      in.invalid = ectxt == kInvalidCtxt;
+      // An invalid entry's producer never feeds flow eligibility;
+      // leave it a don't-care so equivalent shapes fingerprint equal.
+      in.producer_self = !in.invalid && eproducer == t_;
+    }
+    AddInputLoc(src, in, elock);
+  }
+
+  // Pre-state observation: read in consume position (outside any
+  // critical section, window open).
+  void NoteConsumeAccess(const vm::Loc& src, bool present, CtxtId ectxt, uint64_t elock,
+                         vm::ThreadId eproducer) {
+    if (FindLoc(src) != nullptr || DeterministicReg(src)) {
+      return;
+    }
+    DictInput in;
+    in.loc = src;
+    in.role = DictInput::Role::kConsume;
+    in.shape = present ? DictInput::Shape::kPresent : DictInput::Shape::kAbsent;
+    if (present) {
+      in.invalid = ectxt == kInvalidCtxt;
+      // Invalid entries are never consumed: lock and producer are
+      // don't-cares for the branch the cold run took.
+      in.producer_self = !in.invalid && eproducer == t_;
+      in.lock_id = in.invalid ? 0 : elock;
+    }
+    AddInputLoc(src, in, elock);
+  }
+
+  // Any read or retire delivered outside a critical section consults
+  // the inherited consume window until this run opens its own.
+  void NoteOutsideWindowUse() {
+    if (!saw_window_start_) {
+      window_sensitive_ = true;
+    }
+  }
+
+  void NoteFlush(const vm::Loc& loc) {
+    ++fx_.n_flushes;
+    LocState* ls = FindLoc(loc);
+    if (ls == nullptr) {
+      ls = AddLoc(loc);  // dst-side flush: loc was never fingerprinted
+      if (ls == nullptr) {
+        return;
+      }
+    }
+    ls->present = false;
+    ls->mutated = true;
+  }
+
+  void NotePropagate(const vm::Loc& dst, const vm::Loc& src, uint64_t lock_id) {
+    ++fx_.n_propagations;
+    EntryProv p = LookupProv(src);
+    p.lock = lock_id;
+    SetLocProv(dst, p);
+  }
+
+  void NoteAssociate(const vm::Loc& dst, uint64_t lock_id, CtxtId current, bool produced) {
+    ++fx_.n_associations;
+    if (!has_current_) {
+      has_current_ = true;
+      current_ = current;
+    } else if (current_ != current) {
+      cacheable_ = false;  // context changed mid-section: don't summarize
+    }
+    EntryProv p;
+    p.ctxt = CtxtProv{CtxtProv::Kind::kCurrent, current, -1};
+    p.producer = ProducerProv{ProducerProv::Kind::kConcrete, t_, -1};
+    p.lock = lock_id;
+    SetLocProv(dst, p);
+    if (produced) {
+      fx_.ops.push_back(DictOp{DictOp::Kind::kProduce, lock_id, {}, false, {}, {}});
+    }
+  }
+
+  void NotePoison(const vm::Loc& dst, uint64_t lock_id) {
+    ++fx_.n_poisonings;
+    EntryProv p;
+    p.ctxt = CtxtProv{CtxtProv::Kind::kConcrete, kInvalidCtxt, -1};
+    p.producer = ProducerProv{ProducerProv::Kind::kConcrete, t_, -1};
+    p.lock = lock_id;
+    SetLocProv(dst, p);
+  }
+
+  void NoteOutsideErase(const vm::Loc& dst) {
+    LocState* ls = FindLoc(dst);
+    if (ls == nullptr) {
+      ls = AddLoc(dst);
+      if (ls == nullptr) {
+        return;
+      }
+    }
+    ls->present = false;
+    ls->mutated = true;
+  }
+
+  // A consumption is about to happen on `src` (entry fields passed
+  // in); called before the detector erases the entry.
+  void NoteConsume(const vm::Loc& src, uint64_t entry_lock, vm::ThreadId entry_producer) {
+    if (!saw_window_start_) {
+      consumed_pre_reset_ = true;
+    }
+    const EntryProv p = LookupProv(src);
+    DictOp op;
+    op.kind = DictOp::Kind::kConsume;
+    op.lock_id = entry_lock;
+    op.loc = src;
+    op.flow_eligible = entry_producer != t_;
+    op.ctxt = p.ctxt;
+    op.producer = p.producer;
+    fx_.ops.push_back(op);
+    LocState* ls = FindLoc(src);
+    if (ls != nullptr) {
+      ls->present = false;
+      ls->mutated = true;
+    }
+  }
+
+  // Collapses the recording. `end_in_section` is true when the thread
+  // still holds a lock (the summary would not reproduce that state).
+  DictEffects Finish(int final_post_window, bool end_in_section) {
+    fx_.final_post_window = final_post_window;
+    fx_.pin_pre_window = window_sensitive_ || !saw_window_start_;
+    fx_.pin_pre_window_flows = consumed_pre_reset_;
+    if (!fx_.pin_pre_window_flows) {
+      fx_.pre_window_flows.clear();
+    }
+    fx_.uses_current = has_current_;
+    fx_.current_was_invalid = has_current_ && current_ == kInvalidCtxt;
+    for (const LocState& ls : locs_) {
+      if (!ls.mutated) {
+        continue;
+      }
+      DictWrite w;
+      w.loc = ls.loc;
+      if (ls.present) {
+        w.erase = false;
+        w.lock_id = ls.prov.lock;
+        w.ctxt = ls.prov.ctxt;
+        w.producer = ls.prov.producer;
+      } else {
+        w.erase = true;
+      }
+      fx_.writes.push_back(w);
+    }
+    fx_.cacheable = cacheable_ && !end_in_section;
+    return std::move(fx_);
+  }
+
+ private:
+  struct EntryProv {
+    CtxtProv ctxt;
+    ProducerProv producer;
+    uint64_t lock = 0;
+  };
+  struct LocState {
+    vm::Loc loc;
+    int32_t input = -1;  // DictInput index, if fingerprinted
+    bool present = false;
+    bool mutated = false;
+    EntryProv prov;
+  };
+
+  LocState* FindLoc(const vm::Loc& l) {
+    for (LocState& ls : locs_) {
+      if (ls.loc == l) {
+        return &ls;
+      }
+    }
+    return nullptr;
+  }
+
+  LocState* AddLoc(const vm::Loc& l) {
+    if (locs_.size() >= kMaxLocs) {
+      cacheable_ = false;
+      return nullptr;
+    }
+    locs_.push_back(LocState{l, -1, false, false, {}});
+    return &locs_.back();
+  }
+
+  // A register of the recorded thread is deterministically absent once
+  // the section's lock reset cleared the register file (unless it was
+  // re-set since, in which case it is tracked in locs_).
+  bool DeterministicReg(const vm::Loc& l) const {
+    return saw_lock_reset_ && !l.is_mem() && l.thread == t_;
+  }
+
+  void AddInputLoc(const vm::Loc& l, const DictInput& in, uint64_t elock) {
+    LocState* ls = AddLoc(l);
+    if (ls == nullptr) {
+      return;
+    }
+    if (fx_.inputs.size() >= kMaxLocs) {
+      cacheable_ = false;
+      return;
+    }
+    fx_.inputs.push_back(in);
+    const auto idx = static_cast<int32_t>(fx_.inputs.size()) - 1;
+    ls->input = idx;
+    if (in.shape == DictInput::Shape::kPresent) {
+      ls->present = true;
+      ls->prov.ctxt = CtxtProv{CtxtProv::Kind::kInput, kInvalidCtxt, idx};
+      ls->prov.producer = ProducerProv{ProducerProv::Kind::kInput, 0, idx};
+      ls->prov.lock = elock;
+    }
+  }
+
+  // Provenance of the entry currently held by `l` (which the detector
+  // just found present).
+  EntryProv LookupProv(const vm::Loc& l) {
+    LocState* ls = FindLoc(l);
+    if (ls != nullptr && ls->present) {
+      return ls->prov;
+    }
+    // The detector found an entry the recording cannot explain (e.g.
+    // tracking overflowed): refuse to summarize rather than guess.
+    cacheable_ = false;
+    return EntryProv{};
+  }
+
+  void SetLocProv(const vm::Loc& l, const EntryProv& p) {
+    LocState* ls = FindLoc(l);
+    if (ls == nullptr) {
+      ls = AddLoc(l);
+      if (ls == nullptr) {
+        return;
+      }
+    }
+    ls->present = true;
+    ls->mutated = true;
+    ls->prov = p;
+  }
+
+  vm::ThreadId t_ = 0;
+  DictEffects fx_;
+  std::vector<LocState> locs_;
+  bool saw_window_start_ = false;
+  bool saw_lock_reset_ = false;
+  bool window_sensitive_ = false;
+  bool consumed_pre_reset_ = false;
+  bool has_current_ = false;
+  CtxtId current_ = kInvalidCtxt;
+  bool cacheable_ = true;
+};
+
+// One memoized execution of one critical-section program on one
+// thread: replaying it = ApplyArch (registers/memory/flags) +
+// FlowDetector::ApplySection (dictionary) + returning `base`.
+struct SectionSummary {
+  vm::ThreadId thread = 0;
+  bool has_dict = false;  // recorded with a FlowDetector attached
+  vm::ArchEffects arch;
+  DictEffects dict;
+  // Cold-run result with the one-time translation cost subtracted;
+  // replays return it verbatim so simulated guest-cycle accounting is
+  // bit-identical to re-emulation.
+  vm::ExecResult base;
+};
+
+}  // namespace whodunit::shm
+
+#endif  // SRC_SHM_SECTION_SUMMARY_H_

@@ -22,9 +22,9 @@
 #define SRC_VM_INTERPRETER_H_
 
 #include <array>
-#include <cassert>
 #include <cstdint>
 #include <type_traits>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/util/robin_hood.h"
@@ -54,6 +54,17 @@ class InstructionObserver {
   virtual void OnMov(ThreadId /*t*/, const Loc& /*dst*/, const Loc& /*src*/) {}
   // A non-MOV write: immediate store or arithmetic result.
   virtual void OnWriteValue(ThreadId /*t*/, const Loc& /*dst*/) {}
+  // A write whose value is the source location's value plus a constant
+  // (wrapping): INC/DEC/ADD-immediate. For flow purposes this is a
+  // non-MOV write, so the default forwards to OnWriteValue and every
+  // existing observer sees unchanged behavior; the section-summary
+  // effect recorder overrides it to memoize the delta symbolically
+  // (a shared counter's increment replays without re-emulation even
+  // though the counter's value differs every execution).
+  virtual void OnAffineWrite(ThreadId t, const Loc& dst, const Loc& /*src*/,
+                             uint64_t /*delta*/) {
+    OnWriteValue(t, dst);
+  }
   // Any operand read (includes MOV sources and address bases).
   virtual void OnRead(ThreadId /*t*/, const Loc& /*src*/) {}
   virtual void OnLock(ThreadId /*t*/, uint64_t /*lock_id*/) {}
@@ -94,6 +105,7 @@ class Interpreter {
   struct NoObserver {
     void OnMov(ThreadId, const Loc&, const Loc&) {}
     void OnWriteValue(ThreadId, const Loc&) {}
+    void OnAffineWrite(ThreadId, const Loc&, const Loc&, uint64_t) {}
     void OnRead(ThreadId, const Loc&) {}
     void OnLock(ThreadId, uint64_t) {}
     void OnUnlock(ThreadId, uint64_t) {}
@@ -198,7 +210,8 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
   const auto code_size = static_cast<int64_t>(program.code.size());
   while (pc >= 0 && pc < code_size) {
     if (result.instructions >= max_steps) {
-      assert(false && "MiniVM runaway loop");
+      // Runaway-loop guard: bounded termination is the contract
+      // (tests/callpath_paths_test.cc), not a can't-happen condition.
       break;
     }
     const Instruction& ins = program.code[pc];
@@ -276,40 +289,41 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
         cpu.regs[ins.r1] += cpu.regs[ins.r2];
         break;
       case Opcode::kAddRI:
-      case Opcode::kSubRI:
+      case Opcode::kSubRI: {
+        // dst = dst + delta with a constant delta: delivered as an
+        // affine write so effect recorders can keep the chain symbolic.
+        const uint64_t delta = ins.op == Opcode::kAddRI
+                                   ? static_cast<uint64_t>(ins.imm)
+                                   : 0 - static_cast<uint64_t>(ins.imm);
+        if (hooks) {
+          observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnAffineWrite(thread, Loc::Reg(thread, ins.r1),
+                                  Loc::Reg(thread, ins.r1), delta);
+        }
+        cpu.regs[ins.r1] += delta;
+        break;
+      }
       case Opcode::kMulRI: {
         if (hooks) {
           observer->OnRead(thread, Loc::Reg(thread, ins.r1));
           observer->OnWriteValue(thread, Loc::Reg(thread, ins.r1));
         }
-        uint64_t& r = cpu.regs[ins.r1];
-        if (ins.op == Opcode::kAddRI) {
-          r += static_cast<uint64_t>(ins.imm);
-        } else if (ins.op == Opcode::kSubRI) {
-          r -= static_cast<uint64_t>(ins.imm);
-        } else {
-          r *= static_cast<uint64_t>(ins.imm);
-        }
+        cpu.regs[ins.r1] *= static_cast<uint64_t>(ins.imm);
         break;
       }
       case Opcode::kIncM:
       case Opcode::kDecM:
       case Opcode::kAddMI: {
         const Addr a = ea(ins.m1);
+        const uint64_t delta = ins.op == Opcode::kIncM    ? uint64_t{1}
+                               : ins.op == Opcode::kDecM ? ~uint64_t{0}
+                                                         : static_cast<uint64_t>(ins.imm);
         if (hooks) {
           read_base(ins.m1);
           observer->OnRead(thread, Loc::Mem(a));
-          observer->OnWriteValue(thread, Loc::Mem(a));
+          observer->OnAffineWrite(thread, Loc::Mem(a), Loc::Mem(a), delta);
         }
-        uint64_t v = mem.Read(a);
-        if (ins.op == Opcode::kIncM) {
-          ++v;
-        } else if (ins.op == Opcode::kDecM) {
-          --v;
-        } else {
-          v += static_cast<uint64_t>(ins.imm);
-        }
-        mem.Write(a, v);
+        mem.Write(a, mem.Read(a) + delta);
         break;
       }
       case Opcode::kCmpRI:
@@ -389,6 +403,294 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
   (emulate ? obs_emulated_ : obs_direct_)->Add(static_cast<uint64_t>(result.instructions));
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// Architectural section effects (consumed by shm::SectionCache).
+//
+// A critical section's net effect on registers/memory/flags, recorded
+// once during a cold emulated run and replayed on later executions.
+// Values that only move (MOV chains) or shift by a constant (INC/DEC/
+// ADD-immediate chains) stay *symbolic* — the replay re-reads them
+// from the live pre-state — so a section hits the cache even when its
+// payload differs run to run. Only values that feed addressing,
+// compares, or general arithmetic are pinned concretely (`required`)
+// and validated before a replay is allowed.
+
+// One location the section read before writing it.
+struct ArchInput {
+  Loc loc;
+  uint64_t value = 0;  // value observed on the cold run
+  bool required = false;  // replay only valid if the live value matches
+};
+
+// One location the section left modified, collapsed to its final value.
+struct ArchWrite {
+  enum class Kind : uint8_t {
+    kConcrete,  // final value is a constant of the recorded run
+    kCopy,      // final value = live value of inputs[input]
+    kAffine,    // final value = live value of inputs[input] + delta
+  };
+  Kind kind = Kind::kConcrete;
+  Loc loc;
+  int32_t input = -1;  // source input index for kCopy/kAffine
+  uint64_t value = 0;  // kConcrete payload
+  uint64_t delta = 0;  // kAffine payload (wrapping)
+};
+
+// Caps recordings; sections touching more state than this are declared
+// uncacheable rather than truncated. Replay scratch buffers are sized
+// to this, so inputs.size() <= kMaxArchEntries always holds.
+inline constexpr size_t kMaxArchEntries = 256;
+
+struct ArchEffects {
+  std::vector<ArchInput> inputs;
+  std::vector<ArchWrite> writes;
+  int initial_cmp = 0;  // cpu.cmp fingerprint (branches read it hook-free)
+  int final_cmp = 0;
+  bool cacheable = true;  // false: recording overflowed, do not summarize
+};
+
+// Observer that wraps an optional inner observer (forwarding every
+// hook unchanged, statically bound when Inner is final) while building
+// the ArchEffects of one section run. Duck-typed for ExecuteWith; not
+// an InstructionObserver so nothing here dispatches virtually.
+//
+// Classification protocol: every operand read lands in a pending list;
+// the instruction's classifying hook (OnMov / OnAffineWrite) claims
+// its data source as symbolic and promotes the leftovers (address
+// bases) to required. OnWriteValue promotes everything pending
+// (arithmetic operands), and instruction boundaries (OnRetireBatch,
+// lock edges, Finish) sweep up reads with no classifying hook at all
+// (compares). Hooks fire before the architectural write, so a value
+// captured at first read is the true pre-section value.
+template <typename Inner>
+class EffectRecorder {
+ public:
+  static constexpr size_t kMaxEntries = kMaxArchEntries;
+
+  EffectRecorder(ThreadId t, const CpuState& cpu, const Memory& mem, Inner* inner)
+      : thread_(t), cpu_(&cpu), mem_(&mem), inner_(inner) {
+    fx_.initial_cmp = cpu.cmp;
+  }
+
+  void OnMov(ThreadId t, const Loc& dst, const Loc& src) {
+    if (inner_ != nullptr) {
+      inner_->OnMov(t, dst, src);
+    }
+    const Taint st = SourceTaint(src, /*affine_delta=*/0, /*affine=*/false);
+    ClaimPending(src);
+    PromotePending();
+    SetTaint(dst, st);
+  }
+
+  void OnWriteValue(ThreadId t, const Loc& dst) {
+    if (inner_ != nullptr) {
+      inner_->OnWriteValue(t, dst);
+    }
+    PromotePending();  // all pending reads fed real arithmetic
+    SetTaint(dst, Taint{ArchWrite::Kind::kConcrete, -1, 0});
+  }
+
+  void OnAffineWrite(ThreadId t, const Loc& dst, const Loc& src, uint64_t delta) {
+    if (inner_ != nullptr) {
+      inner_->OnAffineWrite(t, dst, src, delta);
+    }
+    const Taint st = SourceTaint(src, delta, /*affine=*/true);
+    ClaimPending(src);
+    PromotePending();
+    SetTaint(dst, st);
+  }
+
+  void OnRead(ThreadId t, const Loc& src) {
+    if (inner_ != nullptr) {
+      inner_->OnRead(t, src);
+    }
+    pending_.push_back(src);
+  }
+
+  void OnLock(ThreadId t, uint64_t lock_id) {
+    if (inner_ != nullptr) {
+      inner_->OnLock(t, lock_id);
+    }
+    PromotePending();
+  }
+
+  void OnUnlock(ThreadId t, uint64_t lock_id) {
+    if (inner_ != nullptr) {
+      inner_->OnUnlock(t, lock_id);
+    }
+    PromotePending();
+  }
+
+  void OnRetireBatch(ThreadId t, int64_t n) {
+    if (inner_ != nullptr) {
+      inner_->OnRetireBatch(t, n);
+    }
+    PromotePending();
+  }
+
+  // Collapses the recording into replayable effects. Call after the
+  // section's ExecuteWith returns (cpu/mem then hold the final state).
+  ArchEffects Finish() {
+    PromotePending();
+    fx_.final_cmp = cpu_->cmp;
+    fx_.writes.reserve(written_.size());
+    for (const WrittenLoc& w : written_) {
+      ArchWrite aw;
+      aw.kind = w.taint.kind;
+      aw.loc = w.loc;
+      aw.input = w.taint.input;
+      aw.delta = w.taint.delta;
+      if (aw.kind == ArchWrite::Kind::kConcrete) {
+        aw.value = ValueOf(w.loc);
+      }
+      fx_.writes.push_back(aw);
+    }
+    CompactInputs();
+    return std::move(fx_);
+  }
+
+ private:
+  struct Taint {
+    ArchWrite::Kind kind;
+    int32_t input;   // kCopy/kAffine source
+    uint64_t delta;  // kAffine offset from that input (wrapping)
+  };
+  struct WrittenLoc {
+    Loc loc;
+    Taint taint;
+  };
+
+  uint64_t ValueOf(const Loc& l) const {
+    return l.kind == Loc::Kind::kReg ? cpu_->regs[l.addr] : mem_->Read(l.addr);
+  }
+
+  int FindWritten(const Loc& l) const {
+    for (size_t i = 0; i < written_.size(); ++i) {
+      if (written_[i].loc == l) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  // Registers `l` as a section input, capturing its (pre-section)
+  // value. Only valid while `l` has not been written by the section.
+  int FindOrAddInput(const Loc& l) {
+    for (size_t i = 0; i < fx_.inputs.size(); ++i) {
+      if (fx_.inputs[i].loc == l) {
+        return static_cast<int>(i);
+      }
+    }
+    if (fx_.inputs.size() >= kMaxEntries) {
+      fx_.cacheable = false;
+      return -1;
+    }
+    fx_.inputs.push_back(ArchInput{l, ValueOf(l), false});
+    return static_cast<int>(fx_.inputs.size()) - 1;
+  }
+
+  // The live value of `l` was consumed concretely: pin the input it
+  // derives from (if any) so the fingerprint validates it.
+  void RequireLoc(const Loc& l) {
+    const int wi = FindWritten(l);
+    if (wi >= 0) {
+      const Taint& t = written_[wi].taint;
+      if (t.kind != ArchWrite::Kind::kConcrete && t.input >= 0) {
+        fx_.inputs[t.input].required = true;
+      }
+      return;  // kConcrete: deterministic given already-pinned inputs
+    }
+    const int idx = FindOrAddInput(l);
+    if (idx >= 0) {
+      fx_.inputs[idx].required = true;
+    }
+  }
+
+  // Provenance of a data movement's source, before the write lands.
+  Taint SourceTaint(const Loc& src, uint64_t affine_delta, bool affine) {
+    Taint t;
+    const int wi = FindWritten(src);
+    if (wi >= 0) {
+      t = written_[wi].taint;
+    } else {
+      const int idx = FindOrAddInput(src);
+      if (idx < 0) {
+        return Taint{ArchWrite::Kind::kConcrete, -1, 0};  // overflowed
+      }
+      t = Taint{ArchWrite::Kind::kCopy, idx, 0};
+    }
+    if (affine && t.kind == ArchWrite::Kind::kCopy) {
+      t = Taint{ArchWrite::Kind::kAffine, t.input, affine_delta};
+    } else if (affine && t.kind == ArchWrite::Kind::kAffine) {
+      t.delta += affine_delta;
+    }
+    return t;
+  }
+
+  void ClaimPending(const Loc& src) {
+    for (size_t i = pending_.size(); i-- > 0;) {
+      if (pending_[i] == src) {
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  void PromotePending() {
+    for (const Loc& l : pending_) {
+      RequireLoc(l);
+    }
+    pending_.clear();
+  }
+
+  // Inputs that are neither pinned nor the source of a surviving
+  // symbolic write (intermediate values a later write clobbered) are
+  // dead weight on every replay — drop them and remap write indices.
+  void CompactInputs() {
+    std::vector<char> used(fx_.inputs.size(), 0);
+    for (const ArchWrite& w : fx_.writes) {
+      if (w.input >= 0) {
+        used[static_cast<size_t>(w.input)] = 1;
+      }
+    }
+    std::vector<int32_t> remap(fx_.inputs.size(), -1);
+    size_t kept = 0;
+    for (size_t i = 0; i < fx_.inputs.size(); ++i) {
+      if (fx_.inputs[i].required || used[i] != 0) {
+        remap[i] = static_cast<int32_t>(kept);
+        fx_.inputs[kept++] = fx_.inputs[i];
+      }
+    }
+    fx_.inputs.resize(kept);
+    for (ArchWrite& w : fx_.writes) {
+      if (w.input >= 0) {
+        w.input = remap[static_cast<size_t>(w.input)];
+      }
+    }
+  }
+
+  void SetTaint(const Loc& dst, const Taint& t) {
+    const int wi = FindWritten(dst);
+    if (wi >= 0) {
+      written_[wi].taint = t;
+      return;
+    }
+    if (written_.size() >= kMaxEntries) {
+      fx_.cacheable = false;
+      return;
+    }
+    written_.push_back(WrittenLoc{dst, t});
+  }
+
+  [[maybe_unused]] ThreadId thread_;
+  const CpuState* cpu_;
+  const Memory* mem_;
+  Inner* inner_;
+  ArchEffects fx_;
+  std::vector<Loc> pending_;
+  std::vector<WrittenLoc> written_;
+};
 
 }  // namespace whodunit::vm
 
