@@ -1,0 +1,75 @@
+// Ablation: live-observability publish path on vs off.
+//
+// The whodunitd daemon (src/obs/live, docs/OBSERVABILITY.md) rides the
+// profiler's hot paths: every ChargeCpu accumulates into a per-thread
+// cost batch, every PrepareSend notes the outgoing synopsis part, and
+// each transaction opens/joins/completes spans in the builder table.
+// The design claim is that an always-on collector must cost low single
+// digits of wall time; this bench runs the identical TPC-W rig with
+// the daemon attached and detached and reports the wall-clock delta
+// plus the per-transaction publish cost.
+//
+// check_perf.sh-style guard: the derived overhead percentage lives in
+// bench/baselines/BENCH_ablation_live_obs.json for future PRs to diff.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/bookstore/bookstore.h"
+
+namespace {
+
+double RunOnce(bool live, whodunit::apps::BookstoreResult* out) {
+  whodunit::apps::BookstoreOptions options;
+  options.clients = 100;
+  options.duration = whodunit::sim::Seconds(300);
+  options.warmup = whodunit::sim::Seconds(30);
+  options.live = live;
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = whodunit::apps::RunBookstore(options);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace whodunit;
+  bench::Header("Ablation: live observability publish path (TPC-W, 300s sim)");
+
+  apps::BookstoreResult off_result, live_result;
+  // Interleave off/live pairs so machine drift hits both arms equally;
+  // keep the fastest of each arm (noise only ever adds time).
+  double off_ms = 1e300, live_ms = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    const double off = RunOnce(/*live=*/false, &off_result);
+    const double live = RunOnce(/*live=*/true, &live_result);
+    off_ms = off < off_ms ? off : off_ms;
+    live_ms = live < live_ms ? live : live_ms;
+  }
+
+  const double overhead_pct = 100.0 * (live_ms - off_ms) / off_ms;
+  const double per_txn_us =
+      live_result.interactions > 0
+          ? 1000.0 * (live_ms - off_ms) / static_cast<double>(live_result.interactions)
+          : 0.0;
+
+  std::printf("daemon off:            %10.1f ms wall\n", off_ms);
+  std::printf("daemon on:             %10.1f ms wall\n", live_ms);
+  std::printf("publish-path overhead: %+9.1f%%  (%.1f us per transaction)\n",
+              overhead_pct, per_txn_us);
+  std::printf("interactions:          %10lu (live arm)\n",
+              static_cast<unsigned long>(live_result.interactions));
+  std::printf("live table rendered:   %s\n",
+              live_result.live_top_text.empty() ? "NO (BUG)" : "yes");
+
+  // The simulated result must be identical either way: the daemon
+  // observes the run, it must not perturb it.
+  const bool identical =
+      off_result.interactions == live_result.interactions &&
+      off_result.throughput_tpm == live_result.throughput_tpm;
+  std::printf("sim results identical: %s\n", identical ? "yes" : "NO (BUG)");
+
+  whodunit::bench::DumpMetrics("ablation_live_obs");
+  return identical ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/obs/export.h"
@@ -23,12 +24,25 @@ inline void Header(const char* title) {
 
 inline void Note(const char* text) { std::printf("%s\n", text); }
 
+// Directory metric dumps land in: $WHODUNIT_METRICS_DIR when set
+// (scripts/run_benches.sh points it at the run's workdir), otherwise
+// the current directory. Keeps by-hand bench runs from littering the
+// source tree root with BENCH_*.metrics.json files.
+inline std::string MetricsDir() {
+  const char* dir = std::getenv("WHODUNIT_METRICS_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    return dir;
+  }
+  return ".";
+}
+
 // Writes the profiler's internal counters (src/obs, docs/METRICS.md)
-// to BENCH_<name>.metrics.json in the working directory, so result
+// to BENCH_<name>.metrics.json under MetricsDir(), so result
 // trajectories carry the self-observability data next to the
 // wall-clock numbers. Call once, at bench exit.
 inline void DumpMetrics(const char* bench_name) {
-  const std::string path = std::string("BENCH_") + bench_name + ".metrics.json";
+  const std::string path =
+      MetricsDir() + "/BENCH_" + bench_name + ".metrics.json";
   if (obs::DumpGlobalMetrics(path)) {
     std::printf("\n[obs] internal metrics dumped to %s\n", path.c_str());
   } else {

@@ -21,7 +21,8 @@ for dir in "$repo_root"/src/*/; do
   fi
 done
 
-for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/PROFILE_FORMAT.md; do
+for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/OBSERVABILITY.md \
+           docs/PROFILE_FORMAT.md; do
   if [ ! -f "$repo_root/$doc" ]; then
     echo "check_docs: missing $doc" >&2
     status=1
@@ -29,7 +30,7 @@ for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/PROFILE_FORMAT.md; do
 done
 
 # README must point at the docs so they stay discoverable.
-for doc in ARCHITECTURE.md METRICS.md PROFILE_FORMAT.md; do
+for doc in ARCHITECTURE.md METRICS.md OBSERVABILITY.md PROFILE_FORMAT.md; do
   if ! grep -q "docs/$doc" "$repo_root/README.md"; then
     echo "check_docs: README.md does not link docs/$doc" >&2
     status=1

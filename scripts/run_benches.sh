@@ -53,6 +53,10 @@ fi
 mkdir -p "$out_dir"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
+# Belt and braces with the cd below: metric dumps (bench_util.h)
+# honor this and land in the workdir, never the source tree.
+WHODUNIT_METRICS_DIR="$workdir"
+export WHODUNIT_METRICS_DIR
 
 for bench in $benches; do
   bin="$bench_dir/$bench"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/crosstalk/crosstalk.h"
+#include "src/obs/live/daemon.h"
 #include "src/profiler/deployment.h"
 #include "src/profiler/stage_profiler.h"
 #include "src/profiler/analysis.h"
@@ -38,6 +39,7 @@ struct DbRequest {
   db::Query query;
   uint64_t rows_touched = 0;
   Synopsis syn;
+  uint64_t txn = 0;  // live-observability transaction id
   sim::Channel<DbReply>* reply = nullptr;
 };
 struct TomcatReply {
@@ -48,6 +50,7 @@ struct TomcatRequest {
   TpcwTransaction type;
   uint32_t cache_key = 0;
   Synopsis syn;
+  uint64_t txn = 0;  // live-observability transaction id
   sim::Channel<TomcatReply>* reply = nullptr;
 };
 struct ProxyReply {
@@ -101,6 +104,15 @@ class Bookstore {
         db_ch_(sched_, workload::kLanLatency) {
     workload::CreateTpcwTables(database_, options.item_granularity);
     database_.SetLockObserver(&crosstalk_);
+    if (options.live) {
+      obs::live::LiveOptions lo;
+      lo.span_ring = options.live_span_ring;
+      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
+      dep_.AttachLive(daemon_.get());
+      crosstalk_.set_wait_sink([this](uint64_t waiter, uint64_t holder, uint64_t wait_ns) {
+        daemon_->IngestWait(waiter, holder, wait_ns);
+      });
+    }
     // §8.1: Whodunit also watches mysqld's own critical sections.
     shm_detector_ = std::make_unique<shm::FlowDetector>([this](vm::ThreadId t) {
       return mysql_.CurrentCtxtId(*mysql_tps_[t]);
@@ -124,6 +136,7 @@ class Bookstore {
         break;
       }
       squid_.ResetTransaction(tp);
+      const uint64_t live_txn = squid_.LiveBegin(tp, workload::TpcwName(req->type));
       uint64_t bytes = 0;
       {
         auto f0 = squid_.EnterFrame(tp, client_side_fn);
@@ -136,6 +149,7 @@ class Bookstore {
           TomcatRequest treq;
           treq.type = req->type;
           treq.cache_key = req->cache_key;
+          treq.txn = live_txn;
           treq.reply = &reply_ch;
           treq.syn = squid_.PrepareSend(tp);
           squid_.AccountMessage(kRequestBytes, treq.syn.WireBytes());
@@ -150,6 +164,7 @@ class Bookstore {
                   workload::kStaticImagesPerPage * kImageBytes;
         }
       }
+      squid_.LiveComplete(tp);
       req->reply->Send(ProxyReply{bytes});
     }
   }
@@ -163,6 +178,7 @@ class Bookstore {
         break;
       }
       tomcat_.OnReceive(tp, req->syn);
+      tomcat_.LiveJoin(tp, req->txn);
       {
         auto f0 = tomcat_.EnterFrame(tp, service_fn_);
         auto f1 = tomcat_.EnterFrame(tp, servlet_fns_[static_cast<size_t>(req->type)]);
@@ -182,6 +198,7 @@ class Bookstore {
             dreq.type = req->type;
             dreq.query = workload::TpcwQuery(req->type, *tomcat_rngs_[static_cast<size_t>(index)]);
             dreq.rows_touched = RowsTouched(dreq.query);
+            dreq.txn = req->txn;
             dreq.reply = &reply_ch;
             dreq.syn = tomcat_.PrepareSend(tp);
             tomcat_.AccountMessage(kRequestBytes, dreq.syn.WireBytes());
@@ -205,6 +222,7 @@ class Bookstore {
       rep.body_bytes = kPageBytes;
       rep.syn = tomcat_.PrepareSend(tp, /*expect_response=*/false);
       tomcat_.AccountMessage(rep.body_bytes, rep.syn.WireBytes());
+      tomcat_.LiveLeave(tp);
       req->reply->Send(rep);
     }
   }
@@ -245,6 +263,7 @@ class Bookstore {
         break;
       }
       mysql_.OnReceive(tp, req->syn);
+      mysql_.LiveJoin(tp, req->txn);
       {
         auto f0 = mysql_.EnterFrame(tp, do_command_fn_);
         auto f1 = mysql_.EnterFrame(tp, execute_fn_);
@@ -252,6 +271,11 @@ class Bookstore {
         // mcount for each of these internal calls.
         mysql_.NoteInternalCalls(tp, req->rows_touched * 5);
         const uint64_t tag = mysql_.CrosstalkTag(tp);
+        if (daemon_ != nullptr) {
+          // Crosstalk tags resolve to TPC-W interaction names in the
+          // daemon's live matrix.
+          daemon_->NameTag(tag, workload::TpcwName(req->type));
+        }
         // mysqld's own shared-memory critical sections run as part of
         // query processing (§8.1); their emulation cost rides on the
         // query's CPU charge rather than a separate scheduler pass.
@@ -282,6 +306,7 @@ class Bookstore {
       DbReply rep;
       rep.syn = mysql_.PrepareSend(tp, /*expect_response=*/false);
       mysql_.AccountMessage(2048, rep.syn.WireBytes());
+      mysql_.LiveLeave(tp);
       req->reply->Send(rep);
     }
   }
@@ -316,6 +341,18 @@ class Bookstore {
     }
   }
 
+  // whodunit_top's refresh loop: query + render + hand to the callback
+  // at every poll interval while the workload runs.
+  sim::Process LivePoller() {
+    for (;;) {
+      co_await sim::Delay{sched_, options_.live_poll_interval};
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      options_.on_live_top(daemon_->RenderTop());
+    }
+  }
+
   BookstoreOptions options_;
   sim::Scheduler sched_;
   sim::CpuResource proxy_cpu_;
@@ -327,6 +364,7 @@ class Bookstore {
   StageProfiler& mysql_;
   db::Database database_;
   crosstalk::CrosstalkRecorder crosstalk_;
+  std::unique_ptr<obs::live::Whodunitd> daemon_;
 
   sim::Channel<ProxyRequest> proxy_ch_;
   sim::Channel<TomcatRequest> tomcat_ch_;
@@ -410,6 +448,9 @@ BookstoreResult Bookstore::Run() {
   }
   for (int c = 0; c < options_.clients; ++c) {
     sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  }
+  if (daemon_ != nullptr && options_.on_live_top) {
+    sim::Spawn(sched_, LivePoller());
   }
 
   sched_.RunUntil(options_.duration);
@@ -495,6 +536,15 @@ BookstoreResult Bookstore::Run() {
     }
     return std::string("tag_") + std::to_string(tag);
   });
+  if (daemon_ != nullptr) {
+    result.live_top_text = daemon_->RenderTop();
+    result.live_query_json = daemon_->QueryJson();
+    result.live_span_json = daemon_->ExportSpansJson();
+    // Close the publish channel so the pump coroutine drains and its
+    // frame is reclaimed before the scheduler goes away.
+    daemon_->Shutdown();
+    sched_.Run();
+  }
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/callpath/profiler_mode.h"
@@ -39,6 +40,18 @@ struct BookstoreOptions {
   int proxy_workers = 24;
   int tomcat_workers = 24;
   int db_workers = 24;
+
+  // ---- Live observability (src/obs/live) ------------------------------
+  // Attach a whodunitd aggregation daemon: stages publish transaction
+  // lifecycle events to it and the result carries its final snapshot.
+  bool live = false;
+  // Completed transactions retained for Chrome-trace span export.
+  size_t live_span_ring = 128;
+  // When set, a poller queries the daemon at this virtual-time period
+  // and hands the rendered top table to the callback (whodunit_top's
+  // refresh loop).
+  sim::SimTime live_poll_interval = sim::Seconds(30);
+  std::function<void(const std::string&)> on_live_top;
 };
 
 struct BookstorePerType {
@@ -78,6 +91,13 @@ struct BookstoreResult {
   double db_utilization = 0;
   double tomcat_utilization = 0;
   double proxy_utilization = 0;
+
+  // Final whodunitd snapshot (empty unless options.live): the rendered
+  // top table, the query API's JSON form, and the Chrome trace JSON of
+  // the retained transactions.
+  std::string live_top_text;
+  std::string live_query_json;
+  std::string live_span_json;
 };
 
 BookstoreResult RunBookstore(const BookstoreOptions& options);

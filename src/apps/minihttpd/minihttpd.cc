@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/http/http.h"
+#include "src/obs/live/daemon.h"
 #include "src/profiler/deployment.h"
 #include "src/profiler/stage_profiler.h"
 #include "src/shm/flow_detector.h"
@@ -42,6 +43,7 @@ constexpr uint64_t kScratchBase = 0x20000;
 struct Connection {
   uint32_t client;
   std::vector<uint32_t> objects;
+  uint64_t txn = 0;  // live-observability transaction id
 };
 
 class Server {
@@ -79,6 +81,15 @@ class Server {
         queue_flow_seen_ = true;
       }
     });
+
+    if (options.live) {
+      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_);
+      dep_.AttachLive(daemon_.get());
+      // The server's stage lives outside the deployment's registry, so
+      // attach it and route the daemon's pre-query flush to it directly.
+      prof_.AttachLive(daemon_.get());
+      daemon_->set_flush_hook([this] { prof_.FlushLive(); });
+    }
   }
 
   MinihttpdResult Run();
@@ -138,6 +149,17 @@ class Server {
       }
       // Each accepted connection begins a fresh transaction.
       prof_.ResetTransaction(tp);
+      if (daemon_ != nullptr) {
+        // Type the live transaction by the connection's weight; the
+        // origin span stays open until a worker completes it, so its
+        // duration covers the queue wait too.
+        uint64_t total_bytes = 0;
+        for (uint32_t object : conn->objects) {
+          total_bytes += trace_.ObjectBytes(object);
+        }
+        prof_.LiveBegin(tp, total_bytes >= 64 * 1024 ? "conn_large" : "conn_small");
+        conn->txn = prof_.live_txn(tp);
+      }
       {
         auto f = prof_.EnterFrame(tp, accept_fn);
         co_await cpu_.Consume(prof_.ChargeCpu(tp, workload::kAcceptCost));
@@ -198,6 +220,7 @@ class Server {
       }
       const Connection conn = conn_it->second;
       in_flight_.erase(conn_it);
+      prof_.LiveJoin(tp, conn.txn);
 
       {
         auto f = prof_.EnterFrame(tp, process_fn);
@@ -235,6 +258,7 @@ class Server {
         }
       }
       ++connections_done_;
+      prof_.LiveComplete(tp);
       client_done_[conn.client]->Send(1);
     }
   }
@@ -293,6 +317,7 @@ class Server {
   sim::Channel<Connection> accept_ch_;
   workload::WebTrace trace_;
   util::Rng rng_;
+  std::unique_ptr<obs::live::Whodunitd> daemon_;
 
   vm::Program push_prog_, pop_prog_, alloc_prog_, free_prog_, counter_prog_;
   std::map<vm::ThreadId, vm::CpuState> guest_cpus_;
@@ -366,6 +391,12 @@ MinihttpdResult Server::Run() {
     result.listener_context_share = 100.0 * static_cast<double>(origin) /
                                     static_cast<double>(total);
     result.worker_context_share = 100.0 - result.listener_context_share;
+  }
+  if (daemon_ != nullptr) {
+    result.live_top_text = daemon_->RenderTop();
+    result.live_span_json = daemon_->ExportSpansJson();
+    daemon_->Shutdown();
+    sched_.Run();
   }
   return result;
 }

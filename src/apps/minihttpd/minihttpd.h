@@ -34,6 +34,9 @@ struct MinihttpdOptions {
   // Each client then opens exactly one connection for the whole run;
   // use workers >= clients in this mode.
   bool persistent_connections = false;
+  // Attach a whodunitd live-observability daemon (src/obs/live): each
+  // connection becomes a live transaction from accept to completion.
+  bool live = false;
 };
 
 struct MinihttpdResult {
@@ -54,6 +57,10 @@ struct MinihttpdResult {
   double worker_context_share = 0;
 
   std::string profile_text;
+
+  // Final whodunitd snapshot (empty unless options.live).
+  std::string live_top_text;
+  std::string live_span_json;
 };
 
 MinihttpdResult RunMinihttpd(const MinihttpdOptions& options);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/http/http.h"
+#include "src/obs/live/daemon.h"
 #include "src/profiler/deployment.h"
 #include "src/profiler/stage_profiler.h"
 #include "src/seda/stage.h"
@@ -31,6 +32,7 @@ struct ReqState {
   uint32_t object = 0;
   std::vector<uint32_t> objects;
   size_t next_index = 0;
+  uint64_t txn = 0;  // live-observability transaction id
 };
 
 class Haboob {
@@ -40,7 +42,16 @@ class Haboob {
         cpu_(sched_, workload::kWebServerCores, "haboob_cpu"),
         graph_(sched_),
         prof_(dep_, MakeProfilerOptions(options)),
-        accept_ch_(sched_) {}
+        accept_ch_(sched_) {
+    if (options.live) {
+      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_);
+      dep_.AttachLive(daemon_.get());
+      // The server's stage lives outside the deployment's registry, so
+      // attach it and route the daemon's pre-query flush to it directly.
+      prof_.AttachLive(daemon_.get());
+      daemon_->set_flush_hook([this] { prof_.FlushLive(); });
+    }
+  }
 
   SedaServerResult Run();
 
@@ -70,31 +81,71 @@ class Haboob {
         prof_.ChargeCpu(tp, cost + workload::kSedaStageDispatchCost + TrackingCost()));
   }
 
+  // Each SEDA stage gets its own track in the live daemon, so the
+  // transaction's spans are opened/closed against the stage's name
+  // directly rather than through StageProfiler's (single) stage name.
+  uint64_t TxnOf(uint64_t handle) const {
+    auto it = requests_.find(handle);
+    return it == requests_.end() ? 0 : it->second.txn;
+  }
+  void LiveJoinStage(const StageGraph::WorkerContext& wc) {
+    if (daemon_ != nullptr) {
+      daemon_->JoinSpan(TxnOf(wc.payload), graph_.StageName(wc.stage), /*link=*/0,
+                        daemon_->now());
+    }
+  }
+  void LiveLeaveStage(const StageGraph::WorkerContext& wc) {
+    if (daemon_ != nullptr) {
+      daemon_->EndSpan(TxnOf(wc.payload), graph_.StageName(wc.stage), daemon_->now());
+    }
+  }
+
   void BuildStages() {
     listen_ = graph_.AddStage("ListenStage", 1, [this](auto& wc) -> sim::Task<void> {
+      if (daemon_ != nullptr) {
+        ReqState& st = requests_.at(wc.payload);
+        st.txn = daemon_->BeginTxn("ListenStage", daemon_->now());
+        daemon_->SetTxnType(st.txn, "http_request");
+      }
       co_await Charge(wc, workload::kAcceptCost);
+      LiveLeaveStage(wc);
       wc.EnqueueTo(http_server_, wc.payload);
     });
     http_server_ = graph_.AddStage("HttpServer", options_.workers_per_stage,
                                    [this](auto& wc) -> sim::Task<void> {
+                                     LiveJoinStage(wc);
                                      co_await Charge(wc, sim::Micros(12));
+                                     LiveLeaveStage(wc);
                                      wc.EnqueueTo(read_, wc.payload);
                                    });
     read_ = graph_.AddStage("ReadStage", options_.workers_per_stage,
                             [this](auto& wc) -> sim::Task<void> {
+                              LiveJoinStage(wc);
                               co_await Charge(wc, sim::Micros(15));
+                              LiveLeaveStage(wc);
                               wc.EnqueueTo(http_recv_, wc.payload);
                             });
     http_recv_ = graph_.AddStage("HttpRecv", options_.workers_per_stage,
                                  [this](auto& wc) -> sim::Task<void> {
+                                   LiveJoinStage(wc);
                                    co_await Charge(wc, workload::kHttpParseCost);
+                                   LiveLeaveStage(wc);
                                    wc.EnqueueTo(cache_, wc.payload);
                                  });
     cache_ = graph_.AddStage("CacheStage", options_.workers_per_stage,
                              [this](auto& wc) -> sim::Task<void> {
+                               LiveJoinStage(wc);
                                ReqState& st = requests_.at(wc.payload);
                                co_await Charge(wc, workload::kCacheLookupCost);
-                               if (InCache(st.object)) {
+                               const bool hit = InCache(st.object);
+                               if (daemon_ != nullptr) {
+                                 // The cache outcome is this request's real
+                                 // type; re-label the live transaction.
+                                 daemon_->SetTxnType(st.txn,
+                                                     hit ? "cache_hit" : "cache_miss");
+                               }
+                               LiveLeaveStage(wc);
+                               if (hit) {
                                  ++hits_;
                                  wc.EnqueueTo(write_, wc.payload);
                                } else {
@@ -104,11 +155,14 @@ class Haboob {
                              });
     miss_ = graph_.AddStage("MissStage", options_.workers_per_stage,
                             [this](auto& wc) -> sim::Task<void> {
+                              LiveJoinStage(wc);
                               co_await Charge(wc, sim::Micros(20));
+                              LiveLeaveStage(wc);
                               wc.EnqueueTo(file_io_, wc.payload);
                             });
     file_io_ = graph_.AddStage("FileIoStage", options_.workers_per_stage,
                                [this](auto& wc) -> sim::Task<void> {
+                                 LiveJoinStage(wc);
                                  ReqState& st = requests_.at(wc.payload);
                                  // Disk read, then populate the cache.
                                  co_await sim::Delay{sched_, sim::Micros(400)};
@@ -117,10 +171,12 @@ class Haboob {
                                      wc, static_cast<sim::SimTime>(
                                              static_cast<double>(bytes) * 1.5));
                                  InsertCache(st.object);
+                                 LiveLeaveStage(wc);
                                  wc.EnqueueTo(write_, wc.payload);
                                });
     write_ = graph_.AddStage("WriteStage", options_.workers_per_stage,
                              [this](auto& wc) -> sim::Task<void> {
+                               LiveJoinStage(wc);
                                ReqState& st = requests_.at(wc.payload);
                                const uint64_t bytes = trace_.ObjectBytes(st.object);
                                co_await Charge(
@@ -130,10 +186,16 @@ class Haboob {
                                ++requests_served_;
                                if (st.next_index < st.objects.size()) {
                                  st.object = st.objects[st.next_index++];
+                                 LiveLeaveStage(wc);
                                  wc.EnqueueTo(read_, wc.payload);
                                } else {
+                                 const uint64_t txn = st.txn;
                                  client_done_[st.client]->Send(1);
                                  requests_.erase(wc.payload);
+                                 if (daemon_ != nullptr) {
+                                   // Closes the write span too.
+                                   daemon_->CompleteTxn(txn, daemon_->now());
+                                 }
                                }
                                co_return;
                              });
@@ -198,6 +260,7 @@ class Haboob {
   StageProfiler prof_;
   sim::Channel<uint64_t> accept_ch_;
   workload::WebTrace trace_;
+  std::unique_ptr<obs::live::Whodunitd> daemon_;
 
   StageId listen_ = 0, http_server_ = 0, read_ = 0, http_recv_ = 0, cache_ = 0, miss_ = 0,
           file_io_ = 0, write_ = 0;
@@ -287,6 +350,12 @@ SedaServerResult Haboob::Run() {
     } else {
       result.write_hit_share += share;
     }
+  }
+  if (daemon_ != nullptr) {
+    result.live_top_text = daemon_->RenderTop();
+    result.live_span_json = daemon_->ExportSpansJson();
+    daemon_->Shutdown();
+    sched_.Run();
   }
   return result;
 }

@@ -28,6 +28,11 @@ struct SedaServerOptions {
   int workers_per_stage = 2;
   sim::SimTime duration = sim::Seconds(20);
   uint64_t seed = 1;
+  // Attach a whodunitd live-observability daemon (src/obs/live): each
+  // HTTP request becomes a live transaction with one span per SEDA
+  // stage it passes through, re-typed cache_hit/cache_miss at the
+  // cache stage.
+  bool live = false;
 };
 
 struct SedaServerResult {
@@ -42,6 +47,10 @@ struct SedaServerResult {
   double write_miss_share = 0;
 
   std::string profile_text;
+
+  // Final whodunitd snapshot (empty unless options.live).
+  std::string live_top_text;
+  std::string live_span_json;
 };
 
 SedaServerResult RunSedaServer(const SedaServerOptions& options);

@@ -1,0 +1,146 @@
+// whodunit_top: a `top`-style console for the live observability
+// daemon (docs/OBSERVABILITY.md).
+//
+// Runs the TPC-W bookstore with a whodunitd daemon attached and
+// renders the daemon's top-transactions table every poll interval of
+// *virtual* time — latency quantiles and error counts per transaction
+// type, per-stage throughput, the live crosstalk matrix, and the most
+// expensive transaction contexts. On exit it prints the final
+// snapshot and can dump the retained transactions as Chrome trace
+// JSON (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Usage:
+//   whodunit_top [--duration S] [--warmup S] [--clients N]
+//                [--interval S] [--ring N] [--span-out FILE]
+//                [--json-out FILE] [--no-clear] [--seed N]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/bookstore/bookstore.h"
+#include "src/callpath/profiler_mode.h"
+#include "src/sim/time.h"
+
+namespace {
+
+struct Flags {
+  long duration_s = 300;
+  long warmup_s = 30;
+  int clients = 100;
+  long interval_s = 30;
+  size_t ring = 128;
+  std::string span_out;
+  std::string json_out;
+  bool clear_screen = true;
+  uint64_t seed = 1;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--duration S] [--warmup S] [--clients N]\n"
+               "          [--interval S] [--ring N] [--span-out FILE]\n"
+               "          [--json-out FILE] [--no-clear] [--seed N]\n",
+               argv0);
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](long* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtol(argv[++i], nullptr, 10);
+      return true;
+    };
+    long v = 0;
+    if (arg == "--duration" && next(&v)) {
+      flags->duration_s = v;
+    } else if (arg == "--warmup" && next(&v)) {
+      flags->warmup_s = v;
+    } else if (arg == "--clients" && next(&v)) {
+      flags->clients = static_cast<int>(v);
+    } else if (arg == "--interval" && next(&v)) {
+      flags->interval_s = v;
+    } else if (arg == "--ring" && next(&v)) {
+      flags->ring = static_cast<size_t>(v);
+    } else if (arg == "--seed" && next(&v)) {
+      flags->seed = static_cast<uint64_t>(v);
+    } else if (arg == "--span-out" && i + 1 < argc) {
+      flags->span_out = argv[++i];
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      flags->json_out = argv[++i];
+    } else if (arg == "--no-clear") {
+      flags->clear_screen = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "whodunit_top: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  whodunit::apps::BookstoreOptions options;
+  options.mode = whodunit::callpath::ProfilerMode::kWhodunit;
+  options.clients = flags.clients;
+  options.duration = whodunit::sim::Seconds(flags.duration_s);
+  options.warmup = whodunit::sim::Seconds(flags.warmup_s);
+  options.seed = flags.seed;
+  options.live = true;
+  options.live_span_ring = flags.ring;
+  options.live_poll_interval = whodunit::sim::Seconds(flags.interval_s);
+  options.on_live_top = [&flags](const std::string& table) {
+    if (flags.clear_screen) {
+      std::fputs("\x1b[H\x1b[2J", stdout);  // cursor home + clear
+    }
+    std::fputs(table.c_str(), stdout);
+    std::fflush(stdout);
+  };
+
+  const auto result = whodunit::apps::RunBookstore(options);
+
+  if (flags.clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
+  std::fputs(result.live_top_text.c_str(), stdout);
+  std::printf("\n[run complete: %.0f interactions/min, %llu interactions]\n",
+              result.throughput_tpm,
+              static_cast<unsigned long long>(result.interactions));
+
+  int rc = 0;
+  if (!flags.span_out.empty()) {
+    if (WriteFile(flags.span_out, result.live_span_json)) {
+      std::printf("spans written to %s (load in chrome://tracing)\n",
+                  flags.span_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!flags.json_out.empty()) {
+    if (WriteFile(flags.json_out, result.live_query_json)) {
+      std::printf("query snapshot written to %s\n", flags.json_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -61,12 +61,19 @@ class CrosstalkRecorder : public sim::LockObserver {
   // Text table using `namer` for tags.
   std::string Render(const std::function<std::string(uint64_t)>& namer) const;
 
+  // Streaming tap: invoked for every *contended* acquire with a known
+  // holder, as (waiter_tag, holder_tag, wait_ns). The live aggregation
+  // daemon subscribes through this without the recorder depending on it.
+  using WaitSink = std::function<void(uint64_t, uint64_t, uint64_t)>;
+  void set_wait_sink(WaitSink sink) { wait_sink_ = std::move(sink); }
+
  private:
   std::map<std::pair<uint64_t, uint64_t>, util::RunningStat> pair_waits_;
   std::map<uint64_t, util::RunningStat> waiter_waits_;
   std::map<uint64_t, util::RunningStat> all_acquires_;
   std::map<std::string, util::RunningStat> lock_waits_;
   uint64_t acquires_observed_ = 0;
+  WaitSink wait_sink_;
 };
 
 }  // namespace whodunit::crosstalk

@@ -1,0 +1,130 @@
+#include "src/obs/live/aggregator.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace whodunit::obs::live {
+
+void LiveAggregator::Ingest(const TxnEvent& event) {
+  static Counter& obs_txns = Registry().GetCounter("live.txns_ingested");
+  static Counter& obs_spans = Registry().GetCounter("live.spans_ingested");
+  obs_txns.Add();
+  obs_spans.Add(event.spans.size());
+
+  ++txns_;
+  TypeState& type = by_type_[event.type.empty() ? std::string("(untyped)") : event.type];
+  type.latency_ns.Add(static_cast<uint64_t>(std::max<int64_t>(event.end_ns - event.start_ns, 0)));
+  if (event.error) {
+    ++type.errors;
+    ++errors_;
+  }
+  for (const StageSpan& span : event.spans) {
+    StageState& stage = by_stage_[span.stage];
+    ++stage.spans;
+    stage.busy_ns += static_cast<uint64_t>(std::max<int64_t>(span.duration_ns, 0));
+  }
+  if (event.root_ctxt != context::kEmptyContext) {
+    // The transaction's own end-to-end latency also accrues to its
+    // origin context so a type with little CPU but long waits still
+    // surfaces; CPU-level attribution arrives separately via AddCost.
+    cost_by_ctxt_.GetOrInsert(event.root_ctxt) += 0;
+  }
+}
+
+void LiveAggregator::AddCost(context::NodeId ctxt, uint64_t cost_ns) {
+  cost_by_ctxt_.GetOrInsert(ctxt) += cost_ns;
+}
+
+void LiveAggregator::NameTag(uint64_t tag, std::string_view name) {
+  auto it = tag_names_.find(tag);
+  if (it == tag_names_.end()) {
+    tag_names_.emplace(tag, std::string(name));
+  }
+}
+
+void LiveAggregator::IngestWait(uint64_t waiter_tag, uint64_t holder_tag, uint64_t wait_ns) {
+  static Counter& obs_waits = Registry().GetCounter("live.crosstalk_waits");
+  obs_waits.Add();
+  waits_[{waiter_tag, holder_tag}].Add(static_cast<double>(wait_ns));
+}
+
+std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {
+  std::vector<TypeRow> rows;
+  rows.reserve(by_type_.size());
+  for (const auto& [name, state] : by_type_) {
+    TypeRow row;
+    row.type = name;
+    row.count = state.latency_ns.count();
+    row.errors = state.errors;
+    row.mean_ms = state.latency_ns.mean() / 1e6;
+    row.p50_ms = state.latency_ns.Quantile(0.50) / 1e6;
+    row.p95_ms = state.latency_ns.Quantile(0.95) / 1e6;
+    row.p99_ms = state.latency_ns.Quantile(0.99) / 1e6;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const TypeRow& a, const TypeRow& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.type < b.type;
+  });
+  return rows;
+}
+
+std::vector<LiveAggregator::StageRow> LiveAggregator::StageRows() const {
+  std::vector<StageRow> rows;
+  rows.reserve(by_stage_.size());
+  for (const auto& [name, state] : by_stage_) {
+    rows.push_back(StageRow{name, state.spans, static_cast<double>(state.busy_ns) / 1e6});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StageRow& a, const StageRow& b) { return a.busy_ms > b.busy_ms; });
+  return rows;
+}
+
+std::string LiveAggregator::TagName(uint64_t tag) const {
+  auto it = tag_names_.find(tag);
+  return it != tag_names_.end() ? it->second : "tag_" + std::to_string(tag);
+}
+
+std::vector<LiveAggregator::PairRow> LiveAggregator::CrosstalkRows() const {
+  // Fold tag pairs into named-type pairs: many tags (one per context
+  // snapshot) map to one transaction type.
+  std::map<std::pair<std::string, std::string>, util::RunningStat> folded;
+  for (const auto& [pair, stat] : waits_) {
+    folded[{TagName(pair.first), TagName(pair.second)}].Merge(stat);
+  }
+  std::vector<PairRow> rows;
+  rows.reserve(folded.size());
+  for (const auto& [names, stat] : folded) {
+    rows.push_back(PairRow{names.first, names.second, stat.count(), stat.mean() / 1e6});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PairRow& a, const PairRow& b) { return a.mean_wait_ms > b.mean_wait_ms; });
+  return rows;
+}
+
+std::vector<LiveAggregator::CtxtRow> LiveAggregator::TopContexts(size_t n) const {
+  std::vector<CtxtRow> rows;
+  cost_by_ctxt_.ForEach([&](const context::NodeId& ctxt, const uint64_t& cost) {
+    rows.push_back(CtxtRow{ctxt, cost});
+  });
+  std::sort(rows.begin(), rows.end(), [](const CtxtRow& a, const CtxtRow& b) {
+    if (a.cost_ns != b.cost_ns) {
+      return a.cost_ns > b.cost_ns;
+    }
+    return a.ctxt < b.ctxt;
+  });
+  if (rows.size() > n) {
+    rows.resize(n);
+  }
+  return rows;
+}
+
+const util::LogHistogram* LiveAggregator::HistogramFor(std::string_view type) const {
+  auto it = by_type_.find(type);
+  return it == by_type_.end() ? nullptr : &it->second.latency_ns;
+}
+
+}  // namespace whodunit::obs::live

@@ -1,0 +1,107 @@
+// Live transaction observability: online, streaming aggregation state.
+//
+// The LiveAggregator is the queryable core of the whodunitd daemon: it
+// folds every completed TxnEvent into constant-size state — no sample
+// retention — and answers the operator questions the paper's offline
+// reports answer post mortem:
+//
+//   * per-transaction-type latency: mergeable log-bucketed histograms
+//     (util::LogHistogram) giving p50/p95/p99 without storing samples;
+//   * a live crosstalk matrix keyed by (waiter-type, holder-type),
+//     fed by the lock observer's wait sink (src/crosstalk);
+//   * top-N transaction contexts by cumulative CPU cost, keyed by
+//     interned ContextTree NodeIds (flushed in batches from the
+//     stage profilers' charge path);
+//   * per-stage throughput / busy-time / error counters.
+#ifndef SRC_OBS_LIVE_AGGREGATOR_H_
+#define SRC_OBS_LIVE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/context/context_tree.h"
+#include "src/obs/live/txn_event.h"
+#include "src/util/robin_hood.h"
+#include "src/util/stats.h"
+
+namespace whodunit::obs::live {
+
+class LiveAggregator {
+ public:
+  // ---- Ingest (daemon side) -----------------------------------------
+  void Ingest(const TxnEvent& event);
+  // Cumulative CPU cost charged under an interned transaction context.
+  void AddCost(context::NodeId ctxt, uint64_t cost_ns);
+  // Names a crosstalk tag (profiler context id) with a transaction
+  // type; unnamed tags render as "tag_<id>".
+  void NameTag(uint64_t tag, std::string_view name);
+  // One observed lock wait: `waiter` blocked behind `holder`.
+  void IngestWait(uint64_t waiter_tag, uint64_t holder_tag, uint64_t wait_ns);
+
+  // ---- Queries -------------------------------------------------------
+  struct TypeRow {
+    std::string type;
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+  };
+  // Per-type latency rows, highest count first.
+  std::vector<TypeRow> TypeRows() const;
+
+  struct StageRow {
+    std::string stage;
+    uint64_t spans = 0;
+    double busy_ms = 0;
+  };
+  std::vector<StageRow> StageRows() const;
+
+  struct PairRow {
+    std::string waiter;
+    std::string holder;
+    uint64_t count = 0;
+    double mean_wait_ms = 0;
+  };
+  // Live crosstalk matrix, heaviest mean wait first.
+  std::vector<PairRow> CrosstalkRows() const;
+
+  struct CtxtRow {
+    context::NodeId ctxt = context::kEmptyContext;
+    uint64_t cost_ns = 0;
+  };
+  // The n most expensive transaction contexts by cumulative cost.
+  std::vector<CtxtRow> TopContexts(size_t n) const;
+
+  const util::LogHistogram* HistogramFor(std::string_view type) const;
+  uint64_t txns() const { return txns_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  struct TypeState {
+    util::LogHistogram latency_ns;
+    uint64_t errors = 0;
+  };
+  struct StageState {
+    uint64_t spans = 0;
+    uint64_t busy_ns = 0;
+  };
+
+  std::string TagName(uint64_t tag) const;
+
+  std::map<std::string, TypeState, std::less<>> by_type_;
+  std::map<std::string, StageState, std::less<>> by_stage_;
+  std::map<std::pair<uint64_t, uint64_t>, util::RunningStat> waits_;
+  std::map<uint64_t, std::string> tag_names_;
+  util::RobinHoodMap<context::NodeId, uint64_t> cost_by_ctxt_;
+  uint64_t txns_ = 0;
+  uint64_t errors_ = 0;
+};
+
+}  // namespace whodunit::obs::live
+
+#endif  // SRC_OBS_LIVE_AGGREGATOR_H_

@@ -1,0 +1,290 @@
+#include "src/obs/live/daemon.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/live/span_export.h"
+
+namespace whodunit::obs::live {
+namespace {
+
+std::string Fixed(double v, int decimals = 1) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void JsonEscapeInto(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << (c == '\n' ? ' ' : c);
+  }
+}
+
+}  // namespace
+
+Whodunitd::Whodunitd(sim::Scheduler& sched, LiveOptions options)
+    : sched_(sched),
+      options_(options),
+      ch_(sched),
+      obs_begun_(&Registry().GetCounter("live.txns_begun")),
+      obs_dropped_(&Registry().GetCounter("live.txns_dropped")),
+      obs_abandoned_(&Registry().GetCounter("live.txns_abandoned")),
+      obs_published_(&Registry().GetCounter("live.txns_published")),
+      obs_inflight_(&Registry().GetGauge("live.inflight_txns")) {
+  sim::Spawn(sched_, Pump());
+}
+
+Whodunitd::~Whodunitd() { Shutdown(); }
+
+sim::Process Whodunitd::Pump() {
+  for (;;) {
+    auto event = co_await ch_.Receive();
+    if (!event) {
+      break;
+    }
+    agg_.Ingest(*event);
+    recent_.push_back(std::move(*event));
+    if (recent_.size() > options_.span_ring) {
+      recent_.pop_front();
+    }
+  }
+}
+
+uint64_t Whodunitd::BeginTxn(std::string_view origin_stage, int64_t now) {
+  if (shutdown_ || builders_.size() >= options_.max_inflight) {
+    obs_dropped_->Add();
+    return 0;
+  }
+  obs_begun_->Add();
+  const uint64_t txn = next_txn_++;
+  Builder builder;
+  builder.event.txn_id = txn;
+  builder.event.origin_stage = std::string(origin_stage);
+  builder.event.start_ns = now;
+  builder.event.spans.push_back(
+      StageSpan{std::string(origin_stage), now, 0, /*parent=*/-1, /*link=*/0});
+  builder.open.push_back({0, 0});
+  builders_.Upsert(txn, std::move(builder));
+  obs_inflight_->Set(static_cast<int64_t>(builders_.size()));
+  return txn;
+}
+
+void Whodunitd::SetTxnType(uint64_t txn, std::string_view type) {
+  if (auto* b = builders_.Find(txn)) {
+    b->event.type = std::string(type);
+  }
+}
+
+void Whodunitd::SetTxnCtxt(uint64_t txn, context::NodeId ctxt) {
+  if (auto* b = builders_.Find(txn)) {
+    b->event.root_ctxt = ctxt;
+  }
+}
+
+void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now) {
+  auto* found = builders_.Find(txn);
+  if (found == nullptr) {
+    return;
+  }
+  Builder& b = *found;
+  // Parent = the open span that most recently sent this link; fall
+  // back to the innermost open span (its request is still pending).
+  int32_t parent = -1;
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
+    if (link != 0 && it->second == link) {
+      parent = it->first;
+      break;
+    }
+    if (parent < 0) {
+      parent = it->first;
+    }
+  }
+  const auto index = static_cast<int32_t>(b.event.spans.size());
+  b.event.spans.push_back(StageSpan{std::string(stage), now, 0, parent, link});
+  b.open.push_back({index, 0});
+}
+
+void Whodunitd::NoteSend(uint64_t txn, std::string_view stage, uint32_t link) {
+  auto* found = builders_.Find(txn);
+  if (found == nullptr) {
+    return;
+  }
+  Builder& b = *found;
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
+    if (b.event.spans[static_cast<size_t>(it->first)].stage == stage) {
+      it->second = link;
+      return;
+    }
+  }
+}
+
+void Whodunitd::EndSpan(uint64_t txn, std::string_view stage, int64_t now) {
+  auto* found = builders_.Find(txn);
+  if (found == nullptr) {
+    return;
+  }
+  Builder& b = *found;
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(it->first)];
+    if (span.stage == stage) {
+      span.duration_ns = now - span.start_ns;
+      b.open.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void Whodunitd::ErrorTxn(uint64_t txn) {
+  if (auto* b = builders_.Find(txn)) {
+    b->event.error = true;
+  }
+}
+
+void Whodunitd::CompleteTxn(uint64_t txn, int64_t now) {
+  auto* found = builders_.Find(txn);
+  if (found == nullptr) {
+    return;
+  }
+  Builder& b = *found;
+  for (const auto& [index, link] : b.open) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(index)];
+    span.duration_ns = now - span.start_ns;
+  }
+  b.open.clear();
+  b.event.end_ns = now;
+  obs_published_->Add();
+  ch_.Send(std::move(b.event));
+  builders_.Erase(txn);
+  obs_inflight_->Set(static_cast<int64_t>(builders_.size()));
+}
+
+Whodunitd::TopSnapshot Whodunitd::Top(size_t max_types, size_t max_contexts) const {
+  if (flush_hook_) {
+    flush_hook_();
+  }
+  TopSnapshot snap;
+  snap.as_of_ns = sched_.now();
+  snap.txns = agg_.txns();
+  snap.errors = agg_.errors();
+  snap.inflight = builders_.size();
+  snap.types = agg_.TypeRows();
+  if (snap.types.size() > max_types) {
+    snap.types.resize(max_types);
+  }
+  snap.stages = agg_.StageRows();
+  snap.crosstalk = agg_.CrosstalkRows();
+  snap.contexts = agg_.TopContexts(max_contexts);
+  return snap;
+}
+
+std::string Whodunitd::RenderTop(const TopSnapshot& snap) const {
+  std::ostringstream out;
+  out << "whodunitd — live transactional profile @ " << Fixed(snap.as_of_ns / 1e9) << "s"
+      << "   (" << snap.txns << " txns, " << snap.errors << " errors, " << snap.inflight
+      << " in flight)\n\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-26s %8s %5s %10s %10s %10s %10s\n", "TYPE", "COUNT",
+                "ERR", "MEAN(ms)", "P50(ms)", "P95(ms)", "P99(ms)");
+  out << line;
+  for (const auto& row : snap.types) {
+    std::snprintf(line, sizeof line, "  %-26s %8llu %5llu %10.2f %10.2f %10.2f %10.2f\n",
+                  row.type.c_str(), static_cast<unsigned long long>(row.count),
+                  static_cast<unsigned long long>(row.errors), row.mean_ms, row.p50_ms,
+                  row.p95_ms, row.p99_ms);
+    out << line;
+  }
+  out << "\n";
+  std::snprintf(line, sizeof line, "  %-26s %10s %14s\n", "STAGE", "SPANS", "BUSY(ms)");
+  out << line;
+  for (const auto& row : snap.stages) {
+    std::snprintf(line, sizeof line, "  %-26s %10llu %14.1f\n", row.stage.c_str(),
+                  static_cast<unsigned long long>(row.spans), row.busy_ms);
+    out << line;
+  }
+  out << "\n  CROSSTALK (waiter <- holder)" << (snap.crosstalk.empty() ? ": none\n" : "\n");
+  for (const auto& row : snap.crosstalk) {
+    std::snprintf(line, sizeof line, "  %-20s <- %-20s %8llu waits %10.2f ms mean\n",
+                  row.waiter.c_str(), row.holder.c_str(),
+                  static_cast<unsigned long long>(row.count), row.mean_wait_ms);
+    out << line;
+  }
+  if (!snap.contexts.empty()) {
+    out << "\n  TOP CONTEXTS BY CPU\n";
+    for (const auto& row : snap.contexts) {
+      const std::string name =
+          ctxt_namer_ ? ctxt_namer_(row.ctxt) : "ctxt_" + std::to_string(row.ctxt);
+      std::snprintf(line, sizeof line, "  %12.2f ms  %s\n",
+                    static_cast<double>(row.cost_ns) / 1e6, name.c_str());
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string Whodunitd::QueryJson(size_t max_types, size_t max_contexts) const {
+  const TopSnapshot snap = Top(max_types, max_contexts);
+  std::ostringstream out;
+  out << "{\"schema\":\"whodunit-live-v1\",\"as_of_ns\":" << snap.as_of_ns
+      << ",\"txns\":" << snap.txns << ",\"errors\":" << snap.errors
+      << ",\"inflight\":" << snap.inflight << ",\"types\":[";
+  for (size_t i = 0; i < snap.types.size(); ++i) {
+    const auto& row = snap.types[i];
+    out << (i ? "," : "") << "\n{\"type\":\"";
+    JsonEscapeInto(out, row.type);
+    out << "\",\"count\":" << row.count << ",\"errors\":" << row.errors
+        << ",\"mean_ms\":" << Fixed(row.mean_ms, 3) << ",\"p50_ms\":" << Fixed(row.p50_ms, 3)
+        << ",\"p95_ms\":" << Fixed(row.p95_ms, 3) << ",\"p99_ms\":" << Fixed(row.p99_ms, 3)
+        << "}";
+  }
+  out << "],\"stages\":[";
+  for (size_t i = 0; i < snap.stages.size(); ++i) {
+    const auto& row = snap.stages[i];
+    out << (i ? "," : "") << "\n{\"stage\":\"";
+    JsonEscapeInto(out, row.stage);
+    out << "\",\"spans\":" << row.spans << ",\"busy_ms\":" << Fixed(row.busy_ms, 3) << "}";
+  }
+  out << "],\"crosstalk\":[";
+  for (size_t i = 0; i < snap.crosstalk.size(); ++i) {
+    const auto& row = snap.crosstalk[i];
+    out << (i ? "," : "") << "\n{\"waiter\":\"";
+    JsonEscapeInto(out, row.waiter);
+    out << "\",\"holder\":\"";
+    JsonEscapeInto(out, row.holder);
+    out << "\",\"count\":" << row.count << ",\"mean_wait_ms\":" << Fixed(row.mean_wait_ms, 3)
+        << "}";
+  }
+  out << "],\"contexts\":[";
+  for (size_t i = 0; i < snap.contexts.size(); ++i) {
+    const auto& row = snap.contexts[i];
+    out << (i ? "," : "") << "\n{\"ctxt\":" << row.ctxt << ",\"cost_ns\":" << row.cost_ns
+        << ",\"name\":\"";
+    JsonEscapeInto(out, ctxt_namer_ ? ctxt_namer_(row.ctxt) : "ctxt_" + std::to_string(row.ctxt));
+    out << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::vector<TxnEvent> Whodunitd::RecentEvents() const {
+  return std::vector<TxnEvent>(recent_.begin(), recent_.end());
+}
+
+std::string Whodunitd::ExportSpansJson() const { return ExportChromeTrace(RecentEvents()); }
+
+void Whodunitd::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  obs_abandoned_->Add(builders_.size());
+  builders_.Clear();
+  obs_inflight_->Set(0);
+  ch_.Close();
+}
+
+}  // namespace whodunit::obs::live

@@ -1,0 +1,162 @@
+// Live transaction observability: the in-process aggregation daemon.
+//
+// Whodunitd ("whodunit daemon") closes the gap between the paper's
+// post-mortem reports and an always-on profiling service: while a run
+// is still in flight, every stage publishes its completed transactions
+// and the daemon maintains streaming state an operator can query at
+// any virtual time.
+//
+// Dataflow:
+//
+//   StageProfiler publish hooks ──► TxnBuilder table (in-flight txns)
+//          │ LiveComplete                    │ finished TxnEvent
+//          ▼                                 ▼
+//     sim::Channel<TxnEvent> ──► Pump coroutine ──► LiveAggregator
+//                                        │               ▲
+//                                        ▼               │ query API
+//                                 recent-event ring   whodunit_top,
+//                                 (span export)       QueryJson()
+//
+// Publication rides the same sim::Channel plumbing as application
+// messages, so ingest is ordered with the simulation and the daemon
+// observes transactions exactly when a real collector process would.
+// The query side (Top/RenderTop/QueryJson/ExportSpansJson) is the
+// "wire" API whodunit_top polls.
+#ifndef SRC_OBS_LIVE_DAEMON_H_
+#define SRC_OBS_LIVE_DAEMON_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/live/aggregator.h"
+#include "src/obs/live/txn_event.h"
+#include "src/obs/metrics.h"
+#include "src/sim/channel.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+#include "src/util/robin_hood.h"
+
+namespace whodunit::obs::live {
+
+struct LiveOptions {
+  // In-flight transaction cap; BeginTxn beyond it drops the txn (the
+  // daemon must never be the memory leak it is meant to expose).
+  size_t max_inflight = 4096;
+  // Completed events retained for span export, newest last.
+  size_t span_ring = 128;
+};
+
+class Whodunitd {
+ public:
+  explicit Whodunitd(sim::Scheduler& sched, LiveOptions options = {});
+  Whodunitd(const Whodunitd&) = delete;
+  Whodunitd& operator=(const Whodunitd&) = delete;
+  ~Whodunitd();
+
+  // Virtual time, for publishers that don't hold the scheduler.
+  int64_t now() const { return sched_.now(); }
+
+  // ---- Publish hooks (called by StageProfiler and apps) --------------
+  // Opens a transaction and its origin span; returns the live txn id
+  // (0 = dropped: over the in-flight cap). All later hooks no-op on 0.
+  uint64_t BeginTxn(std::string_view origin_stage, int64_t now);
+  void SetTxnType(uint64_t txn, std::string_view type);
+  void SetTxnCtxt(uint64_t txn, context::NodeId ctxt);
+  // Opens one stage's span for `txn`; `link` is the synopsis part on
+  // the message that carried the work here (0 = none).
+  void JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now);
+  // Records that the stage's open span sent a request carrying
+  // synopsis part `link` (joins link arrows at the receiver).
+  void NoteSend(uint64_t txn, std::string_view stage, uint32_t link);
+  // Closes the most recent open span of `stage` for `txn`.
+  void EndSpan(uint64_t txn, std::string_view stage, int64_t now);
+  void ErrorTxn(uint64_t txn);
+  // Closes any still-open spans, stamps the end time, and publishes
+  // the finished event to the aggregation channel.
+  void CompleteTxn(uint64_t txn, int64_t now);
+  // Direct streaming inputs that bypass the txn builder:
+  void AddCost(context::NodeId ctxt, uint64_t cost_ns) { agg_.AddCost(ctxt, cost_ns); }
+  void NameTag(uint64_t tag, std::string_view name) { agg_.NameTag(tag, name); }
+  void IngestWait(uint64_t waiter, uint64_t holder, uint64_t wait_ns) {
+    agg_.IngestWait(waiter, holder, wait_ns);
+  }
+
+  // Called before every query snapshot so stages can flush their
+  // batched per-thread cost accumulators (set by Deployment).
+  void set_flush_hook(std::function<void()> hook) { flush_hook_ = std::move(hook); }
+  // Renders an interned context NodeId for reports (set by the app's
+  // wiring; defaults to "ctxt_<id>").
+  void set_ctxt_namer(std::function<std::string(context::NodeId)> namer) {
+    ctxt_namer_ = std::move(namer);
+  }
+
+  // ---- Query API ------------------------------------------------------
+  struct TopSnapshot {
+    int64_t as_of_ns = 0;
+    uint64_t txns = 0;
+    uint64_t errors = 0;
+    uint64_t inflight = 0;
+    std::vector<LiveAggregator::TypeRow> types;
+    std::vector<LiveAggregator::StageRow> stages;
+    std::vector<LiveAggregator::PairRow> crosstalk;
+    std::vector<LiveAggregator::CtxtRow> contexts;
+  };
+  TopSnapshot Top(size_t max_types = 20, size_t max_contexts = 10) const;
+  // The refreshing whodunit_top table: per-type latency quantiles,
+  // stage throughput, crosstalk pairs, top contexts by cost.
+  std::string RenderTop(const TopSnapshot& snap) const;
+  std::string RenderTop(size_t max_types = 20, size_t max_contexts = 10) const {
+    return RenderTop(Top(max_types, max_contexts));
+  }
+  // The same snapshot as machine-readable JSON (schema in
+  // docs/OBSERVABILITY.md).
+  std::string QueryJson(size_t max_types = 20, size_t max_contexts = 10) const;
+  // Chrome trace JSON of the retained completed transactions.
+  std::string ExportSpansJson() const;
+  std::vector<TxnEvent> RecentEvents() const;
+
+  const LiveAggregator& aggregator() const { return agg_; }
+  uint64_t inflight() const { return builders_.size(); }
+
+  // Closes the publish channel so the pump coroutine drains and exits;
+  // call before the final scheduler drain at end of run. In-flight
+  // (never completed) transactions are dropped and counted.
+  void Shutdown();
+
+ private:
+  struct Builder {
+    TxnEvent event;
+    // Open spans, innermost last: (index into event.spans, last
+    // request link the span sent — joins arrows at the receiver).
+    std::vector<std::pair<int32_t, uint32_t>> open;
+  };
+
+  sim::Process Pump();
+
+  sim::Scheduler& sched_;
+  LiveOptions options_;
+  sim::Channel<TxnEvent> ch_;
+  LiveAggregator agg_;
+  util::RobinHoodMap<uint64_t, Builder> builders_;
+  std::deque<TxnEvent> recent_;
+  uint64_t next_txn_ = 1;
+  bool shutdown_ = false;
+  std::function<void()> flush_hook_;
+  std::function<std::string(context::NodeId)> ctxt_namer_;
+
+  Counter* obs_begun_;
+  Counter* obs_dropped_;
+  Counter* obs_abandoned_;
+  Counter* obs_published_;
+  Gauge* obs_inflight_;
+};
+
+}  // namespace whodunit::obs::live
+
+#endif  // SRC_OBS_LIVE_DAEMON_H_

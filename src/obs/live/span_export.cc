@@ -1,0 +1,103 @@
+#include "src/obs/live/span_export.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace whodunit::obs::live {
+namespace {
+
+// Virtual-time ns -> trace-format microseconds, fixed three decimals
+// so the output is byte-stable for golden tests.
+std::string Micros(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+void EscapeInto(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
+  // One track per stage, numbered by first appearance across events.
+  std::map<std::string, int> tids;
+  auto tid_of = [&](const std::string& stage) {
+    auto it = tids.find(stage);
+    if (it == tids.end()) {
+      it = tids.emplace(stage, static_cast<int>(tids.size())).first;
+    }
+    return it->second;
+  };
+  for (const TxnEvent& ev : events) {
+    for (const StageSpan& span : ev.spans) {
+      tid_of(span.stage);
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& body) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n{";
+    body();
+    out << "}";
+  };
+
+  for (const auto& [stage, tid] : tids) {
+    emit([&] {
+      out << "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"";
+      EscapeInto(out, stage);
+      out << "\"}";
+    });
+  }
+
+  uint64_t flow_id = 0;
+  for (const TxnEvent& ev : events) {
+    for (size_t i = 0; i < ev.spans.size(); ++i) {
+      const StageSpan& span = ev.spans[i];
+      const int tid = tid_of(span.stage);
+      emit([&] {
+        out << "\"name\":\"";
+        EscapeInto(out, ev.type.empty() ? std::string("txn") : ev.type);
+        out << "\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+            << ",\"ts\":" << Micros(span.start_ns) << ",\"dur\":" << Micros(span.duration_ns)
+            << ",\"args\":{\"txn\":" << ev.txn_id << ",\"stage\":\"";
+        EscapeInto(out, span.stage);
+        out << "\",\"ctxt\":" << ev.root_ctxt << "}";
+      });
+      // Request edge: an arrow from the sending span's track to this
+      // span's start, labeled with the synopsis part that linked them.
+      if (span.parent >= 0 && static_cast<size_t>(span.parent) < ev.spans.size()) {
+        const StageSpan& parent = ev.spans[static_cast<size_t>(span.parent)];
+        const uint64_t id = ++flow_id;
+        emit([&] {
+          out << "\"name\":\"synopsis_" << span.link << "\",\"cat\":\"flow\",\"ph\":\"s\","
+              << "\"pid\":1,\"tid\":" << tid_of(parent.stage) << ",\"ts\":"
+              << Micros(span.start_ns) << ",\"id\":" << id;
+        });
+        emit([&] {
+          out << "\"name\":\"synopsis_" << span.link << "\",\"cat\":\"flow\",\"ph\":\"f\","
+              << "\"bp\":\"e\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+              << Micros(span.start_ns) << ",\"id\":" << id;
+        });
+      }
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace whodunit::obs::live

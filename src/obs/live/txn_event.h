@@ -1,0 +1,54 @@
+// Live transaction observability: the event a stage publishes when a
+// transaction it originated completes.
+//
+// A TxnEvent is the streaming counterpart of the post-mortem stitched
+// profile (src/profiler/stitcher): one completed end-to-end
+// transaction with its per-stage timeline. Stages assemble the event
+// incrementally through the Whodunitd publish hooks (daemon.h) and
+// the finished event crosses to the aggregation daemon over a
+// sim::Channel — the same conduit type every other inter-stage
+// message uses, so publication is part of the simulated run rather
+// than an out-of-band peek.
+#ifndef SRC_OBS_LIVE_TXN_EVENT_H_
+#define SRC_OBS_LIVE_TXN_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/context/context_tree.h"
+
+namespace whodunit::obs::live {
+
+// One stage's contiguous stretch of work for a transaction. A stage
+// that is visited repeatedly (a SEDA stage once per object) produces
+// one span per visit.
+struct StageSpan {
+  std::string stage;        // stage name ("squid", "mysql", "WriteStage")
+  int64_t start_ns = 0;     // virtual time
+  int64_t duration_ns = 0;
+  // Index (into TxnEvent::spans) of the span whose send caused this
+  // one, -1 for the origin span. Drives the flow arrows in the Chrome
+  // trace export.
+  int32_t parent = -1;
+  // Synopsis part piggy-backed on the message that started this span
+  // (0 = none): the send/receive link the arrows are labeled with.
+  uint32_t link = 0;
+};
+
+struct TxnEvent {
+  uint64_t txn_id = 0;
+  std::string type;           // transaction type ("BestSellers", "cache_miss")
+  std::string origin_stage;   // stage that began the transaction
+  // Interned context-tree node of the origin at completion time; the
+  // aggregator's top-N context table keys on NodeIds like this.
+  context::NodeId root_ctxt = context::kEmptyContext;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  bool error = false;
+  std::vector<StageSpan> spans;
+};
+
+}  // namespace whodunit::obs::live
+
+#endif  // SRC_OBS_LIVE_TXN_EVENT_H_

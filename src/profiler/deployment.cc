@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/context/context_tree.h"
+#include "src/obs/live/daemon.h"
 #include "src/profiler/stage_profiler.h"
 
 namespace whodunit::profiler {
@@ -46,7 +48,31 @@ std::string Deployment::DescribeSynopsis(const context::Synopsis& synopsis) cons
 
 StageProfiler& Deployment::AddStage(std::unique_ptr<StageProfiler> stage) {
   stages_.push_back(std::move(stage));
+  stages_.back()->AttachLive(live_);
   return *stages_.back();
+}
+
+void Deployment::AttachLive(obs::live::Whodunitd* live) {
+  live_ = live;
+  for (const auto& stage : stages_) {
+    stage->AttachLive(live);
+  }
+  if (live == nullptr) {
+    return;
+  }
+  live->set_flush_hook([this] { FlushLiveCosts(); });
+  live->set_ctxt_namer([this](context::NodeId node) {
+    if (node == context::kEmptyContext) {
+      return std::string("(origin)");
+    }
+    return DescribeContext(context::GlobalContextTree().Materialize(node));
+  });
+}
+
+void Deployment::FlushLiveCosts() {
+  for (const auto& stage : stages_) {
+    stage->FlushLive();
+  }
 }
 
 }  // namespace whodunit::profiler

@@ -22,6 +22,10 @@
 #include "src/context/synopsis.h"
 #include "src/context/transaction_context.h"
 
+namespace whodunit::obs::live {
+class Whodunitd;
+}  // namespace whodunit::obs::live
+
 namespace whodunit::profiler {
 
 class StageProfiler;
@@ -53,12 +57,23 @@ class Deployment {
   StageProfiler& AddStage(std::unique_ptr<StageProfiler> stage);
   const std::vector<std::unique_ptr<StageProfiler>>& stages() const { return stages_; }
 
+  // ---- Live observability (src/obs/live) ------------------------------
+  // Attaches the aggregation daemon to every stage (current and
+  // future), wires the daemon's pre-query flush hook to
+  // FlushLiveCosts, and gives it a context namer backed by this
+  // deployment's dictionaries. Pass nullptr to detach.
+  void AttachLive(obs::live::Whodunitd* live);
+  obs::live::Whodunitd* live() const { return live_; }
+  // Publishes every stage's batched per-thread CPU costs to the daemon.
+  void FlushLiveCosts();
+
  private:
   callpath::FunctionRegistry functions_;
   callpath::CallPathTable paths_;
   context::SynopsisDictionary synopses_;
   ElementNamer element_namer_;
   std::vector<std::unique_ptr<StageProfiler>> stages_;
+  obs::live::Whodunitd* live_ = nullptr;
 };
 
 }  // namespace whodunit::profiler

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/live/daemon.h"
 #include "src/obs/metrics.h"
 
 namespace whodunit::profiler {
@@ -60,6 +61,11 @@ sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) 
     const uint64_t fired = tp.sampler_.samples_taken() - before;
     total += static_cast<sim::SimTime>(fired) * options_.costs.per_sample;
   }
+  // Live observability: batch the app cost against the thread's current
+  // context node; UpdateCct / FlushLive publish the batch.
+  if (live_ != nullptr) {
+    tp.live_cost_acc_ += app_cost;
+  }
   return total;
 }
 
@@ -100,6 +106,9 @@ context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_resp
         wire, ThreadProfile::SavedState{tp.incoming_, tp.local_node_});
   }
   ++tp.uncharged_messages_;
+  if (live_ != nullptr && tp.live_txn_ != 0) {
+    live_->NoteSend(tp.live_txn_, options_.name, part);
+  }
   return wire;
 }
 
@@ -150,6 +159,90 @@ const context::Synopsis& StageProfiler::SynopsisOfCtxtId(uint32_t ctxt_id) const
 
 uint64_t StageProfiler::CrosstalkTag(ThreadProfile& tp) {
   return InternCtxt(ComputeLabel(tp));
+}
+
+uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
+  if (live_ == nullptr || !TracksTransactions(options_.mode)) {
+    return 0;
+  }
+  FlushLiveCost(tp);
+  tp.live_txn_ = live_->BeginTxn(options_.name, live_->now());
+  if (tp.live_txn_ != 0 && !type.empty()) {
+    live_->SetTxnType(tp.live_txn_, type);
+  }
+  return tp.live_txn_;
+}
+
+void StageProfiler::LiveJoin(ThreadProfile& tp, uint64_t txn) {
+  if (live_ == nullptr) {
+    return;
+  }
+  FlushLiveCost(tp);
+  tp.live_txn_ = txn;
+  tp.live_ctxt_node_ = LiveCtxtNode(tp);
+  if (txn == 0) {
+    return;
+  }
+  const uint32_t link = tp.incoming_.parts.empty() ? 0 : tp.incoming_.parts.back();
+  live_->JoinSpan(txn, options_.name, link, live_->now());
+}
+
+void StageProfiler::LiveLeave(ThreadProfile& tp) {
+  if (live_ == nullptr) {
+    return;
+  }
+  FlushLiveCost(tp);
+  if (tp.live_txn_ != 0) {
+    live_->EndSpan(tp.live_txn_, options_.name, live_->now());
+  }
+  tp.live_txn_ = 0;
+}
+
+void StageProfiler::LiveComplete(ThreadProfile& tp, bool error) {
+  if (live_ == nullptr) {
+    return;
+  }
+  FlushLiveCost(tp);
+  if (tp.live_txn_ != 0) {
+    if (error) {
+      live_->ErrorTxn(tp.live_txn_);
+    }
+    live_->SetTxnCtxt(tp.live_txn_, tp.live_ctxt_node_);
+    live_->CompleteTxn(tp.live_txn_, live_->now());
+  }
+  tp.live_txn_ = 0;
+}
+
+void StageProfiler::LiveType(ThreadProfile& tp, std::string_view type) {
+  if (live_ != nullptr && tp.live_txn_ != 0) {
+    live_->SetTxnType(tp.live_txn_, type);
+  }
+}
+
+void StageProfiler::FlushLive() {
+  for (const auto& tp : threads_) {
+    FlushLiveCost(*tp);
+  }
+}
+
+context::NodeId StageProfiler::LiveCtxtNode(const ThreadProfile& tp) const {
+  context::ContextTree& tree = context::GlobalContextTree();
+  context::NodeId node = context::kEmptyContext;
+  for (uint32_t part : tp.incoming_.parts) {
+    node = tree.Concat(node, deployment_.synopses().LookupNode(part));
+  }
+  if (tp.local_node_ != context::kEmptyContext) {
+    node = tree.Concat(node, tp.local_node_);
+  }
+  return node;
+}
+
+void StageProfiler::FlushLiveCost(ThreadProfile& tp) {
+  if (live_ == nullptr || tp.live_cost_acc_ == 0) {
+    return;
+  }
+  live_->AddCost(tp.live_ctxt_node_, static_cast<uint64_t>(tp.live_cost_acc_));
+  tp.live_cost_acc_ = 0;
 }
 
 void StageProfiler::AccountMessage(size_t payload_bytes, size_t context_bytes) {
@@ -274,9 +367,16 @@ void StageProfiler::UpdateCct(ThreadProfile& tp) {
   }
   static obs::Counter& obs_switches = obs::Registry().GetCounter("profiler.cct_switches");
   obs_switches.Add();
+  if (live_ != nullptr) {
+    // Costs batched so far belong to the outgoing context.
+    FlushLiveCost(tp);
+  }
   tp.current_label_ = label;
   tp.label_valid_ = true;
   tp.stack_.AttachCct(&CctFor(label));
+  if (live_ != nullptr) {
+    tp.live_ctxt_node_ = LiveCtxtNode(tp);
+  }
 }
 
 context::Synopsis StageProfiler::FullSynopsis(ThreadProfile& tp) {

@@ -35,6 +35,10 @@
 #include "src/profiler/deployment.h"
 #include "src/sim/time.h"
 
+namespace whodunit::obs::live {
+class Whodunitd;
+}  // namespace whodunit::obs::live
+
 namespace whodunit::profiler {
 
 // Profiling state of one simulated thread of control (a worker thread,
@@ -75,6 +79,12 @@ class ThreadProfile {
   bool label_valid_ = false;
   uint64_t uncharged_pushes_ = 0;
   uint64_t uncharged_messages_ = 0;
+  // Live-observability state: the daemon transaction this thread is
+  // currently executing, the interned full-context node the thread's
+  // CPU charges accrue to, and the batched not-yet-published cost.
+  uint64_t live_txn_ = 0;
+  context::NodeId live_ctxt_node_ = context::kEmptyContext;
+  sim::SimTime live_cost_acc_ = 0;
 };
 
 class StageProfiler {
@@ -169,6 +179,34 @@ class StageProfiler {
   // generators join crosstalk rows with CCT labels.
   uint64_t TagForLabel(const context::Synopsis& label) { return InternCtxt(label); }
 
+  // ---- Live observability (src/obs/live) ------------------------------
+  // When a Whodunitd is attached (normally via Deployment::AttachLive),
+  // the stage publishes transaction lifecycle events and batched CPU
+  // costs to it. All hooks are no-ops when detached — a single null
+  // check on the publish path.
+  void AttachLive(obs::live::Whodunitd* live) { live_ = live; }
+  obs::live::Whodunitd* live() const { return live_; }
+  // Origin stage: opens a live transaction of the given type on this
+  // thread (call after ResetTransaction). Returns the live txn id to
+  // thread through the app's messages (0 = daemon off or overloaded).
+  uint64_t LiveBegin(ThreadProfile& tp, std::string_view type);
+  // Non-origin stage: joins the thread to a transaction carried here
+  // by a message (call after OnReceive; the innermost incoming synopsis
+  // part becomes the span's link).
+  void LiveJoin(ThreadProfile& tp, uint64_t txn);
+  // Closes this stage's span (the thread is done with the txn here).
+  void LiveLeave(ThreadProfile& tp);
+  // Origin stage, transaction finished end-to-end: publishes it.
+  void LiveComplete(ThreadProfile& tp, bool error = false);
+  // Re-labels the thread's current live transaction (e.g. once a cache
+  // stage knows hit vs. miss).
+  void LiveType(ThreadProfile& tp, std::string_view type);
+  uint64_t live_txn(const ThreadProfile& tp) const { return tp.live_txn_; }
+  // Publishes every thread's batched CPU cost to the daemon; the
+  // daemon invokes this (via Deployment's flush hook) before answering
+  // a query so snapshots are current.
+  void FlushLive();
+
   // ---- Message byte accounting (§9.1) ---------------------------------
   void AccountMessage(size_t payload_bytes, size_t context_bytes);
   uint64_t payload_bytes_sent() const { return payload_bytes_; }
@@ -199,12 +237,17 @@ class StageProfiler {
   callpath::CallingContextTree& CctFor(const context::Synopsis& label);
   context::Synopsis ComputeLabel(const ThreadProfile& tp);
   void UpdateCct(ThreadProfile& tp);
+  // Interned full-context node (incoming parts ++ local elements) the
+  // thread's live CPU costs are attributed to.
+  context::NodeId LiveCtxtNode(const ThreadProfile& tp) const;
+  void FlushLiveCost(ThreadProfile& tp);
   // The thread's full context including its current call path.
   context::Synopsis FullSynopsis(ThreadProfile& tp);
   uint32_t InternCtxt(const context::Synopsis& synopsis);
 
   Deployment& deployment_;
   Options options_;
+  obs::live::Whodunitd* live_ = nullptr;
   std::vector<std::unique_ptr<ThreadProfile>> threads_;
   std::unordered_map<context::Synopsis, std::unique_ptr<callpath::CallingContextTree>,
                      context::SynopsisHash>

@@ -77,4 +77,40 @@ double SampleSet::Quantile(double q) const {
   return samples_[std::min(idx, samples_.size() - 1)];
 }
 
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (nearest-rank on the bucketed CDF).
+  const double target = q * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double first = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (target < static_cast<double>(seen)) {
+      // Interpolate between the bucket's bounds by the rank's position
+      // inside the bucket.
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = i + 1 < kBuckets ? static_cast<double>(BucketLowerBound(i + 1))
+                                         : lo * 2.0;
+      const double frac =
+          buckets_[i] > 1 ? (target - first) / static_cast<double>(buckets_[i] - 1) : 0.5;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return static_cast<double>(BucketLowerBound(kBuckets - 1));
+}
+
 }  // namespace whodunit::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+
 namespace whodunit::util {
 namespace {
 
@@ -90,6 +92,86 @@ TEST(SampleSetTest, AddAfterQuantileResorts) {
   s.Add(1.0);
   EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.Quantile(1.0), 9.0);
+}
+
+TEST(LogHistogramTest, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram h;
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LogHistogram::BucketOf(v), v);
+    EXPECT_EQ(LogHistogram::BucketLowerBound(v), v);
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+}
+
+TEST(LogHistogramTest, BucketGeometryIsMonotone) {
+  // Lower bounds strictly increase and every value maps into the
+  // bucket whose range contains it.
+  for (size_t i = 1; i < LogHistogram::kBuckets; ++i) {
+    EXPECT_LT(LogHistogram::BucketLowerBound(i - 1),
+              LogHistogram::BucketLowerBound(i))
+        << "bucket " << i;
+  }
+  for (size_t i = 0; i + 1 < LogHistogram::kBuckets; ++i) {
+    const uint64_t lo = LogHistogram::BucketLowerBound(i);
+    EXPECT_EQ(LogHistogram::BucketOf(lo), i);
+    EXPECT_EQ(LogHistogram::BucketOf(LogHistogram::BucketLowerBound(i + 1) - 1),
+              i);
+  }
+}
+
+TEST(LogHistogramTest, QuantileErrorIsBounded) {
+  // Against the exact SampleSet on a heavy-tailed stream: the
+  // sub-bucket geometry bounds relative error at 12.5% (plus
+  // interpolation slack — allow 15%).
+  LogHistogram h;
+  SampleSet exact;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = 100 + (rng.NextU64() % 1000) * (rng.NextU64() % 1000);
+    h.Add(v);
+    exact.Add(static_cast<double>(v));
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double want = exact.Quantile(q);
+    const double got = h.Quantile(q);
+    EXPECT_NEAR(got, want, want * 0.15) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, MergeOfHalvesMatchesWhole) {
+  LogHistogram whole, a, b;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextU64() % 1000000;
+    whole.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.buckets(), whole.buckets());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), whole.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), whole.Quantile(0.99));
+}
+
+TEST(LogHistogramTest, WeightedAdd) {
+  LogHistogram h;
+  h.Add(100, 7);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 700.0);
+  // All mass in one bucket: every quantile lands inside its range.
+  const size_t idx = LogHistogram::BucketOf(100);
+  EXPECT_GE(h.Quantile(0.5), LogHistogram::BucketLowerBound(idx));
+  EXPECT_LE(h.Quantile(0.5), LogHistogram::BucketLowerBound(idx + 1));
 }
 
 }  // namespace
