@@ -8,6 +8,7 @@
 //     and peaks close to 3x higher (paper: 3376 vs 1184 tx/min).
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/bookstore/bookstore.h"
@@ -19,20 +20,36 @@ int main() {
       "paper: no-cache saturates ~200 clients at 1184; caching scales to ~450\n"
       "clients and peaks at 3376 (~2.85x)");
 
+  // Fixed job list, run on $BENCH_THREADS workers (bench_util.h);
+  // results print in job order, so output is thread-count-invariant.
+  struct Job {
+    int clients;
+    bool cached;
+  };
+  std::vector<Job> jobs;
+  for (int clients : {50, 100, 150, 200, 250, 300, 350, 400, 450, 500}) {
+    jobs.push_back({clients, false});
+    jobs.push_back({clients, true});
+  }
+  const auto results = bench::RunJobs(jobs.size(), [&jobs](size_t i) {
+    apps::BookstoreOptions options;
+    options.clients = jobs[i].clients;
+    options.duration = sim::Seconds(1800);
+    options.warmup = sim::Seconds(300);
+    options.servlet_caching = jobs[i].cached;
+    options.shards = bench::BenchShards();
+    return apps::RunBookstore(options);
+  });
+
   double peak_plain = 0, peak_cached = 0;
   std::printf("%7s | %12s | %12s\n", "clients", "original", "caching");
   std::printf("--------+--------------+-------------\n");
-  for (int clients : {50, 100, 150, 200, 250, 300, 350, 400, 450, 500}) {
-    apps::BookstoreOptions base;
-    base.clients = clients;
-    base.duration = sim::Seconds(1800);
-    base.warmup = sim::Seconds(300);
-    apps::BookstoreResult plain = apps::RunBookstore(base);
-    base.servlet_caching = true;
-    apps::BookstoreResult cached = apps::RunBookstore(base);
+  for (size_t i = 0; i + 1 < jobs.size(); i += 2) {
+    const apps::BookstoreResult& plain = results[i];
+    const apps::BookstoreResult& cached = results[i + 1];
     peak_plain = std::max(peak_plain, plain.throughput_tpm);
     peak_cached = std::max(peak_cached, cached.throughput_tpm);
-    std::printf("%7d | %12.0f | %12.0f\n", clients, plain.throughput_tpm,
+    std::printf("%7d | %12.0f | %12.0f\n", jobs[i].clients, plain.throughput_tpm,
                 cached.throughput_tpm);
   }
   std::printf("\npeak throughput: original %.0f tx/min (paper: 1184), caching %.0f\n"

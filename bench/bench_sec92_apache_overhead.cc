@@ -16,15 +16,20 @@ int main() {
   using namespace whodunit;
   bench::Header("Section 9.2: Whodunit overhead on Apache (minihttpd)");
 
-  apps::MinihttpdOptions options;
-  options.clients = 64;
-  options.workers = 8;
-  options.duration = sim::Seconds(30);
-
-  options.mode = callpath::ProfilerMode::kNone;
-  apps::MinihttpdResult off = apps::RunMinihttpd(options);
-  options.mode = callpath::ProfilerMode::kWhodunit;
-  apps::MinihttpdResult on = apps::RunMinihttpd(options);
+  // Two jobs (unprofiled, profiled) on $BENCH_THREADS workers.
+  const callpath::ProfilerMode modes[] = {callpath::ProfilerMode::kNone,
+                                          callpath::ProfilerMode::kWhodunit};
+  const auto results = bench::RunJobs(2, [&modes](size_t i) {
+    apps::MinihttpdOptions options;
+    options.clients = 64;
+    options.workers = 8;
+    options.duration = sim::Seconds(30);
+    options.mode = modes[i];
+    options.shards = bench::BenchShards();
+    return apps::RunMinihttpd(options);
+  });
+  const apps::MinihttpdResult& off = results[0];
+  const apps::MinihttpdResult& on = results[1];
 
   std::printf("normal execution:   %8.2f Mb/s   (paper: 393.64 Mb/s)\n", off.throughput_mbps);
   std::printf("profiled (Whodunit):%8.2f Mb/s   (paper: 384.58 Mb/s)\n", on.throughput_mbps);

@@ -15,35 +15,39 @@ int main() {
   using namespace whodunit;
   bench::Header("Section 9.3: Whodunit overhead on Squid and Haboob");
 
-  {
-    apps::MiniproxyOptions options;
-    options.clients = 64;
-    options.duration = sim::Seconds(30);
-    options.mode = callpath::ProfilerMode::kNone;
-    apps::MiniproxyResult off = apps::RunMiniproxy(options);
-    options.mode = callpath::ProfilerMode::kWhodunit;
-    apps::MiniproxyResult on = apps::RunMiniproxy(options);
-    std::printf("Squid   unprofiled: %8.2f Mb/s   (paper: 262.27 Mb/s)\n",
-                off.throughput_mbps);
-    std::printf("Squid   profiled:   %8.2f Mb/s   (paper: 247.85 Mb/s)\n",
-                on.throughput_mbps);
-    std::printf("Squid   overhead:   %8.2f %%     (paper: 5.5%%)\n\n",
-                100.0 * (off.throughput_mbps - on.throughput_mbps) / off.throughput_mbps);
-  }
-  {
+  // Four jobs (Squid off/on, Haboob off/on) on $BENCH_THREADS workers.
+  // Jobs return only the throughput, so one job list covers both apps.
+  const callpath::ProfilerMode modes[] = {callpath::ProfilerMode::kNone,
+                                          callpath::ProfilerMode::kWhodunit};
+  const auto results = bench::RunJobs(4, [&modes](size_t i) {
+    if (i < 2) {
+      apps::MiniproxyOptions options;
+      options.clients = 64;
+      options.duration = sim::Seconds(30);
+      options.mode = modes[i];
+      options.shards = bench::BenchShards();
+      return apps::RunMiniproxy(options).throughput_mbps;
+    }
     apps::SedaServerOptions options;
     options.clients = 64;
     options.duration = sim::Seconds(30);
-    options.mode = callpath::ProfilerMode::kNone;
-    apps::SedaServerResult off = apps::RunSedaServer(options);
-    options.mode = callpath::ProfilerMode::kWhodunit;
-    apps::SedaServerResult on = apps::RunSedaServer(options);
-    std::printf("Haboob  unprofiled: %8.2f Mb/s   (paper: 31.16 Mb/s)\n",
-                off.throughput_mbps);
-    std::printf("Haboob  profiled:   %8.2f Mb/s   (paper: 29.84 Mb/s)\n",
-                on.throughput_mbps);
+    options.mode = modes[i - 2];
+    options.shards = bench::BenchShards();
+    return apps::RunSedaServer(options).throughput_mbps;
+  });
+  {
+    const double off = results[0], on = results[1];
+    std::printf("Squid   unprofiled: %8.2f Mb/s   (paper: 262.27 Mb/s)\n", off);
+    std::printf("Squid   profiled:   %8.2f Mb/s   (paper: 247.85 Mb/s)\n", on);
+    std::printf("Squid   overhead:   %8.2f %%     (paper: 5.5%%)\n\n",
+                100.0 * (off - on) / off);
+  }
+  {
+    const double off = results[2], on = results[3];
+    std::printf("Haboob  unprofiled: %8.2f Mb/s   (paper: 31.16 Mb/s)\n", off);
+    std::printf("Haboob  profiled:   %8.2f Mb/s   (paper: 29.84 Mb/s)\n", on);
     std::printf("Haboob  overhead:   %8.2f %%     (paper: 4.2%%)\n",
-                100.0 * (off.throughput_mbps - on.throughput_mbps) / off.throughput_mbps);
+                100.0 * (off - on) / off);
   }
   whodunit::bench::DumpMetrics("sec93_proxy_seda_overhead");
   return 0;

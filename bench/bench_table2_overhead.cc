@@ -10,6 +10,7 @@
 //   * transaction-context synopses are ~1% of the bytes moved between
 //     stages (paper: 0.95 MB vs 92.52 MB at peak throughput).
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_util.h"
 #include "src/apps/bookstore/bookstore.h"
@@ -30,19 +31,27 @@ int main() {
       {"gprof", callpath::ProfilerMode::kGprof, 898},
   };
 
+  // One job per profiler mode, run on $BENCH_THREADS workers
+  // (bench_util.h); results print in job order.
+  const auto results = bench::RunJobs(std::size(rows), [&rows](size_t i) {
+    apps::BookstoreOptions options;
+    options.mode = rows[i].mode;
+    // Saturated (the peak of the Figure 12 curve is the DB capacity).
+    options.clients = 300;
+    options.duration = sim::Seconds(1800);
+    options.warmup = sim::Seconds(300);
+    options.shards = bench::BenchShards();
+    return apps::RunBookstore(options);
+  });
+
   double none_tpm = 0;
   uint64_t whodunit_payload = 0, whodunit_context = 0;
   std::printf("%-12s | %10s | %10s | %s\n", "profiler", "paper", "measured",
               "drop vs none");
   std::printf("-------------+------------+------------+-------------\n");
-  for (const ModeRow& row : rows) {
-    apps::BookstoreOptions options;
-    options.mode = row.mode;
-    // Saturated (the peak of the Figure 12 curve is the DB capacity).
-    options.clients = 300;
-    options.duration = sim::Seconds(1800);
-    options.warmup = sim::Seconds(300);
-    apps::BookstoreResult r = apps::RunBookstore(options);
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const ModeRow& row = rows[i];
+    const apps::BookstoreResult& r = results[i];
     if (row.mode == callpath::ProfilerMode::kNone) {
       none_tpm = r.throughput_tpm;
     }

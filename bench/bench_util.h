@@ -11,8 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/sim/parallel_runner.h"
 
 namespace whodunit::bench {
 
@@ -23,6 +28,51 @@ inline void Header(const char* title) {
 }
 
 inline void Note(const char* text) { std::printf("%s\n", text); }
+
+// ---- Parallel execution knobs (docs/PERFORMANCE.md) -------------------
+//
+// $BENCH_THREADS sets the PHYSICAL parallelism of a bench's job list
+// (default 1 = today's serial behavior). The job list itself is fixed,
+// results print in job order, and per-job metrics fold into the
+// process registry in job order — so bench output and metrics dumps
+// are byte-identical for any thread count.
+//
+// $BENCH_SHARDS sets the LOGICAL shard count passed to apps that
+// support shard-parallel runs (default 1). Shard count is part of the
+// workload definition: changing it changes the numbers (documented in
+// docs/PERFORMANCE.md), which is why it is a separate knob.
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') {
+    return fallback;
+  }
+  const int n = std::atoi(v);
+  return n < 1 ? fallback : n;
+}
+
+inline int BenchThreads() { return EnvInt("BENCH_THREADS", 1); }
+inline int BenchShards() { return EnvInt("BENCH_SHARDS", 1); }
+
+// Runs jobs 0..count-1 (each `fn(job)` returning a result) on
+// BenchThreads() workers, each job in its own shard environment
+// (sim::ShardEnv: private metrics registry, trace ring, context
+// tree). Returns results in job order, after folding each job's
+// metrics into the process registry in that same order.
+template <typename Fn>
+auto RunJobs(size_t count, Fn&& fn) {
+  auto runs = sim::ParallelRunner::Run(
+      count, static_cast<size_t>(BenchThreads()),
+      [&fn](size_t job, sim::ShardEnv&) { return fn(job); });
+  using R = std::decay_t<decltype(fn(size_t{0}))>;
+  std::vector<R> out;
+  out.reserve(runs.size());
+  for (auto& run : runs) {
+    run.env->FoldMetricsInto(obs::Registry());
+    out.push_back(std::move(run.result));
+  }
+  return out;
+}
 
 // Directory metric dumps land in: $WHODUNIT_METRICS_DIR when set
 // (scripts/run_benches.sh points it at the run's workdir), otherwise

@@ -21,6 +21,13 @@ while getopts "B:n:" opt; do
   esac
 done
 
+# The gate compares against a baseline recorded serially; pin the
+# parallelism knobs so an inherited BENCH_THREADS/BENCH_SHARDS cannot
+# skew the fresh measurement (bench/bench_util.h).
+BENCH_THREADS=${BENCH_THREADS:-1}
+BENCH_SHARDS=${BENCH_SHARDS:-1}
+export BENCH_THREADS BENCH_SHARDS
+
 baseline="$repo_root/bench/baselines/BENCH_table3_emulation.json"
 if [ ! -f "$baseline" ]; then
   echo "check_perf: no committed baseline at $baseline; run scripts/run_benches.sh first" >&2

@@ -9,6 +9,17 @@
 #
 # Usage: scripts/run_benches.sh [-n RUNS] [-B BUILD_DIR] [-o OUT_DIR] [bench_name ...]
 #   bench_name defaults to every build/bench/bench_* binary.
+#
+# $BENCH_THREADS (default 1) sets each bench's job-list parallelism
+# and $BENCH_SHARDS (default 1) the apps' logical shard count
+# (bench/bench_util.h); both are recorded in the output JSON. Baselines
+# are recorded at 1/1 — bump the knobs only for scaling experiments,
+# not for committed baselines.
+#
+# Output is atomic: BENCH_*.json files are staged in the workdir and
+# only moved into OUT_DIR after every bench has succeeded, so a bench
+# failing mid-suite can never leave OUT_DIR with a half-updated mix of
+# fresh and stale files.
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -58,6 +69,17 @@ trap 'rm -rf "$workdir"' EXIT
 WHODUNIT_METRICS_DIR="$workdir"
 export WHODUNIT_METRICS_DIR
 
+# Parallelism knobs, threaded through to the bench binaries
+# (bench/bench_util.h) and recorded in the output JSON.
+BENCH_THREADS=${BENCH_THREADS:-1}
+BENCH_SHARDS=${BENCH_SHARDS:-1}
+export BENCH_THREADS BENCH_SHARDS
+
+# Finished JSONs are staged here and promoted to $out_dir only once
+# the whole suite has passed.
+staging="$workdir/staged"
+mkdir -p "$staging"
+
 for bench in $benches; do
   bin="$bench_dir/$bench"
   if [ ! -x "$bin" ]; then
@@ -70,6 +92,10 @@ for bench in $benches; do
   # stripped (bench_util.h: DumpMetrics("table3_emulation")).
   name=${bench#bench_}
   echo "== $bench ($runs runs) =="
+  # Scrub the previous bench's per-run droppings so a bench that does
+  # not write gbench/metrics files can never pick up a predecessor's.
+  rm -f "$workdir"/gbench_*.json "$workdir"/run_*.log \
+        "$workdir"/BENCH_*.metrics.json "$workdir"/*.walls
   : > "$workdir/$name.walls"
   run=1
   while [ "$run" -le "$runs" ]; do
@@ -91,7 +117,7 @@ for bench in $benches; do
     run=$((run + 1))
   done
 
-  python3 - "$name" "$workdir" "$runs" "$out_dir" <<'PYEOF'
+  python3 - "$name" "$workdir" "$runs" "$staging" <<'PYEOF'
 import json, os, statistics, sys
 
 name, workdir, runs, out_dir = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
@@ -104,6 +130,11 @@ out = {
     "bench": name,
     "binary": "bench_" + name,
     "runs": runs,
+    # Parallelism the suite ran with (docs/PERFORMANCE.md). Committed
+    # baselines use 1/1; comparing trajectories only makes sense when
+    # these match.
+    "threads": int(os.environ.get("BENCH_THREADS", "1")),
+    "shards": int(os.environ.get("BENCH_SHARDS", "1")),
     "wall_ms": {
         "median": round(statistics.median(wall_ms), 3),
         "min": round(wall_ms[0], 3),
@@ -174,7 +205,14 @@ dest = os.path.join(out_dir, f"BENCH_{name}.json")
 with open(dest, "w") as f:
     json.dump(out, f, indent=2, sort_keys=False)
     f.write("\n")
-print(f"   -> {dest}")
+print(f"   staged BENCH_{name}.json")
 PYEOF
   [ $? -eq 0 ] || exit 1
+done
+
+# Every bench passed: promote the staged JSONs in one pass.
+for staged in "$staging"/BENCH_*.json; do
+  [ -e "$staged" ] || continue
+  mv -f "$staged" "$out_dir/"
+  echo "   -> $out_dir/$(basename "$staged")"
 done

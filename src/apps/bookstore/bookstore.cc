@@ -2,9 +2,12 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "src/crosstalk/crosstalk.h"
+#include "src/profiler/shard_merge.h"
+#include "src/sim/parallel_runner.h"
 #include "src/obs/live/daemon.h"
 #include "src/profiler/deployment.h"
 #include "src/profiler/stage_profiler.h"
@@ -122,7 +125,11 @@ class Bookstore {
     counter_prog_ = shm::CounterIncrement(kDbCounterLockId);
   }
 
-  BookstoreResult Run();
+  // Runs the simulation; when `out_profile` is set, also extracts the
+  // mergeable profile snapshot (for the shard-parallel path).
+  BookstoreResult Run(profiler::ShardProfile* out_profile = nullptr);
+
+  void SetShard(size_t index, size_t count) { dep_.set_shard(index, count); }
 
  private:
   sim::Process ProxyWorker(int index) {
@@ -397,7 +404,7 @@ class Bookstore {
   uint64_t interactions_ = 0;
 };
 
-BookstoreResult Bookstore::Run() {
+BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
   service_fn_ = tomcat_.RegisterFunction("service");
   db_rpc_fn_ = tomcat_.RegisterFunction("jdbc_execute");
   do_command_fn_ = mysql_.RegisterFunction("do_command");
@@ -510,6 +517,8 @@ BookstoreResult Bookstore::Run() {
       row.mean_crosstalk_ms =
           crosstalk_.MeanWaitAllAcquires(type_tags[static_cast<size_t>(t)]) / 1e6;
     }
+    row.db_cpu_ns = static_cast<uint64_t>(label_cpu[static_cast<size_t>(t)]);
+    row.db_cpu_ground_ns = static_cast<uint64_t>(db_cpu_ground_[static_cast<size_t>(t)]);
   }
 
   for (const auto& stage : dep_.stages()) {
@@ -528,14 +537,18 @@ BookstoreResult Bookstore::Run() {
   result.stitched_dot = stitcher.RenderDot();
   profiler::Analysis analysis(dep_);
   result.who_causes_sort = analysis.RenderWhoCauses(mysql_, "sort_records");
-  result.crosstalk_text = crosstalk_.Render([&](uint64_t tag) {
+  const auto tag_namer = [&](uint64_t tag) {
     for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
       if (tag_known[static_cast<size_t>(t)] && type_tags[static_cast<size_t>(t)] == tag) {
         return std::string(workload::TpcwName(static_cast<TpcwTransaction>(t)));
       }
     }
     return std::string("tag_") + std::to_string(tag);
-  });
+  };
+  result.crosstalk_text = crosstalk_.Render(tag_namer);
+  if (out_profile != nullptr) {
+    *out_profile = profiler::ExtractShardProfile(dep_, &crosstalk_, tag_namer);
+  }
   if (daemon_ != nullptr) {
     result.live_top_text = daemon_->RenderTop();
     result.live_query_json = daemon_->QueryJson();
@@ -548,9 +561,117 @@ BookstoreResult Bookstore::Run() {
   return result;
 }
 
+// One shard's output: the scaled-down deployment's result plus its
+// mergeable profile snapshot.
+struct BookstoreShardOutput {
+  BookstoreResult result;
+  profiler::ShardProfile profile;
+};
+
+BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
+  const int shards = options.shards;
+  auto runs = sim::ParallelRunner::Run(
+      static_cast<size_t>(shards), static_cast<size_t>(options.threads),
+      [&options, shards](size_t shard, sim::ShardEnv& /*env*/) {
+        BookstoreOptions shard_options = options;
+        shard_options.shards = 1;
+        shard_options.threads = 1;
+        // Fixed partition: sizes depend only on (clients, shards).
+        shard_options.clients = options.clients / shards +
+                                (static_cast<int>(shard) < options.clients % shards ? 1 : 0);
+        shard_options.seed = options.seed + shard;
+        shard_options.on_live_top = nullptr;
+        Bookstore bookstore(shard_options);
+        bookstore.SetShard(shard, static_cast<size_t>(shards));
+        BookstoreShardOutput out;
+        out.result = bookstore.Run(&out.profile);
+        return out;
+      });
+
+  // Canonical merge, shard order, on the calling thread.
+  profiler::MergedProfile merged;
+  BookstoreResult out;
+  std::ostringstream stitched, live_top, live_query, live_spans;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const BookstoreResult& r = runs[i].result.result;
+    merged.Fold(runs[i].result.profile);
+    out.interactions += r.interactions;
+    out.throughput_tpm += r.throughput_tpm;
+    out.payload_bytes += r.payload_bytes;
+    out.context_bytes += r.context_bytes;
+    out.db_shm_flows += r.db_shm_flows;
+    out.db_shared_state_demoted = out.db_shared_state_demoted || r.db_shared_state_demoted;
+    out.db_utilization += r.db_utilization;
+    out.tomcat_utilization += r.tomcat_utilization;
+    out.proxy_utilization += r.proxy_utilization;
+    for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+      auto& row = out.per_type[static_cast<size_t>(t)];
+      const auto& shard_row = r.per_type[static_cast<size_t>(t)];
+      row.mean_response_ms += shard_row.mean_response_ms * static_cast<double>(shard_row.count);
+      row.count += shard_row.count;
+      row.db_cpu_ns += shard_row.db_cpu_ns;
+      row.db_cpu_ground_ns += shard_row.db_cpu_ground_ns;
+    }
+    stitched << "=== shard " << i << " ===\n" << r.stitched_text;
+    if (options.live) {
+      live_top << "=== shard " << i << " ===\n" << r.live_top_text;
+      live_query << "=== shard " << i << " ===\n" << r.live_query_json << "\n";
+      live_spans << "=== shard " << i << " ===\n" << r.live_span_json << "\n";
+    }
+  }
+  // Shard machines are replicas, so merged utilization is their mean.
+  out.db_utilization /= static_cast<double>(shards);
+  out.tomcat_utilization /= static_cast<double>(shards);
+  out.proxy_utilization /= static_cast<double>(shards);
+  uint64_t label_total = 0;
+  uint64_t ground_total = 0;
+  for (const auto& row : out.per_type) {
+    label_total += row.db_cpu_ns;
+    ground_total += row.db_cpu_ground_ns;
+  }
+  for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+    auto& row = out.per_type[static_cast<size_t>(t)];
+    if (row.count > 0) {
+      row.mean_response_ms /= static_cast<double>(row.count);
+    }
+    if (label_total > 0) {
+      row.db_cpu_percent =
+          100.0 * static_cast<double>(row.db_cpu_ns) / static_cast<double>(label_total);
+    }
+    if (ground_total > 0) {
+      row.db_cpu_percent_ground = 100.0 * static_cast<double>(row.db_cpu_ground_ns) /
+                                  static_cast<double>(ground_total);
+    }
+    const uint64_t tag =
+        merged.MergedTag(workload::TpcwName(static_cast<TpcwTransaction>(t)));
+    if (tag != profiler::MergedProfile::kNoMergedTag) {
+      row.mean_crosstalk_ms = merged.crosstalk().MeanWaitAllAcquires(tag) / 1e6;
+    }
+  }
+  out.db_profile_text = merged.RenderTransactionalProfile("mysql", 0.001);
+  out.crosstalk_text = merged.RenderCrosstalk();
+  out.stitched_text = stitched.str();
+  out.stitched_dot = runs.front().result.result.stitched_dot;
+  out.who_causes_sort = runs.front().result.result.who_causes_sort;
+  if (options.live) {
+    out.live_top_text = live_top.str();
+    out.live_query_json = live_query.str();
+    out.live_span_json = live_spans.str();
+  }
+  // Shard metrics fold into the caller's registry in shard order so
+  // WHODUNIT_METRICS_DIR dumps cover the sharded work deterministically.
+  for (const auto& run : runs) {
+    run.env->FoldMetricsInto(obs::Registry());
+  }
+  return out;
+}
+
 }  // namespace
 
 BookstoreResult RunBookstore(const BookstoreOptions& options) {
+  if (options.shards > 1) {
+    return RunShardedBookstore(options);
+  }
   Bookstore bookstore(options);
   return bookstore.Run();
 }

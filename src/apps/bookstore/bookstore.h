@@ -41,6 +41,17 @@ struct BookstoreOptions {
   int tomcat_workers = 24;
   int db_workers = 24;
 
+  // ---- Shard-parallel execution (src/sim/parallel_runner.h) -----------
+  // shards > 1 partitions the client population into `shards`
+  // independent deployments (each with its own scheduler, context
+  // tree, dictionaries, and seed = seed + shard index) and merges the
+  // results in shard order. The partition is part of the workload
+  // definition: for a fixed `shards`, the merged result is
+  // byte-identical for any `threads` — which only sets the worker-pool
+  // size (1 = run shards serially on the calling thread).
+  int shards = 1;
+  int threads = 1;
+
   // ---- Live observability (src/obs/live) ------------------------------
   // Attach a whodunitd aggregation daemon: stages publish transaction
   // lifecycle events to it and the result carries its final snapshot.
@@ -60,6 +71,10 @@ struct BookstorePerType {
   double db_cpu_percent = 0;         // share of MySQL CPU (from CCT labels)
   double db_cpu_percent_ground = 0;  // same, from direct accounting
   double mean_crosstalk_ms = 0;      // mean lock wait per DB query
+  // Raw accumulators behind the percentages; shard merging sums these
+  // and recomputes the ratios so merged rows are exact.
+  uint64_t db_cpu_ns = 0;            // MySQL CPU from this type's CCT labels
+  uint64_t db_cpu_ground_ns = 0;     // same, from direct accounting
 };
 
 struct BookstoreResult {
@@ -100,6 +115,13 @@ struct BookstoreResult {
   std::string live_span_json;
 };
 
+// Runs the bookstore. With options.shards > 1 the run fans out over a
+// sim::ParallelRunner: numeric results merge exactly (raw-sum fields),
+// db_profile_text / crosstalk_text are the canonical cross-shard merge
+// (profiler::MergedProfile), stitched_text and the live snapshots are
+// per-shard sections in shard order, and stitched_dot /
+// who_causes_sort come from shard 0. on_live_top is ignored when
+// sharded (the callback is not shard-safe).
 BookstoreResult RunBookstore(const BookstoreOptions& options);
 
 }  // namespace whodunit::apps

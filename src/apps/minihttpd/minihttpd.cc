@@ -2,12 +2,16 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "src/http/http.h"
 #include "src/obs/live/daemon.h"
+#include "src/obs/metrics.h"
 #include "src/profiler/deployment.h"
+#include "src/profiler/shard_merge.h"
 #include "src/profiler/stage_profiler.h"
+#include "src/sim/parallel_runner.h"
 #include "src/shm/flow_detector.h"
 #include "src/shm/guest_code.h"
 #include "src/shm/section_cache.h"
@@ -92,7 +96,9 @@ class Server {
     }
   }
 
-  MinihttpdResult Run();
+  MinihttpdResult Run(profiler::ShardProfile* out_profile = nullptr);
+
+  void SetShard(size_t index, size_t count) { dep_.set_shard(index, count); }
 
  private:
   static StageProfiler::Options MakeProfilerOptions(const MinihttpdOptions& options) {
@@ -334,7 +340,7 @@ class Server {
   bool queue_flow_seen_ = false;
 };
 
-MinihttpdResult Server::Run() {
+MinihttpdResult Server::Run(profiler::ShardProfile* out_profile) {
   // Threads: 0 = listener, 1..workers = workers.
   thread_profiles_.push_back(&prof_.CreateThread("listener"));
   for (int w = 0; w < options_.workers; ++w) {
@@ -387,10 +393,16 @@ MinihttpdResult Server::Run() {
       origin += cct->TotalCpuTime();
     }
   }
+  result.origin_cpu_ns = origin;
+  result.total_cpu_ns = total;
   if (total > 0) {
     result.listener_context_share = 100.0 * static_cast<double>(origin) /
                                     static_cast<double>(total);
     result.worker_context_share = 100.0 - result.listener_context_share;
+  }
+  if (out_profile != nullptr) {
+    out_profile->functions = dep_.functions();
+    profiler::AppendStageCcts(dep_, prof_, out_profile);
   }
   if (daemon_ != nullptr) {
     result.live_top_text = daemon_->RenderTop();
@@ -401,9 +413,69 @@ MinihttpdResult Server::Run() {
   return result;
 }
 
+struct MinihttpdShardOutput {
+  MinihttpdResult result;
+  profiler::ShardProfile profile;
+};
+
+MinihttpdResult RunShardedMinihttpd(const MinihttpdOptions& options) {
+  const size_t shards = static_cast<size_t>(options.shards);
+  auto runs = sim::ParallelRunner::Run(
+      shards, static_cast<size_t>(options.threads),
+      [&options, shards](size_t shard, sim::ShardEnv&) {
+        MinihttpdOptions shard_options = options;
+        shard_options.shards = 1;
+        shard_options.threads = 1;
+        const int base = options.clients / static_cast<int>(shards);
+        const int extra = options.clients % static_cast<int>(shards);
+        shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
+        shard_options.seed = options.seed + shard;
+        MinihttpdShardOutput out;
+        Server server(shard_options);
+        server.SetShard(shard, shards);
+        out.result = server.Run(&out.profile);
+        return out;
+      });
+
+  MinihttpdResult merged;
+  profiler::MergedProfile profile;
+  std::ostringstream live_top, live_spans;
+  for (size_t shard = 0; shard < runs.size(); ++shard) {
+    const MinihttpdResult& r = runs[shard].result.result;
+    merged.throughput_mbps += r.throughput_mbps;
+    merged.requests += r.requests;
+    merged.connections += r.connections;
+    merged.bytes_served += r.bytes_served;
+    merged.flows_detected += r.flows_detected;
+    merged.queue_flow_detected = merged.queue_flow_detected || r.queue_flow_detected;
+    merged.allocator_demoted = merged.allocator_demoted || r.allocator_demoted;
+    merged.critical_sections_emulated += r.critical_sections_emulated;
+    merged.origin_cpu_ns += r.origin_cpu_ns;
+    merged.total_cpu_ns += r.total_cpu_ns;
+    profile.Fold(runs[shard].result.profile);
+    if (options.live) {
+      live_top << "=== shard " << shard << " ===\n" << r.live_top_text;
+      live_spans << "=== shard " << shard << " ===\n" << r.live_span_json;
+    }
+    runs[shard].env->FoldMetricsInto(obs::Registry());
+  }
+  if (merged.total_cpu_ns > 0) {
+    merged.listener_context_share = 100.0 * static_cast<double>(merged.origin_cpu_ns) /
+                                    static_cast<double>(merged.total_cpu_ns);
+    merged.worker_context_share = 100.0 - merged.listener_context_share;
+  }
+  merged.profile_text = profile.RenderTransactionalProfile("apache", 0.005);
+  merged.live_top_text = live_top.str();
+  merged.live_span_json = live_spans.str();
+  return merged;
+}
+
 }  // namespace
 
 MinihttpdResult RunMinihttpd(const MinihttpdOptions& options) {
+  if (options.shards > 1) {
+    return RunShardedMinihttpd(options);
+  }
   Server server(options);
   return server.Run();
 }

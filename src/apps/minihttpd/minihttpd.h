@@ -37,6 +37,14 @@ struct MinihttpdOptions {
   // Attach a whodunitd live-observability daemon (src/obs/live): each
   // connection becomes a live transaction from accept to completion.
   bool live = false;
+
+  // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
+  // partitions the client population into independent deployments
+  // (each with its own scheduler and seed = seed + shard index, and a
+  // full worker pool) merged in shard order. For a fixed `shards`, the
+  // merged result is byte-identical for any `threads`.
+  int shards = 1;
+  int threads = 1;
 };
 
 struct MinihttpdResult {
@@ -55,6 +63,10 @@ struct MinihttpdResult {
   // (origin) context vs in worker contexts adopted via the queue.
   double listener_context_share = 0;
   double worker_context_share = 0;
+  // Raw accumulators behind the shares; shard merging sums these and
+  // recomputes the percentages so merged shares are exact.
+  uint64_t origin_cpu_ns = 0;
+  uint64_t total_cpu_ns = 0;
 
   std::string profile_text;
 
@@ -63,6 +75,11 @@ struct MinihttpdResult {
   std::string live_span_json;
 };
 
+// Runs minihttpd. With options.shards > 1 the run fans out over a
+// sim::ParallelRunner: numeric results merge exactly (raw-sum fields,
+// flags OR-ed), profile_text is the canonical cross-shard merge
+// (profiler::MergedProfile), and the live snapshots are per-shard
+// sections in shard order.
 MinihttpdResult RunMinihttpd(const MinihttpdOptions& options);
 
 // §8.1's negative result: MySQL-style shared-memory traffic (table

@@ -1,5 +1,6 @@
 #include "src/apps/miniproxy/miniproxy.h"
 
+#include <algorithm>
 #include <list>
 #include <map>
 #include <memory>
@@ -8,8 +9,11 @@
 
 #include "src/events/event_loop.h"
 #include "src/http/http.h"
+#include "src/obs/metrics.h"
 #include "src/profiler/deployment.h"
+#include "src/profiler/shard_merge.h"
 #include "src/profiler/stage_profiler.h"
+#include "src/sim/parallel_runner.h"
 #include "src/sim/channel.h"
 #include "src/sim/cpu.h"
 #include "src/sim/scheduler.h"
@@ -81,7 +85,9 @@ class Proxy {
         accept_ch_(sched_),
         cache_(workload::kProxyCacheObjects) {}
 
-  MiniproxyResult Run();
+  MiniproxyResult Run(profiler::ShardProfile* out_profile = nullptr);
+
+  void SetShard(size_t index, size_t count) { dep_.set_shard(index, count); }
 
  private:
   static StageProfiler::Options MakeProfilerOptions(const MiniproxyOptions& options) {
@@ -261,7 +267,7 @@ class Proxy {
   uint64_t misses_ = 0;
 };
 
-MiniproxyResult Proxy::Run() {
+MiniproxyResult Proxy::Run(profiler::ShardProfile* out_profile) {
   loop_tp_ = &prof_.CreateThread("event_loop");
   RegisterHandlers();
   loop_.set_tracking(TracksTransactions(options_.mode));
@@ -311,7 +317,7 @@ MiniproxyResult Proxy::Run() {
 
   // Count the contexts in which commHandleWrite executed, and the
   // hit/miss path shares.
-  const double total = static_cast<double>(prof_.total_cpu_time());
+  result.total_cpu_ns = prof_.total_cpu_time();
   for (const auto& [label, cct] : prof_.LabeledCcts()) {
     if (label.parts.empty()) {
       continue;
@@ -331,21 +337,86 @@ MiniproxyResult Proxy::Run() {
     }
     if (ends_in_write) {
       ++result.write_handler_context_count;
-      const double share =
-          total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / total : 0;
       if (via_reply) {
-        result.miss_path_share += share;
+        result.miss_path_cpu_ns += cct->TotalCpuTime();
       } else {
-        result.hit_path_share += share;
+        result.hit_path_cpu_ns += cct->TotalCpuTime();
       }
     }
   }
+  if (result.total_cpu_ns > 0) {
+    const double total = static_cast<double>(result.total_cpu_ns);
+    result.hit_path_share = 100.0 * static_cast<double>(result.hit_path_cpu_ns) / total;
+    result.miss_path_share = 100.0 * static_cast<double>(result.miss_path_cpu_ns) / total;
+  }
+  if (out_profile != nullptr) {
+    out_profile->functions = dep_.functions();
+    profiler::AppendStageCcts(dep_, prof_, out_profile);
+  }
   return result;
+}
+
+struct MiniproxyShardOutput {
+  MiniproxyResult result;
+  profiler::ShardProfile profile;
+};
+
+MiniproxyResult RunShardedMiniproxy(const MiniproxyOptions& options) {
+  const size_t shards = static_cast<size_t>(options.shards);
+  auto runs = sim::ParallelRunner::Run(
+      shards, static_cast<size_t>(options.threads),
+      [&options, shards](size_t shard, sim::ShardEnv&) {
+        MiniproxyOptions shard_options = options;
+        shard_options.shards = 1;
+        shard_options.threads = 1;
+        const int base = options.clients / static_cast<int>(shards);
+        const int extra = options.clients % static_cast<int>(shards);
+        shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
+        shard_options.seed = options.seed + shard;
+        MiniproxyShardOutput out;
+        Proxy proxy(shard_options);
+        proxy.SetShard(shard, shards);
+        out.result = proxy.Run(&out.profile);
+        return out;
+      });
+
+  MiniproxyResult merged;
+  profiler::MergedProfile profile;
+  for (size_t shard = 0; shard < runs.size(); ++shard) {
+    const MiniproxyResult& r = runs[shard].result.result;
+    merged.throughput_mbps += r.throughput_mbps;
+    merged.requests += r.requests;
+    merged.cache_hits += r.cache_hits;
+    merged.cache_misses += r.cache_misses;
+    // Every shard sees the same hit/miss context pair, so the merged
+    // count is the max, not the sum.
+    merged.write_handler_context_count =
+        std::max(merged.write_handler_context_count, r.write_handler_context_count);
+    merged.hit_path_cpu_ns += r.hit_path_cpu_ns;
+    merged.miss_path_cpu_ns += r.miss_path_cpu_ns;
+    merged.total_cpu_ns += r.total_cpu_ns;
+    profile.Fold(runs[shard].result.profile);
+    runs[shard].env->FoldMetricsInto(obs::Registry());
+  }
+  if (merged.cache_hits + merged.cache_misses > 0) {
+    merged.hit_ratio = static_cast<double>(merged.cache_hits) /
+                       static_cast<double>(merged.cache_hits + merged.cache_misses);
+  }
+  if (merged.total_cpu_ns > 0) {
+    const double total = static_cast<double>(merged.total_cpu_ns);
+    merged.hit_path_share = 100.0 * static_cast<double>(merged.hit_path_cpu_ns) / total;
+    merged.miss_path_share = 100.0 * static_cast<double>(merged.miss_path_cpu_ns) / total;
+  }
+  merged.profile_text = profile.RenderTransactionalProfile("squid", 0.001);
+  return merged;
 }
 
 }  // namespace
 
 MiniproxyResult RunMiniproxy(const MiniproxyOptions& options) {
+  if (options.shards > 1) {
+    return RunShardedMiniproxy(options);
+  }
   Proxy proxy(options);
   return proxy.Run();
 }

@@ -27,6 +27,13 @@ struct MiniproxyOptions {
   int clients = 48;
   sim::SimTime duration = sim::Seconds(20);
   uint64_t seed = 1;
+
+  // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
+  // partitions the client population into independent deployments
+  // (seed = seed + shard index) merged in shard order. For a fixed
+  // `shards`, the merged result is byte-identical for any `threads`.
+  int shards = 1;
+  int threads = 1;
 };
 
 struct MiniproxyResult {
@@ -41,10 +48,20 @@ struct MiniproxyResult {
   size_t write_handler_context_count = 0;
   double hit_path_share = 0;   // % of proxy CPU in the hit-path context
   double miss_path_share = 0;  // % in the miss-path context (incl. read)
+  // Raw accumulators behind the shares; shard merging sums these and
+  // recomputes the percentages so merged shares are exact.
+  uint64_t hit_path_cpu_ns = 0;
+  uint64_t miss_path_cpu_ns = 0;
+  uint64_t total_cpu_ns = 0;
 
   std::string profile_text;
 };
 
+// Runs the proxy. With options.shards > 1 the run fans out over a
+// sim::ParallelRunner: numeric results merge exactly (raw-sum fields;
+// write_handler_context_count takes the per-shard max, since every
+// shard sees the same hit/miss context pair) and profile_text is the
+// canonical cross-shard merge (profiler::MergedProfile).
 MiniproxyResult RunMiniproxy(const MiniproxyOptions& options);
 
 }  // namespace whodunit::apps

@@ -1,15 +1,20 @@
 #include "src/apps/sedaserver/sedaserver.h"
 
+#include <algorithm>
 #include <list>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
 #include "src/http/http.h"
 #include "src/obs/live/daemon.h"
+#include "src/obs/metrics.h"
 #include "src/profiler/deployment.h"
+#include "src/profiler/shard_merge.h"
 #include "src/profiler/stage_profiler.h"
+#include "src/sim/parallel_runner.h"
 #include "src/seda/stage.h"
 #include "src/sim/channel.h"
 #include "src/sim/cpu.h"
@@ -53,7 +58,9 @@ class Haboob {
     }
   }
 
-  SedaServerResult Run();
+  SedaServerResult Run(profiler::ShardProfile* out_profile = nullptr);
+
+  void SetShard(size_t index, size_t count) { dep_.set_shard(index, count); }
 
  private:
   static StageProfiler::Options MakeProfilerOptions(const SedaServerOptions& options) {
@@ -277,7 +284,7 @@ class Haboob {
   uint64_t misses_ = 0;
 };
 
-SedaServerResult Haboob::Run() {
+SedaServerResult Haboob::Run(profiler::ShardProfile* out_profile) {
   BuildStages();
   graph_.set_tracking(TracksTransactions(options_.mode));
   for (StageId s = 0; s < graph_.stage_count(); ++s) {
@@ -326,7 +333,7 @@ SedaServerResult Haboob::Run() {
       static_cast<double>(bytes_served_ - warm_bytes) * 8.0 / 1e6 / window_s;
   result.profile_text = prof_.RenderTransactionalProfile(0.001);
 
-  const double total = static_cast<double>(prof_.total_cpu_time());
+  result.total_cpu_ns = prof_.total_cpu_time();
   for (const auto& [label, cct] : prof_.LabeledCcts()) {
     if (label.parts.empty()) {
       continue;
@@ -344,12 +351,20 @@ SedaServerResult Haboob::Run() {
       }
     }
     ++result.write_stage_context_count;
-    const double share = total > 0 ? 100.0 * static_cast<double>(cct->TotalCpuTime()) / total : 0;
     if (via_miss) {
-      result.write_miss_share += share;
+      result.write_miss_cpu_ns += cct->TotalCpuTime();
     } else {
-      result.write_hit_share += share;
+      result.write_hit_cpu_ns += cct->TotalCpuTime();
     }
+  }
+  if (result.total_cpu_ns > 0) {
+    const double total = static_cast<double>(result.total_cpu_ns);
+    result.write_hit_share = 100.0 * static_cast<double>(result.write_hit_cpu_ns) / total;
+    result.write_miss_share = 100.0 * static_cast<double>(result.write_miss_cpu_ns) / total;
+  }
+  if (out_profile != nullptr) {
+    out_profile->functions = dep_.functions();
+    profiler::AppendStageCcts(dep_, prof_, out_profile);
   }
   if (daemon_ != nullptr) {
     result.live_top_text = daemon_->RenderTop();
@@ -360,9 +375,70 @@ SedaServerResult Haboob::Run() {
   return result;
 }
 
+struct SedaShardOutput {
+  SedaServerResult result;
+  profiler::ShardProfile profile;
+};
+
+SedaServerResult RunShardedSedaServer(const SedaServerOptions& options) {
+  const size_t shards = static_cast<size_t>(options.shards);
+  auto runs = sim::ParallelRunner::Run(
+      shards, static_cast<size_t>(options.threads),
+      [&options, shards](size_t shard, sim::ShardEnv&) {
+        SedaServerOptions shard_options = options;
+        shard_options.shards = 1;
+        shard_options.threads = 1;
+        const int base = options.clients / static_cast<int>(shards);
+        const int extra = options.clients % static_cast<int>(shards);
+        shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
+        shard_options.seed = options.seed + shard;
+        SedaShardOutput out;
+        Haboob haboob(shard_options);
+        haboob.SetShard(shard, shards);
+        out.result = haboob.Run(&out.profile);
+        return out;
+      });
+
+  SedaServerResult merged;
+  profiler::MergedProfile profile;
+  std::ostringstream live_top, live_spans;
+  for (size_t shard = 0; shard < runs.size(); ++shard) {
+    const SedaServerResult& r = runs[shard].result.result;
+    merged.throughput_mbps += r.throughput_mbps;
+    merged.requests += r.requests;
+    merged.cache_hits += r.cache_hits;
+    merged.cache_misses += r.cache_misses;
+    // Every shard sees the same hit/miss context pair, so the merged
+    // count is the max, not the sum.
+    merged.write_stage_context_count =
+        std::max(merged.write_stage_context_count, r.write_stage_context_count);
+    merged.write_hit_cpu_ns += r.write_hit_cpu_ns;
+    merged.write_miss_cpu_ns += r.write_miss_cpu_ns;
+    merged.total_cpu_ns += r.total_cpu_ns;
+    profile.Fold(runs[shard].result.profile);
+    if (options.live) {
+      live_top << "=== shard " << shard << " ===\n" << r.live_top_text;
+      live_spans << "=== shard " << shard << " ===\n" << r.live_span_json;
+    }
+    runs[shard].env->FoldMetricsInto(obs::Registry());
+  }
+  if (merged.total_cpu_ns > 0) {
+    const double total = static_cast<double>(merged.total_cpu_ns);
+    merged.write_hit_share = 100.0 * static_cast<double>(merged.write_hit_cpu_ns) / total;
+    merged.write_miss_share = 100.0 * static_cast<double>(merged.write_miss_cpu_ns) / total;
+  }
+  merged.profile_text = profile.RenderTransactionalProfile("haboob", 0.001);
+  merged.live_top_text = live_top.str();
+  merged.live_span_json = live_spans.str();
+  return merged;
+}
+
 }  // namespace
 
 SedaServerResult RunSedaServer(const SedaServerOptions& options) {
+  if (options.shards > 1) {
+    return RunShardedSedaServer(options);
+  }
   Haboob haboob(options);
   return haboob.Run();
 }

@@ -33,6 +33,13 @@ struct SedaServerOptions {
   // stage it passes through, re-typed cache_hit/cache_miss at the
   // cache stage.
   bool live = false;
+
+  // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
+  // partitions the client population into independent deployments
+  // (seed = seed + shard index) merged in shard order. For a fixed
+  // `shards`, the merged result is byte-identical for any `threads`.
+  int shards = 1;
+  int threads = 1;
 };
 
 struct SedaServerResult {
@@ -45,6 +52,11 @@ struct SedaServerResult {
   size_t write_stage_context_count = 0;
   double write_hit_share = 0;
   double write_miss_share = 0;
+  // Raw accumulators behind the shares; shard merging sums these and
+  // recomputes the percentages so merged shares are exact.
+  uint64_t write_hit_cpu_ns = 0;
+  uint64_t write_miss_cpu_ns = 0;
+  uint64_t total_cpu_ns = 0;
 
   std::string profile_text;
 
@@ -53,6 +65,12 @@ struct SedaServerResult {
   std::string live_span_json;
 };
 
+// Runs the SEDA server. With options.shards > 1 the run fans out over
+// a sim::ParallelRunner: numeric results merge exactly (raw-sum
+// fields; write_stage_context_count takes the per-shard max, since
+// every shard sees the same hit/miss context pair), profile_text is
+// the canonical cross-shard merge (profiler::MergedProfile), and the
+// live snapshots are per-shard sections in shard order.
 SedaServerResult RunSedaServer(const SedaServerOptions& options);
 
 }  // namespace whodunit::apps

@@ -59,16 +59,22 @@ sim::SimTime CallingContextTree::InclusiveCpuTime(NodeIndex node) const {
 }
 
 void CallingContextTree::MergeFrom(const CallingContextTree& other) {
-  MergeSubtree(other, other.root(), root());
+  MergeSubtree(other, other.root(), root(), nullptr);
+}
+
+void CallingContextTree::MergeFrom(const CallingContextTree& other,
+                                   const std::vector<FunctionId>& fn_remap) {
+  MergeSubtree(other, other.root(), root(), &fn_remap);
 }
 
 void CallingContextTree::MergeSubtree(const CallingContextTree& other, NodeIndex theirs,
-                                      NodeIndex mine) {
+                                      NodeIndex mine, const std::vector<FunctionId>* fn_remap) {
   nodes_[mine].samples += other.nodes_[theirs].samples;
   nodes_[mine].cpu_time += other.nodes_[theirs].cpu_time;
   nodes_[mine].calls += other.nodes_[theirs].calls;
   for (const auto& [f, their_child] : other.nodes_[theirs].children) {
-    MergeSubtree(other, their_child, Child(mine, f));
+    const FunctionId mapped = fn_remap != nullptr && f < fn_remap->size() ? (*fn_remap)[f] : f;
+    MergeSubtree(other, their_child, Child(mine, mapped), fn_remap);
   }
 }
 

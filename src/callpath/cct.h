@@ -63,13 +63,18 @@ class CallingContextTree {
 
   // Merges another CCT into this one (summing counters node-by-node).
   void MergeFrom(const CallingContextTree& other);
+  // Same, translating the other tree's FunctionIds through `fn_remap`
+  // (remap[their_id] = my_id, from FunctionRegistry::MergeFrom) —
+  // for merging CCTs built against a different function registry.
+  void MergeFrom(const CallingContextTree& other, const std::vector<FunctionId>& fn_remap);
 
   // Renders an indented text tree: "name  samples=N cpu=Xms (Y%)".
   // Nodes below min_fraction of total inclusive time are elided.
   std::string Render(const FunctionRegistry& registry, double min_fraction = 0.0) const;
 
  private:
-  void MergeSubtree(const CallingContextTree& other, NodeIndex theirs, NodeIndex mine);
+  void MergeSubtree(const CallingContextTree& other, NodeIndex theirs, NodeIndex mine,
+                    const std::vector<FunctionId>* fn_remap);
 
   std::vector<Node> nodes_;
 };

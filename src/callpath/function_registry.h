@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/util/interner.h"
 
@@ -21,6 +22,18 @@ class FunctionRegistry {
   FunctionId Register(std::string_view name) { return interner_.Intern(name); }
   const std::string& NameOf(FunctionId id) const { return interner_.NameOf(id); }
   size_t size() const { return interner_.size(); }
+
+  // Registers every function of `other` here (by name) and returns
+  // the id translation: remap[id_in_other] = id_here. Used when
+  // merging profiles from shard deployments, whose registries assigned
+  // ids independently.
+  std::vector<FunctionId> MergeFrom(const FunctionRegistry& other) {
+    std::vector<FunctionId> remap(other.size());
+    for (FunctionId id = 0; id < other.size(); ++id) {
+      remap[id] = Register(other.NameOf(id));
+    }
+    return remap;
+  }
 
  private:
   util::StringInterner interner_;

@@ -121,9 +121,37 @@ std::string ContextTree::ToString(
   return Materialize(ctxt).ToString(namer);
 }
 
-ContextTree& GlobalContextTree() {
-  static ContextTree tree;
-  return tree;
+std::vector<NodeId> ContextTree::MergeFrom(const ContextTree& other) {
+  std::vector<NodeId> remap(other.nodes_.size(), kEmptyContext);
+  // Nodes are append-only, so every parent precedes its children and a
+  // single forward pass suffices.
+  for (NodeId id = 1; id < other.nodes_.size(); ++id) {
+    const Node& node = other.nodes_[id];
+    remap[id] = Child(remap[node.parent], node.elem);
+  }
+  return remap;
 }
+
+namespace {
+
+thread_local ContextTree* current_tree = nullptr;
+
+}  // namespace
+
+ContextTree& ProcessContextTree() {
+  static ContextTree* tree = new ContextTree();
+  return *tree;
+}
+
+ContextTree& GlobalContextTree() {
+  ContextTree* tree = current_tree;
+  return tree != nullptr ? *tree : ProcessContextTree();
+}
+
+ScopedContextTree::ScopedContextTree(ContextTree& tree) : prev_(current_tree) {
+  current_tree = &tree;
+}
+
+ScopedContextTree::~ScopedContextTree() { current_tree = prev_; }
 
 }  // namespace whodunit::context

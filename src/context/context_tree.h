@@ -87,6 +87,14 @@ class ContextTree {
   // The inverse: materializes the node's path as a value context.
   TransactionContext Materialize(NodeId ctxt) const;
 
+  // Grafts every node of `other` into this tree (exact element
+  // sequences, no re-pruning) and returns the old->new id map:
+  // remap[id_in_other] = id_here. Hash-consing makes the merge
+  // canonical — nodes whose sequences already exist map onto them, so
+  // merging shard trees in canonical shard order yields the same tree
+  // regardless of which threads built the shards. O(|other|).
+  std::vector<NodeId> MergeFrom(const ContextTree& other);
+
   // Debug form like "[H:accept|H:read]", mirroring
   // TransactionContext::ToString.
   std::string ToString(
@@ -136,9 +144,27 @@ class ContextTree {
   obs::Gauge* obs_nodes_;
 };
 
-// The process-wide tree shared by the event library, the SEDA
-// middleware, and the profiler (single-threaded simulator).
+// The tree shared by the event library, the SEDA middleware, and the
+// profiler. Normally one process-wide instance (single-threaded
+// simulator); a shard isolate (sim::ShardEnv::Scope) installs a
+// private arena for the calling thread so concurrent shard
+// simulations intern into disjoint trees.
 ContextTree& GlobalContextTree();
+// The process-wide default tree, regardless of any installed scope.
+ContextTree& ProcessContextTree();
+
+// Installs `tree` as the calling thread's GlobalContextTree() for the
+// lifetime of the scope; restores the previous target on destruction.
+class ScopedContextTree {
+ public:
+  explicit ScopedContextTree(ContextTree& tree);
+  ~ScopedContextTree();
+  ScopedContextTree(const ScopedContextTree&) = delete;
+  ScopedContextTree& operator=(const ScopedContextTree&) = delete;
+
+ private:
+  ContextTree* prev_;
+};
 
 }  // namespace whodunit::context
 

@@ -56,13 +56,11 @@ uint64_t Synopsis::Hash() const {
 }
 
 uint32_t SynopsisDictionary::Intern(NodeId ctxt) {
-  static obs::Counter& obs_hits = obs::Registry().GetCounter("synopsis.dict_hits");
-  static obs::Counter& obs_inserts = obs::Registry().GetCounter("synopsis.dict_inserts");
   if (const uint32_t* found = ids_.Find(ctxt)) {
-    obs_hits.Add();
+    obs_hits_->Add();
     return *found;
   }
-  obs_inserts.Add();
+  obs_inserts_->Add();
   const auto id = static_cast<uint32_t>(contexts_.size());
   contexts_.push_back(ctxt);
   ids_.Upsert(ctxt, id);

@@ -16,6 +16,7 @@
 
 #include "src/context/context_tree.h"
 #include "src/context/transaction_context.h"
+#include "src/obs/metrics.h"
 #include "src/util/robin_hood.h"
 
 namespace whodunit::context {
@@ -79,6 +80,10 @@ class SynopsisDictionary {
  private:
   util::RobinHoodMap<NodeId, uint32_t> ids_;
   std::vector<NodeId> contexts_;
+  // Bound at construction so a dictionary built inside a shard isolate
+  // reports into that shard's registry.
+  obs::Counter* obs_hits_ = &obs::Registry().GetCounter("synopsis.dict_hits");
+  obs::Counter* obs_inserts_ = &obs::Registry().GetCounter("synopsis.dict_inserts");
 };
 
 }  // namespace whodunit::context

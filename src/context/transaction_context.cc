@@ -5,11 +5,34 @@
 #include "src/obs/metrics.h"
 
 namespace whodunit::context {
+namespace {
+
+// TransactionContext is a value type with no construction point tied
+// to a shard, so the counter handles are cached per thread and
+// re-resolved whenever the thread's current registry changes (i.e. on
+// entering or leaving a shard isolate).
+struct AppendCounters {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Counter* appends = nullptr;
+  obs::Counter* prunings = nullptr;
+};
+
+AppendCounters& CurrentAppendCounters() {
+  thread_local AppendCounters cache;
+  obs::MetricsRegistry* reg = &obs::Registry();
+  if (cache.registry != reg) {
+    cache.registry = reg;
+    cache.appends = &reg->GetCounter("context.appends");
+    cache.prunings = &reg->GetCounter("context.prunings");
+  }
+  return cache;
+}
+
+}  // namespace
 
 void TransactionContext::Append(Element e, bool prune) {
-  static obs::Counter& obs_appends = obs::Registry().GetCounter("context.appends");
-  static obs::Counter& obs_prunings = obs::Registry().GetCounter("context.prunings");
-  obs_appends.Add();
+  AppendCounters& obs = CurrentAppendCounters();
+  obs.appends->Add();
   if (prune) {
     // One rule covers both cases from §4.1: if e already occurs in the
     // sequence, the new occurrence closes a loop (length 1 when it is
@@ -20,7 +43,7 @@ void TransactionContext::Append(Element e, bool prune) {
     for (size_t i = elements_.size(); i-- > 0;) {
       if (elements_[i] == e) {
         elements_.resize(i + 1);
-        obs_prunings.Add();
+        obs.prunings->Add();
         return;
       }
     }

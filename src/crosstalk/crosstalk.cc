@@ -24,6 +24,44 @@ void CrosstalkRecorder::OnAcquired(const sim::SimMutex& lock, uint64_t waiter_ta
 
 void CrosstalkRecorder::OnReleased(const sim::SimMutex& /*lock*/, uint64_t /*holder_tag*/) {}
 
+void CrosstalkRecorder::MergeFrom(const CrosstalkRecorder& other,
+                                  const std::function<uint64_t(uint64_t)>& tag_remap) {
+  const auto map_tag = [&](uint64_t tag) { return tag_remap ? tag_remap(tag) : tag; };
+  for (const auto& [key, stat] : other.pair_waits_) {
+    pair_waits_[{map_tag(key.first), map_tag(key.second)}].Merge(stat);
+  }
+  for (const auto& [tag, stat] : other.waiter_waits_) {
+    waiter_waits_[map_tag(tag)].Merge(stat);
+  }
+  for (const auto& [tag, stat] : other.all_acquires_) {
+    all_acquires_[map_tag(tag)].Merge(stat);
+  }
+  for (const auto& [name, stat] : other.lock_waits_) {
+    lock_waits_[name].Merge(stat);
+  }
+  acquires_observed_ += other.acquires_observed_;
+}
+
+std::vector<uint64_t> CrosstalkRecorder::Tags() const {
+  std::map<uint64_t, bool> seen;
+  for (const auto& [key, stat] : pair_waits_) {
+    seen[key.first] = true;
+    seen[key.second] = true;
+  }
+  for (const auto& [tag, stat] : waiter_waits_) {
+    seen[tag] = true;
+  }
+  for (const auto& [tag, stat] : all_acquires_) {
+    seen[tag] = true;
+  }
+  std::vector<uint64_t> tags;
+  tags.reserve(seen.size());
+  for (const auto& [tag, unused] : seen) {
+    tags.push_back(tag);
+  }
+  return tags;
+}
+
 double CrosstalkRecorder::MeanPairWait(uint64_t waiter, uint64_t holder) const {
   auto it = pair_waits_.find({waiter, holder});
   return it == pair_waits_.end() ? 0.0 : it->second.mean();

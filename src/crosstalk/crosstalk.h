@@ -39,6 +39,10 @@ class CrosstalkRecorder : public sim::LockObserver {
   uint64_t WaitCount(uint64_t waiter) const;
   uint64_t acquires_observed() const { return acquires_observed_; }
 
+  // Every tag this recorder has observed (waiters and holders),
+  // ascending. Shard merging uses this to build tag translations.
+  std::vector<uint64_t> Tags() const;
+
   struct PairRow {
     uint64_t waiter;
     uint64_t holder;
@@ -63,9 +67,20 @@ class CrosstalkRecorder : public sim::LockObserver {
 
   // Streaming tap: invoked for every *contended* acquire with a known
   // holder, as (waiter_tag, holder_tag, wait_ns). The live aggregation
-  // daemon subscribes through this without the recorder depending on it.
+  // daemon subscribes through this without the recorder depending on
+  // it. Per-instance state, so concurrent per-shard recorders never
+  // share a sink.
   using WaitSink = std::function<void(uint64_t, uint64_t, uint64_t)>;
   void set_wait_sink(WaitSink sink) { wait_sink_ = std::move(sink); }
+
+  // Folds another recorder (a shard's) into this one. `tag_remap`
+  // translates the other recorder's tags — per-shard profiler context
+  // ids — into this side's tag space; tags without a mapping keep
+  // their value. Merging RunningStats is exact (count/sum/sum-of-
+  // squares add), so folding shards in canonical order reproduces the
+  // matrix a serial run over the combined job list would have built.
+  void MergeFrom(const CrosstalkRecorder& other,
+                 const std::function<uint64_t(uint64_t)>& tag_remap = nullptr);
 
  private:
   std::map<std::pair<uint64_t, uint64_t>, util::RunningStat> pair_waits_;

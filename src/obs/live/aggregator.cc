@@ -7,10 +7,8 @@
 namespace whodunit::obs::live {
 
 void LiveAggregator::Ingest(const TxnEvent& event) {
-  static Counter& obs_txns = Registry().GetCounter("live.txns_ingested");
-  static Counter& obs_spans = Registry().GetCounter("live.spans_ingested");
-  obs_txns.Add();
-  obs_spans.Add(event.spans.size());
+  obs_txns_->Add();
+  obs_spans_->Add(event.spans.size());
 
   ++txns_;
   TypeState& type = by_type_[event.type.empty() ? std::string("(untyped)") : event.type];
@@ -44,9 +42,52 @@ void LiveAggregator::NameTag(uint64_t tag, std::string_view name) {
 }
 
 void LiveAggregator::IngestWait(uint64_t waiter_tag, uint64_t holder_tag, uint64_t wait_ns) {
-  static Counter& obs_waits = Registry().GetCounter("live.crosstalk_waits");
-  obs_waits.Add();
+  obs_waits_->Add();
   waits_[{waiter_tag, holder_tag}].Add(static_cast<double>(wait_ns));
+}
+
+void LiveAggregator::MergeFrom(const LiveAggregator& other,
+                               const std::vector<context::NodeId>& ctxt_remap) {
+  for (const auto& [name, state] : other.by_type_) {
+    TypeState& mine = by_type_[name];
+    mine.latency_ns.Merge(state.latency_ns);
+    mine.errors += state.errors;
+  }
+  for (const auto& [name, state] : other.by_stage_) {
+    StageState& mine = by_stage_[name];
+    mine.spans += state.spans;
+    mine.busy_ns += state.busy_ns;
+  }
+  // Re-base the other side's tags above everything already present so
+  // contexts from different shards never alias. std::map iteration is
+  // ordered, so the assignment is deterministic.
+  uint64_t next_tag = 0;
+  if (!tag_names_.empty()) {
+    next_tag = tag_names_.rbegin()->first + 1;
+  }
+  for (const auto& [pair, stat] : waits_) {
+    next_tag = std::max({next_tag, pair.first + 1, pair.second + 1});
+  }
+  std::map<uint64_t, uint64_t> tag_remap;
+  auto remap_tag = [&](uint64_t tag) {
+    auto [it, inserted] = tag_remap.emplace(tag, next_tag);
+    if (inserted) {
+      ++next_tag;
+    }
+    return it->second;
+  };
+  for (const auto& [tag, name] : other.tag_names_) {
+    tag_names_.emplace(remap_tag(tag), name);
+  }
+  for (const auto& [pair, stat] : other.waits_) {
+    waits_[{remap_tag(pair.first), remap_tag(pair.second)}].Merge(stat);
+  }
+  other.cost_by_ctxt_.ForEach([&](const context::NodeId& ctxt, const uint64_t& cost) {
+    const context::NodeId here = ctxt < ctxt_remap.size() ? ctxt_remap[ctxt] : ctxt;
+    cost_by_ctxt_.GetOrInsert(here) += cost;
+  });
+  txns_ += other.txns_;
+  errors_ += other.errors_;
 }
 
 std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {

@@ -24,6 +24,7 @@
 
 #include "src/context/context_tree.h"
 #include "src/obs/live/txn_event.h"
+#include "src/obs/metrics.h"
 #include "src/util/robin_hood.h"
 #include "src/util/stats.h"
 
@@ -81,6 +82,16 @@ class LiveAggregator {
   uint64_t txns() const { return txns_; }
   uint64_t errors() const { return errors_; }
 
+  // Folds another aggregator (a shard's) into this one. `ctxt_remap`
+  // translates the other aggregator's ContextTree NodeIds into this
+  // side's tree (the vector ContextTree::MergeFrom returns). The
+  // other side's crosstalk tags — arbitrary per-shard ids — are
+  // re-based onto fresh ids here so distinct shard contexts never
+  // collide; their names carry over, so name-folded views (the
+  // crosstalk matrix) merge exactly. Deterministic given a fixed
+  // merge order.
+  void MergeFrom(const LiveAggregator& other, const std::vector<context::NodeId>& ctxt_remap);
+
  private:
   struct TypeState {
     util::LogHistogram latency_ns;
@@ -100,6 +111,11 @@ class LiveAggregator {
   util::RobinHoodMap<context::NodeId, uint64_t> cost_by_ctxt_;
   uint64_t txns_ = 0;
   uint64_t errors_ = 0;
+  // Bound at construction so an aggregator built inside a shard
+  // isolate reports into that shard's metrics registry.
+  Counter* obs_txns_ = &Registry().GetCounter("live.txns_ingested");
+  Counter* obs_spans_ = &Registry().GetCounter("live.spans_ingested");
+  Counter* obs_waits_ = &Registry().GetCounter("live.crosstalk_waits");
 };
 
 }  // namespace whodunit::obs::live

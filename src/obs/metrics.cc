@@ -65,6 +65,18 @@ uint64_t Histogram::Sum() const {
   return total;
 }
 
+void Histogram::MergeCounts(const std::vector<uint64_t>& bucket_counts, uint64_t count,
+                            uint64_t sum) {
+  Shard& shard = shards_[0];
+  if (bucket_counts.size() == bounds_.size() + 1) {
+    for (size_t i = 0; i < bucket_counts.size(); ++i) {
+      shard.buckets[i].v.fetch_add(bucket_counts[i], std::memory_order_relaxed);
+    }
+  }
+  shard.count.v.fetch_add(count, std::memory_order_relaxed);
+  shard.sum.v.fetch_add(sum, std::memory_order_relaxed);
+}
+
 void Histogram::Reset() {
   for (auto& shard : shards_) {
     for (auto& b : shard.buckets) {
@@ -150,9 +162,43 @@ void MetricsRegistry::Reset() {
   }
 }
 
-MetricsRegistry& Registry() {
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    GetCounter(name).Add(value);
+  }
+  for (const auto& [name, value] : other.gauges) {
+    GetGauge(name).Add(value);
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    GetHistogram(name, hist.bounds).MergeCounts(hist.counts, hist.count, hist.sum);
+  }
+}
+
+namespace {
+
+// The calling thread's Registry() target; null means the process-wide
+// default. A raw thread-local pointer (not a reference into a
+// function-local static) so shard threads can be redirected and
+// restored without any synchronization.
+thread_local MetricsRegistry* current_registry = nullptr;
+
+}  // namespace
+
+MetricsRegistry& GlobalRegistry() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+MetricsRegistry& Registry() {
+  MetricsRegistry* reg = current_registry;
+  return reg != nullptr ? *reg : GlobalRegistry();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
+    : prev_(current_registry) {
+  current_registry = &registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() { current_registry = prev_; }
 
 }  // namespace whodunit::obs

@@ -89,6 +89,11 @@ class Histogram {
   uint64_t Sum() const;
   void Reset();
 
+  // Adds raw bucket counts (bounds().size() + 1 entries, overflow
+  // last) plus a running count/sum — the fold path for merging a
+  // shard registry's snapshot. Mismatched sizes keep count/sum only.
+  void MergeCounts(const std::vector<uint64_t>& bucket_counts, uint64_t count, uint64_t sum);
+
  private:
   struct Shard {
     std::vector<internal::PaddedAtomic> buckets;
@@ -135,6 +140,14 @@ class MetricsRegistry {
   // Zeroes every instrument (between bench configurations, in tests).
   void Reset();
 
+  // Deterministic fold of another registry's snapshot into this one:
+  // counters and histogram buckets add, gauges add (a shard-parallel
+  // run reports the sum over shards — docs/METRICS.md). Histograms
+  // whose bucket bounds differ from an existing instrument keep only
+  // their count/sum. Folding shard snapshots in canonical shard order
+  // yields byte-identical exports regardless of thread interleaving.
+  void MergeFrom(const MetricsSnapshot& other);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
@@ -142,8 +155,26 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
-// The process-wide registry every built-in instrumentation point uses.
+// The registry every built-in instrumentation point uses: normally the
+// process-wide one, but a shard isolate (sim::ShardEnv::Scope) can
+// install a private registry for the calling thread so concurrent
+// simulations never share mutable instruments.
 MetricsRegistry& Registry();
+// The process-wide default registry, regardless of any installed scope.
+MetricsRegistry& GlobalRegistry();
+
+// Installs `registry` as the calling thread's Registry() for the
+// lifetime of the scope; restores the previous target on destruction.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
 
 }  // namespace whodunit::obs
 

@@ -51,9 +51,24 @@ void TraceLog::Clear() {
   recorded_ = 0;
 }
 
-TraceLog& Tracer() {
+namespace {
+
+thread_local TraceLog* current_tracer = nullptr;
+
+}  // namespace
+
+TraceLog& GlobalTracer() {
   static TraceLog* log = new TraceLog();
   return *log;
 }
+
+TraceLog& Tracer() {
+  TraceLog* log = current_tracer;
+  return log != nullptr ? *log : GlobalTracer();
+}
+
+ScopedTraceLog::ScopedTraceLog(TraceLog& log) : prev_(current_tracer) { current_tracer = &log; }
+
+ScopedTraceLog::~ScopedTraceLog() { current_tracer = prev_; }
 
 }  // namespace whodunit::obs

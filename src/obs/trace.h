@@ -66,8 +66,25 @@ class TraceLog {
   bool enabled_ = true;
 };
 
-// The process-wide trace log the built-in instrumentation writes to.
+// The trace log the built-in instrumentation writes to: normally the
+// process-wide one, but a shard isolate (sim::ShardEnv::Scope) can
+// install a private log for the calling thread.
 TraceLog& Tracer();
+// The process-wide default log, regardless of any installed scope.
+TraceLog& GlobalTracer();
+
+// Installs `log` as the calling thread's Tracer() for the lifetime of
+// the scope; restores the previous target on destruction.
+class ScopedTraceLog {
+ public:
+  explicit ScopedTraceLog(TraceLog& log);
+  ~ScopedTraceLog();
+  ScopedTraceLog(const ScopedTraceLog&) = delete;
+  ScopedTraceLog& operator=(const ScopedTraceLog&) = delete;
+
+ private:
+  TraceLog* prev_;
+};
 
 }  // namespace whodunit::obs
 

@@ -57,6 +57,17 @@ class Deployment {
   StageProfiler& AddStage(std::unique_ptr<StageProfiler> stage);
   const std::vector<std::unique_ptr<StageProfiler>>& stages() const { return stages_; }
 
+  // ---- Shard identity -------------------------------------------------
+  // Which shard of a ParallelRunner fan-out this deployment is; a
+  // serial deployment is shard 0 of 1. Reports and exports use this to
+  // label per-shard artifacts.
+  void set_shard(size_t index, size_t count) {
+    shard_index_ = index;
+    shard_count_ = count;
+  }
+  size_t shard_index() const { return shard_index_; }
+  size_t shard_count() const { return shard_count_; }
+
   // ---- Live observability (src/obs/live) ------------------------------
   // Attaches the aggregation daemon to every stage (current and
   // future), wires the daemon's pre-query flush hook to
@@ -73,6 +84,8 @@ class Deployment {
   context::SynopsisDictionary synopses_;
   ElementNamer element_namer_;
   std::vector<std::unique_ptr<StageProfiler>> stages_;
+  size_t shard_index_ = 0;
+  size_t shard_count_ = 1;
   obs::live::Whodunitd* live_ = nullptr;
 };
 

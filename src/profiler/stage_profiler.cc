@@ -14,7 +14,13 @@ using callpath::Samples;
 using callpath::TracksTransactions;
 
 StageProfiler::StageProfiler(Deployment& deployment, Options options)
-    : deployment_(deployment), options_(std::move(options)) {}
+    : deployment_(deployment),
+      options_(std::move(options)),
+      obs_sends_(&obs::Registry().GetCounter("profiler.sends_prepared")),
+      obs_matches_(&obs::Registry().GetCounter("profiler.synopsis_matches")),
+      obs_misses_(&obs::Registry().GetCounter("profiler.synopsis_misses")),
+      obs_adoptions_(&obs::Registry().GetCounter("profiler.flow_adoptions")),
+      obs_switches_(&obs::Registry().GetCounter("profiler.cct_switches")) {}
 
 ThreadProfile& StageProfiler::CreateThread(std::string thread_name) {
   threads_.push_back(
@@ -91,8 +97,7 @@ context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_resp
   if (!TracksTransactions(options_.mode)) {
     return {};
   }
-  static obs::Counter& obs_sends = obs::Registry().GetCounter("profiler.sends_prepared");
-  obs_sends.Add();
+  obs_sends_->Add();
   // Transaction context at the send point: the locally accumulated
   // elements plus the call path leading to the send (§5). Two O(1)
   // probes: one hash-cons append, one synopsis-dictionary lookup.
@@ -116,8 +121,6 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
   if (!TracksTransactions(options_.mode)) {
     return false;
   }
-  static obs::Counter& obs_matches = obs::Registry().GetCounter("profiler.synopsis_matches");
-  static obs::Counter& obs_misses = obs::Registry().GetCounter("profiler.synopsis_misses");
   ++tp.uncharged_messages_;
   // Response recognition (§5): a message whose synopsis extends one we
   // sent is the reply to that request; restore the context we had when
@@ -128,12 +131,12 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
       tp.local_node_ = it->second.local_node;
       tp.pending_sends_.erase(it);
       UpdateCct(tp);
-      obs_matches.Add();
+      obs_matches_->Add();
       return true;
     }
   }
   // New request: adopt the sender's transaction context wholesale.
-  obs_misses.Add();
+  obs_misses_->Add();
   tp.incoming_ = synopsis;
   tp.local_node_ = context::kEmptyContext;
   UpdateCct(tp);
@@ -146,8 +149,7 @@ void StageProfiler::AdoptCtxt(ThreadProfile& tp, uint32_t ctxt_id) {
   if (!TracksTransactions(options_.mode)) {
     return;
   }
-  static obs::Counter& obs_adoptions = obs::Registry().GetCounter("profiler.flow_adoptions");
-  obs_adoptions.Add();
+  obs_adoptions_->Add();
   tp.incoming_ = ctxt_table_.at(ctxt_id);
   tp.local_node_ = context::kEmptyContext;
   UpdateCct(tp);
@@ -365,8 +367,7 @@ void StageProfiler::UpdateCct(ThreadProfile& tp) {
   if (tp.label_valid_ && label == tp.current_label_) {
     return;
   }
-  static obs::Counter& obs_switches = obs::Registry().GetCounter("profiler.cct_switches");
-  obs_switches.Add();
+  obs_switches_->Add();
   if (live_ != nullptr) {
     // Costs batched so far belong to the outgoing context.
     FlushLiveCost(tp);

@@ -27,6 +27,7 @@
 
 #include "src/callpath/cct.h"
 #include "src/callpath/profiler_mode.h"
+#include "src/obs/metrics.h"
 #include "src/callpath/sampler.h"
 #include "src/callpath/shadow_stack.h"
 #include "src/context/context_tree.h"
@@ -259,6 +260,16 @@ class StageProfiler {
 
   uint64_t payload_bytes_ = 0;
   uint64_t context_bytes_ = 0;
+
+  // Resolved against obs::Registry() at construction so profilers built
+  // inside a shard isolate report into that shard's registry (a
+  // function-local static would capture whichever registry the first
+  // profiler ever saw).
+  obs::Counter* obs_sends_;
+  obs::Counter* obs_matches_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_adoptions_;
+  obs::Counter* obs_switches_;
 };
 
 }  // namespace whodunit::profiler

@@ -4,13 +4,27 @@
 #include <atomic>
 #include <utility>
 
+#include "src/util/shard_state.h"
+
 namespace whodunit::sim {
 namespace {
 
-uint64_t NextLockId() {
-  static uint64_t next = 0;
-  return next++;
+// Thread-local so concurrent shard simulations allocate disjoint id
+// streams; registered with the shard-state registry so every shard
+// isolate restarts the stream from 0 (deterministic ids regardless of
+// which pool thread runs the shard).
+uint64_t& LockIdCounter() {
+  thread_local uint64_t next = 0;
+  return next;
 }
+
+uint64_t NextLockId() { return LockIdCounter()++; }
+
+const util::ShardCounterRegistrar lock_id_registrar{util::ShardCounter{
+    []() { return LockIdCounter(); },
+    [](uint64_t v) { LockIdCounter() = v; },
+    0,
+}};
 
 }  // namespace
 

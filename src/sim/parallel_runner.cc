@@ -1,0 +1,31 @@
+#include "src/sim/parallel_runner.h"
+
+#include "src/util/shard_state.h"
+
+namespace whodunit::sim {
+
+ShardEnv::ShardEnv()
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      trace_(std::make_unique<obs::TraceLog>()) {
+  // The ContextTree constructor registers its gauges with the current
+  // metrics registry, so build it with this shard's registry installed
+  // — regardless of which thread constructs the env.
+  obs::ScopedMetricsRegistry scope(*metrics_);
+  tree_ = std::make_unique<context::ContextTree>();
+}
+
+ShardEnv::Scope::Scope(ShardEnv& env)
+    : saved_counters_(util::SaveShardCounters()),
+      metrics_scope_(env.metrics()),
+      trace_scope_(env.trace()),
+      tree_scope_(env.context_tree()) {
+  util::ResetShardCounters();
+}
+
+ShardEnv::Scope::~Scope() { util::RestoreShardCounters(saved_counters_); }
+
+void ShardEnv::FoldMetricsInto(obs::MetricsRegistry& target) const {
+  target.MergeFrom(metrics_->Snapshot());
+}
+
+}  // namespace whodunit::sim

@@ -1,0 +1,52 @@
+#include "src/util/shard_state.h"
+
+#include <mutex>
+
+namespace whodunit::util {
+namespace {
+
+// Registrations happen during static initialization, save/reset/
+// restore from shard worker threads afterwards; the mutex makes the
+// handoff safe without ordering assumptions.
+std::mutex& CountersMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<ShardCounter>& Counters() {
+  static std::vector<ShardCounter>* counters = new std::vector<ShardCounter>();
+  return *counters;
+}
+
+}  // namespace
+
+void RegisterShardCounter(const ShardCounter& counter) {
+  std::lock_guard<std::mutex> lock(CountersMutex());
+  Counters().push_back(counter);
+}
+
+std::vector<uint64_t> SaveShardCounters() {
+  std::lock_guard<std::mutex> lock(CountersMutex());
+  std::vector<uint64_t> saved;
+  saved.reserve(Counters().size());
+  for (const ShardCounter& c : Counters()) {
+    saved.push_back(c.get());
+  }
+  return saved;
+}
+
+void ResetShardCounters() {
+  std::lock_guard<std::mutex> lock(CountersMutex());
+  for (const ShardCounter& c : Counters()) {
+    c.set(c.fresh);
+  }
+}
+
+void RestoreShardCounters(const std::vector<uint64_t>& saved) {
+  std::lock_guard<std::mutex> lock(CountersMutex());
+  for (size_t i = 0; i < Counters().size() && i < saved.size(); ++i) {
+    Counters()[i].set(saved[i]);
+  }
+}
+
+}  // namespace whodunit::util

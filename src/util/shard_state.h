@@ -1,0 +1,48 @@
+// Registry of thread-local id counters that shard isolates restart.
+//
+// A few subsystems allocate process-unique ids from file-level
+// counters (simulated-lock ids, MiniVM program ids). Under the
+// shard-parallel runner (src/sim/parallel_runner.h) those counters
+// become thread-local, and every shard must see them start from the
+// same fresh value — otherwise the ids a shard allocates would depend
+// on which pool thread ran it and on what ran there before, breaking
+// the byte-identical-merge contract.
+//
+// Each allocator registers its accessors once (static initialization);
+// a shard isolate saves the calling thread's values, resets them to
+// their fresh seeds for the shard's lifetime, and restores them on
+// exit. The get/set hooks always act on the *calling* thread's
+// instance of the counter.
+#ifndef SRC_UTIL_SHARD_STATE_H_
+#define SRC_UTIL_SHARD_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace whodunit::util {
+
+struct ShardCounter {
+  uint64_t (*get)();       // current value on the calling thread
+  void (*set)(uint64_t);   // overwrite on the calling thread
+  uint64_t fresh;          // the value a new shard starts from
+};
+
+// Registers a counter; normally called from a namespace-scope
+// ShardCounterRegistrar during static initialization.
+void RegisterShardCounter(const ShardCounter& counter);
+
+// Save / reset-to-fresh / restore for every registered counter, in
+// registration order, on the calling thread.
+std::vector<uint64_t> SaveShardCounters();
+void ResetShardCounters();
+void RestoreShardCounters(const std::vector<uint64_t>& saved);
+
+struct ShardCounterRegistrar {
+  explicit ShardCounterRegistrar(const ShardCounter& counter) {
+    RegisterShardCounter(counter);
+  }
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_SHARD_STATE_H_

@@ -1,0 +1,56 @@
+// A fixed-size worker pool for shard-parallel simulation.
+//
+// Deliberately minimal: submit void() jobs, wait for all of them. The
+// parallel runner (src/sim/parallel_runner.h) owns result ordering and
+// determinism; the pool only provides bounded physical parallelism.
+// `threads == 0` or `threads == 1` degenerates to running jobs inline
+// on the submitting thread — no worker threads are spawned, so a
+// serial run is exactly the code path a non-parallel build would take.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace whodunit::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (capped at kMaxThreads); 0 and 1 both
+  // mean inline execution.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  static constexpr size_t kMaxThreads = 64;
+
+  // Enqueues a job (runs it immediately when the pool is inline).
+  void Submit(std::function<void()> job);
+
+  // Blocks until every submitted job has finished. The inline pool
+  // returns immediately.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable done_cv_;   // Wait(): queue drained and nothing running
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

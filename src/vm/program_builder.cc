@@ -3,13 +3,26 @@
 #include <cassert>
 #include <utility>
 
+#include "src/util/shard_state.h"
+
 namespace whodunit::vm {
 namespace {
 
-uint64_t NextProgramId() {
-  static uint64_t next = 1;
-  return next++;
+// Thread-local + shard-registered for the same reason as sim's lock
+// ids: program ids key the section cache, so a shard must allocate
+// the same ids no matter which pool thread runs it.
+uint64_t& ProgramIdCounter() {
+  thread_local uint64_t next = 1;
+  return next;
 }
+
+uint64_t NextProgramId() { return ProgramIdCounter()++; }
+
+const util::ShardCounterRegistrar program_id_registrar{util::ShardCounter{
+    []() { return ProgramIdCounter(); },
+    [](uint64_t v) { ProgramIdCounter() = v; },
+    1,
+}};
 
 }  // namespace
 

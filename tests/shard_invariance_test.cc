@@ -1,0 +1,112 @@
+// The shard-determinism contract (docs/PERFORMANCE.md): for a fixed
+// shard count the merged profile — CCT dump, crosstalk matrix, metrics
+// export — is byte-identical no matter how many pool threads ran the
+// shards. threads == 1 runs every shard inline on the calling thread,
+// so the sweep also proves the parallel runs match a serial fold of
+// the same shard list.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bookstore/bookstore.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/sim/parallel_runner.h"
+
+namespace whodunit {
+namespace {
+
+apps::BookstoreOptions SmallRun(int shards, int threads) {
+  apps::BookstoreOptions o;
+  o.clients = 32;
+  o.duration = sim::Seconds(300);
+  o.warmup = sim::Seconds(60);
+  o.shards = shards;
+  o.threads = threads;
+  return o;
+}
+
+TEST(ShardInvarianceTest, MergedProfileIsByteIdenticalAcrossThreadCounts) {
+  // Fixed logical decomposition (4 shards), varying physical
+  // parallelism. Thread count must not change a single byte of the
+  // merged profile or a single merged number.
+  apps::BookstoreResult reference;
+  for (int threads : {1, 2, 4, 8}) {
+    const apps::BookstoreResult result = apps::RunBookstore(SmallRun(4, threads));
+    if (threads == 1) {
+      reference = result;
+      ASSERT_FALSE(reference.db_profile_text.empty());
+      ASSERT_FALSE(reference.crosstalk_text.empty());
+      continue;
+    }
+    EXPECT_EQ(result.db_profile_text, reference.db_profile_text)
+        << threads << " threads";
+    EXPECT_EQ(result.crosstalk_text, reference.crosstalk_text)
+        << threads << " threads";
+    EXPECT_EQ(result.stitched_text, reference.stitched_text)
+        << threads << " threads";
+    EXPECT_EQ(result.interactions, reference.interactions);
+    EXPECT_DOUBLE_EQ(result.throughput_tpm, reference.throughput_tpm);
+    EXPECT_EQ(result.payload_bytes, reference.payload_bytes);
+    EXPECT_EQ(result.context_bytes, reference.context_bytes);
+    for (size_t t = 0; t < reference.per_type.size(); ++t) {
+      EXPECT_EQ(result.per_type[t].count, reference.per_type[t].count) << "type " << t;
+      EXPECT_EQ(result.per_type[t].db_cpu_ns, reference.per_type[t].db_cpu_ns)
+          << "type " << t;
+      EXPECT_DOUBLE_EQ(result.per_type[t].mean_response_ms,
+                       reference.per_type[t].mean_response_ms)
+          << "type " << t;
+    }
+  }
+}
+
+TEST(ShardInvarianceTest, ShardCountSweepIsSelfDeterministic) {
+  // The S-shard run is a workload definition: re-running it at any
+  // S (and any thread placement) reproduces itself exactly.
+  for (int shards : {1, 2, 4, 8}) {
+    const apps::BookstoreResult first =
+        apps::RunBookstore(SmallRun(shards, /*threads=*/2));
+    const apps::BookstoreResult second =
+        apps::RunBookstore(SmallRun(shards, /*threads=*/shards));
+    EXPECT_EQ(first.db_profile_text, second.db_profile_text) << shards << " shards";
+    EXPECT_EQ(first.crosstalk_text, second.crosstalk_text) << shards << " shards";
+    EXPECT_EQ(first.interactions, second.interactions) << shards << " shards";
+    EXPECT_DOUBLE_EQ(first.throughput_tpm, second.throughput_tpm)
+        << shards << " shards";
+  }
+}
+
+TEST(ShardInvarianceTest, FoldedMetricsExportIsThreadCountInvariant) {
+  // The full metrics JSON — the third artifact of the golden contract.
+  // Each job runs a small bookstore inside its own ShardEnv; folding
+  // the shard registries in job order must give the same bytes at any
+  // thread count.
+  const auto job = [](size_t shard, sim::ShardEnv&) {
+    apps::BookstoreOptions o;
+    o.clients = 8;
+    o.duration = sim::Seconds(120);
+    o.warmup = sim::Seconds(30);
+    o.seed = 1 + shard;
+    apps::RunBookstore(o);
+    return 0;
+  };
+  std::string reference_json;
+  for (size_t threads : {1, 4}) {
+    auto runs = sim::ParallelRunner::Run(3, threads, job);
+    obs::MetricsRegistry folded;
+    for (const auto& run : runs) {
+      run.env->FoldMetricsInto(folded);
+    }
+    const std::string json = obs::ToJson(folded.Snapshot());
+    if (threads == 1) {
+      reference_json = json;
+      ASSERT_FALSE(reference_json.empty());
+      continue;
+    }
+    EXPECT_EQ(json, reference_json) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace whodunit

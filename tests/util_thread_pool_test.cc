@@ -1,0 +1,83 @@
+// util::ThreadPool: the fixed-size worker pool under
+// sim::ParallelRunner (docs/PERFORMANCE.md, "Parallel execution").
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace whodunit::util {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsJobsOnSubmittingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0u);  // no workers spawned
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed{};
+  pool.Submit([&] { observed = std::this_thread::get_id(); });
+  EXPECT_EQ(observed, caller);  // Submit ran the job synchronously
+  pool.Wait();                  // trivially returns
+}
+
+TEST(ThreadPoolTest, ZeroThreadsAlsoMeansInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  int runs = 0;
+  pool.Submit([&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  constexpr int kJobs = 200;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kJobs; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kJobs);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ThreadCountIsCapped) {
+  ThreadPool pool(10000);
+  EXPECT_LE(pool.thread_count(), ThreadPool::kMaxThreads);
+  // Still functional at the cap.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructionJoinsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+  }  // dtor joins workers; no job may outlive the pool
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace whodunit::util
