@@ -37,6 +37,7 @@ int main() {
     options.duration = sim::Seconds(1800);
     options.warmup = sim::Seconds(300);
     options.servlet_caching = jobs[i].cached;
+    options.sample_rate = bench::BenchSampleRate();
     options.shards = bench::BenchShards();
     return apps::RunBookstore(options);
   });

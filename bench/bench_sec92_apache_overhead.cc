@@ -25,6 +25,7 @@ int main() {
     options.workers = 8;
     options.duration = sim::Seconds(30);
     options.mode = modes[i];
+    options.sample_rate = bench::BenchSampleRate();
     options.shards = bench::BenchShards();
     return apps::RunMinihttpd(options);
   });

@@ -54,6 +54,19 @@ inline int EnvInt(const char* name, int fallback) {
 inline int BenchThreads() { return EnvInt("BENCH_THREADS", 1); }
 inline int BenchShards() { return EnvInt("BENCH_SHARDS", 1); }
 
+// $BENCH_SAMPLE_RATE sets the production sampling rate the app-level
+// benches profile at (docs/PRODUCTION.md); run_benches.sh records it
+// in the whodunit-bench-v1 JSON. Committed baselines use 1.0, which
+// is byte-identical to the pre-sampling profiler.
+inline double BenchSampleRate() {
+  const char* v = std::getenv("BENCH_SAMPLE_RATE");
+  if (v == nullptr || v[0] == '\0') {
+    return 1.0;
+  }
+  const double rate = std::atof(v);
+  return rate <= 0.0 || rate > 1.0 ? 1.0 : rate;
+}
+
 // Runs jobs 0..count-1 (each `fn(job)` returning a result) on
 // BenchThreads() workers, each job in its own shard environment
 // (sim::ShardEnv: private metrics registry, trace ring, context

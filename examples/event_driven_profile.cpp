@@ -28,7 +28,8 @@ int main() {
   EventLoop loop(sched);
   // The profiler follows the event library's current transaction
   // context — the only glue an application needs.
-  loop.set_context_listener([&](context::NodeId node) {
+  loop.set_context_listener([&](context::NodeId node, bool sampled) {
+    prof.SetSampled(tp, sampled);
     prof.SetLocalContext(tp, node);
   });
   deployment.set_element_namer([&](context::ElementKind kind, uint32_t id) {

@@ -22,7 +22,7 @@ for dir in "$repo_root"/src/*/; do
 done
 
 for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/OBSERVABILITY.md \
-           docs/PROFILE_FORMAT.md; do
+           docs/PROFILE_FORMAT.md docs/PRODUCTION.md; do
   if [ ! -f "$repo_root/$doc" ]; then
     echo "check_docs: missing $doc" >&2
     status=1
@@ -30,9 +30,23 @@ for doc in docs/ARCHITECTURE.md docs/METRICS.md docs/OBSERVABILITY.md \
 done
 
 # README must point at the docs so they stay discoverable.
-for doc in ARCHITECTURE.md METRICS.md OBSERVABILITY.md PROFILE_FORMAT.md; do
+for doc in ARCHITECTURE.md METRICS.md OBSERVABILITY.md PROFILE_FORMAT.md \
+           PRODUCTION.md; do
   if ! grep -q "docs/$doc" "$repo_root/README.md"; then
     echo "check_docs: README.md does not link docs/$doc" >&2
+    status=1
+  fi
+done
+
+# Every metric the code exports (a string literal passed to
+# GetCounter/GetGauge/GetHistogram anywhere under src/) must be
+# documented in the docs/METRICS.md catalog.
+metrics_doc="$repo_root/docs/METRICS.md"
+exported=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' "$repo_root/src" \
+           | sed 's/.*("//; s/"$//' | sort -u)
+for metric in $exported; do
+  if ! grep -qF "$metric" "$metrics_doc"; then
+    echo "check_docs: metric \"$metric\" is exported in src/ but not documented in docs/METRICS.md" >&2
     status=1
   fi
 done

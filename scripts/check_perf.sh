@@ -5,6 +5,13 @@
 # shared hardware (CI runners), set CHECK_PERF_WARN_ONLY=1 to demote
 # the failure to a warning.
 #
+# Also re-runs the sampling-rate ablation (bench_ablation_sampling):
+# its pass/fail criteria — per-transaction overhead monotonically
+# decreasing with the rate, 0.1% within 10% of profiler-off — are
+# asserted by the bench itself in SIMULATED time, so they gate hard
+# even under CHECK_PERF_WARN_ONLY (wall-clock noise cannot excuse a
+# broken sampling gate).
+#
 # Usage: scripts/check_perf.sh [-B BUILD_DIR] [-n RUNS]
 set -u
 
@@ -26,7 +33,8 @@ done
 # skew the fresh measurement (bench/bench_util.h).
 BENCH_THREADS=${BENCH_THREADS:-1}
 BENCH_SHARDS=${BENCH_SHARDS:-1}
-export BENCH_THREADS BENCH_SHARDS
+BENCH_SAMPLE_RATE=${BENCH_SAMPLE_RATE:-1.0}
+export BENCH_THREADS BENCH_SHARDS BENCH_SAMPLE_RATE
 
 baseline="$repo_root/bench/baselines/BENCH_table3_emulation.json"
 if [ ! -f "$baseline" ]; then
@@ -37,8 +45,11 @@ fi
 fresh_dir=$(mktemp -d)
 trap 'rm -rf "$fresh_dir"' EXIT
 
+# run_benches.sh fails the suite if any bench exits non-zero, which is
+# how bench_ablation_sampling's simulated-time assertions gate the run.
 "$repo_root/scripts/run_benches.sh" -n "$runs" -B "$build_dir" -o "$fresh_dir" \
-    bench_table3_emulation || exit 1
+    bench_table3_emulation bench_ablation_sampling || exit 1
+echo "check_perf: sampling ablation assertions passed (monotone overhead, 0.1% within 10% of off)"
 
 python3 - "$baseline" "$fresh_dir/BENCH_table3_emulation.json" "$threshold_pct" <<'PYEOF'
 import json, os, sys

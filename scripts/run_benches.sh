@@ -71,9 +71,13 @@ export WHODUNIT_METRICS_DIR
 
 # Parallelism knobs, threaded through to the bench binaries
 # (bench/bench_util.h) and recorded in the output JSON.
+# BENCH_SAMPLE_RATE (default 1.0) is the production-sampling rate the
+# apps-level benches run at (docs/PRODUCTION.md); committed baselines
+# are recorded at 1.0.
 BENCH_THREADS=${BENCH_THREADS:-1}
 BENCH_SHARDS=${BENCH_SHARDS:-1}
-export BENCH_THREADS BENCH_SHARDS
+BENCH_SAMPLE_RATE=${BENCH_SAMPLE_RATE:-1.0}
+export BENCH_THREADS BENCH_SHARDS BENCH_SAMPLE_RATE
 
 # Finished JSONs are staged here and promoted to $out_dir only once
 # the whole suite has passed.
@@ -135,6 +139,7 @@ out = {
     # these match.
     "threads": int(os.environ.get("BENCH_THREADS", "1")),
     "shards": int(os.environ.get("BENCH_SHARDS", "1")),
+    "sample_rate": float(os.environ.get("BENCH_SAMPLE_RATE", "1.0")),
     "wall_ms": {
         "median": round(statistics.median(wall_ms), 3),
         "min": round(wall_ms[0], 3),

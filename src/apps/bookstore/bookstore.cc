@@ -107,9 +107,13 @@ class Bookstore {
         db_ch_(sched_, workload::kLanLatency) {
     workload::CreateTpcwTables(database_, options.item_granularity);
     database_.SetLockObserver(&crosstalk_);
+    dep_.sampling().Configure(profiler::SamplingConfig{
+        options.sample_rate,
+        options.sample_seed != 0 ? options.sample_seed : options.seed});
     if (options.live) {
       obs::live::LiveOptions lo;
       lo.span_ring = options.live_span_ring;
+      lo.history_bytes = options.live_history_bytes;
       daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       crosstalk_.set_wait_sink([this](uint64_t waiter, uint64_t holder, uint64_t wait_ns) {
@@ -239,7 +243,10 @@ class Bookstore {
   // under the buffer mutex and bumps a shared statistics counter —
   // the access patterns §8.1 validates the algorithm against.
   sim::SimTime RunDbGuestOps(int worker, bool writes, uint64_t row) {
-    if (!TracksTransactions(options_.mode)) {
+    // Unsampled transactions skip the flow detector entirely — no
+    // produce-point snapshots, no emulation, no guest cycles.
+    if (!TracksTransactions(options_.mode) ||
+        !mysql_.IsSampled(*mysql_tps_[static_cast<size_t>(worker)])) {
       return 0;
     }
     const auto t = static_cast<vm::ThreadId>(worker);
@@ -278,7 +285,7 @@ class Bookstore {
         // mcount for each of these internal calls.
         mysql_.NoteInternalCalls(tp, req->rows_touched * 5);
         const uint64_t tag = mysql_.CrosstalkTag(tp);
-        if (daemon_ != nullptr) {
+        if (daemon_ != nullptr && mysql_.IsSampled(tp)) {
           // Crosstalk tags resolve to TPC-W interaction names in the
           // daemon's live matrix.
           daemon_->NameTag(tag, workload::TpcwName(req->type));
@@ -580,6 +587,10 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
         shard_options.clients = options.clients / shards +
                                 (static_cast<int>(shard) < options.clients % shards ? 1 : 0);
         shard_options.seed = options.seed + shard;
+        // Shards draw independent decision streams; an explicit
+        // sample_seed shifts per shard the same way `seed` does.
+        shard_options.sample_seed =
+            options.sample_seed != 0 ? options.sample_seed + shard : 0;
         shard_options.on_live_top = nullptr;
         Bookstore bookstore(shard_options);
         bookstore.SetShard(shard, static_cast<size_t>(shards));

@@ -41,6 +41,16 @@ struct BookstoreOptions {
   int tomcat_workers = 24;
   int db_workers = 24;
 
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // Fraction of top-level transactions that are profiled (the
+  // --sample-rate knob). 1.0 profiles everything and is byte-identical
+  // to the pre-sampling profiler; unsampled transactions pay only the
+  // per-transaction coin flip.
+  double sample_rate = 1.0;
+  // Decision-stream seed; 0 derives it from `seed` (so sharded runs
+  // sample independent per-shard subsets automatically).
+  uint64_t sample_seed = 0;
+
   // ---- Shard-parallel execution (src/sim/parallel_runner.h) -----------
   // shards > 1 partitions the client population into `shards`
   // independent deployments (each with its own scheduler, context
@@ -58,6 +68,9 @@ struct BookstoreOptions {
   bool live = false;
   // Completed transactions retained for Chrome-trace span export.
   size_t live_span_ring = 128;
+  // Byte budget of the daemon's retention-bounded history store (the
+  // --history-bytes knob; 0 disables it).
+  size_t live_history_bytes = 1 << 20;
   // When set, a poller queries the daemon at this virtual-time period
   // and hands the rendered top table to the callback (whodunit_top's
   // refresh loop).

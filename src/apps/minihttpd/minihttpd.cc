@@ -48,6 +48,9 @@ struct Connection {
   uint32_t client;
   std::vector<uint32_t> objects;
   uint64_t txn = 0;  // live-observability transaction id
+  // The listener's per-connection sampling decision, carried to the
+  // worker beside the payload (the queue itself carries no synopsis).
+  bool sampled = true;
 };
 
 class Server {
@@ -79,6 +82,10 @@ class Server {
     }
     mem_.Write(kFreeListHead, head);
 
+    dep_.sampling().Configure(profiler::SamplingConfig{
+        options.sample_rate,
+        options.sample_seed != 0 ? options.sample_seed : options.seed});
+
     detector_.set_flow_callback([this](const shm::FlowEvent& ev) {
       prof_.AdoptCtxt(*thread_profiles_[ev.consumer], ev.ctxt);
       if (ev.lock_id == queue_mutex_.id()) {
@@ -87,7 +94,9 @@ class Server {
     });
 
     if (options.live) {
-      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_);
+      obs::live::LiveOptions lo;
+      lo.history_bytes = options.live_history_bytes;
+      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       // The server's stage lives outside the deployment's registry, so
       // attach it and route the daemon's pre-query flush to it directly.
@@ -122,13 +131,17 @@ class Server {
   // the virtual CPU time it costs. Whodunit emulates critical sections
   // whose lock still might carry transaction flow; everything else
   // (and every other profiling mode) runs directly.
+  // `sampled` is the current transaction's sampling decision: an
+  // unsampled section runs directly (no detector, no flow summary),
+  // exactly like a non-transactional profiling mode would run it.
   sim::SimTime RunGuest(const vm::Program& prog, vm::ThreadId t, uint64_t lock_id,
-                        const std::map<int, uint64_t>& regs) {
+                        const std::map<int, uint64_t>& regs, bool sampled = true) {
     vm::CpuState& cpu_state = guest_cpus_[t];
     for (const auto& [r, v] : regs) {
       cpu_state.regs[static_cast<size_t>(r)] = v;
     }
-    const bool emulate = TracksTransactions(options_.mode) && detector_.ShouldEmulate(lock_id);
+    const bool emulate =
+        TracksTransactions(options_.mode) && sampled && detector_.ShouldEmulate(lock_id);
     // Emulated sections go through the flow-summary cache: the first
     // run of each section records its effects, steady-state runs
     // replay them without re-entering the MiniVM dispatch loop.
@@ -155,6 +168,7 @@ class Server {
       }
       // Each accepted connection begins a fresh transaction.
       prof_.ResetTransaction(tp);
+      conn->sampled = prof_.IsSampled(tp);
       if (daemon_ != nullptr) {
         // Type the live transaction by the connection's weight; the
         // origin span stays open until a worker completes it, so its
@@ -174,10 +188,14 @@ class Server {
         auto f = prof_.EnterFrame(tp, push_fn);
         co_await queue_mutex_.Acquire(/*tag=*/0);
         const uint64_t handle = StashConnection(*conn);
-        const sim::SimTime cost = RunGuest(push_prog_, /*t=*/0, queue_mutex_.id(),
-                                           {{0, kQueueBase}, {1, handle}, {2, handle + 1}});
+        const sim::SimTime cost =
+            RunGuest(push_prog_, /*t=*/0, queue_mutex_.id(),
+                     {{0, kQueueBase}, {1, handle}, {2, handle + 1}}, conn->sampled);
         co_await cpu_.Consume(prof_.ChargeCpu(tp, cost));
         queue_mutex_.Release(0);
+      }
+      if (conn->sampled) {
+        ++sampled_in_queue_;
       }
       items_.Send(1);
     }
@@ -212,8 +230,14 @@ class Server {
       {
         auto f = prof_.EnterFrame(tp, pop_fn);
         co_await queue_mutex_.Acquire(/*tag=*/0);
-        const sim::SimTime cost = RunGuest(pop_prog_, vm_thread, queue_mutex_.id(),
-                                           {{0, kQueueBase}, {5, out_sd}, {6, out_p}});
+        // The pop must be emulated only while a sampled connection may
+        // still be queued — emulating it is what fires the flow
+        // adoption. When every queued connection is unsampled the pop
+        // runs directly, which is where the sampled-rate savings on
+        // the §3 machinery come from.
+        const sim::SimTime cost =
+            RunGuest(pop_prog_, vm_thread, queue_mutex_.id(),
+                     {{0, kQueueBase}, {5, out_sd}, {6, out_p}}, sampled_in_queue_ > 0);
         // The pop's consume window fired the flow callback: this
         // worker now executes under the listener's transaction context.
         co_await cpu_.Consume(prof_.ChargeCpu(tp, cost));
@@ -226,6 +250,12 @@ class Server {
       }
       const Connection conn = conn_it->second;
       in_flight_.erase(conn_it);
+      if (conn.sampled) {
+        --sampled_in_queue_;
+      }
+      // Adopt the connection's sampling decision for all the work done
+      // on its behalf (the queue carried the bit, not a synopsis).
+      prof_.SetSampled(tp, conn.sampled);
       prof_.LiveJoin(tp, conn.txn);
 
       {
@@ -254,7 +284,8 @@ class Server {
           {
             co_await stats_mutex_.Acquire(0);
             const sim::SimTime cost =
-                RunGuest(counter_prog_, vm_thread, stats_mutex_.id(), {{0, kCounterAddr}});
+                RunGuest(counter_prog_, vm_thread, stats_mutex_.id(), {{0, kCounterAddr}},
+                         prof_.IsSampled(tp));
             co_await cpu_.Consume(prof_.ChargeCpu(tp, cost));
             stats_mutex_.Release(0);
           }
@@ -276,7 +307,8 @@ class Server {
     if (blk != 0) {
       regs[1] = blk;
     }
-    const sim::SimTime cost = RunGuest(prog, vm_thread, alloc_mutex_.id(), regs);
+    const sim::SimTime cost =
+        RunGuest(prog, vm_thread, alloc_mutex_.id(), regs, prof_.IsSampled(tp));
     co_await cpu_.Consume(prof_.ChargeCpu(tp, cost));
     alloc_mutex_.Release(0);
   }
@@ -331,6 +363,8 @@ class Server {
   std::vector<std::unique_ptr<sim::Channel<uint8_t>>> client_done_;
   std::map<uint64_t, Connection> in_flight_;
   uint64_t next_handle_ = 1;
+  // Sampled connections currently queued; gates the pop emulation.
+  uint64_t sampled_in_queue_ = 0;
 
   uint64_t bytes_served_ = 0;
   uint64_t requests_ = 0;
@@ -430,6 +464,8 @@ MinihttpdResult RunShardedMinihttpd(const MinihttpdOptions& options) {
         const int extra = options.clients % static_cast<int>(shards);
         shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
         shard_options.seed = options.seed + shard;
+        shard_options.sample_seed =
+            options.sample_seed != 0 ? options.sample_seed + shard : 0;
         MinihttpdShardOutput out;
         Server server(shard_options);
         server.SetShard(shard, shards);

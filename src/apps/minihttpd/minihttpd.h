@@ -37,6 +37,18 @@ struct MinihttpdOptions {
   // Attach a whodunitd live-observability daemon (src/obs/live): each
   // connection becomes a live transaction from accept to completion.
   bool live = false;
+  // Byte budget of the daemon's retention-bounded history store (the
+  // --history-bytes knob; 0 disables it).
+  size_t live_history_bytes = 1 << 20;
+
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // Fraction of connections that are profiled (the --sample-rate
+  // knob). The listener's coin flip rides to the workers on the
+  // connection record, so the queue pop is emulated only while a
+  // sampled connection may be in the queue.
+  double sample_rate = 1.0;
+  // Decision-stream seed; 0 derives it from `seed`.
+  uint64_t sample_seed = 0;
 
   // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
   // partitions the client population into independent deployments

@@ -83,7 +83,11 @@ class Proxy {
         prof_(dep_, MakeProfilerOptions(options)),
         origin_ch_(sched_, workload::kLanLatency),
         accept_ch_(sched_),
-        cache_(workload::kProxyCacheObjects) {}
+        cache_(workload::kProxyCacheObjects) {
+    dep_.sampling().Configure(profiler::SamplingConfig{
+        options.sample_rate,
+        options.sample_seed != 0 ? options.sample_seed : options.seed});
+  }
 
   MiniproxyResult Run(profiler::ShardProfile* out_profile = nullptr);
 
@@ -103,8 +107,12 @@ class Proxy {
 
   // Per-dispatch cost of the instrumented event library when
   // transaction tracking is on (context concatenation + annotation).
+  // Unsampled events skip it: the library elides the concatenation for
+  // them, which is the overhead sampling buys back.
   sim::SimTime TrackingCost() const {
-    return TracksTransactions(options_.mode) ? workload::kPerEventTrackingCost : 0;
+    return TracksTransactions(options_.mode) && loop_.current_sampled()
+               ? workload::kPerEventTrackingCost
+               : 0;
   }
 
   sim::Task<void> Charge(sim::SimTime cost) {
@@ -197,7 +205,12 @@ class Proxy {
       st.object = st.objects.empty() ? 0 : st.objects[0];
       st.next_index = 1;
       requests_.emplace(handle, std::move(st));
-      loop_.AddExternalEvent(accept_h_, handle);
+      // The sampling decision is drawn once per connection, here at
+      // the transaction's origin; it rides on every event the
+      // connection spawns.
+      const bool sampled =
+          !TracksTransactions(options_.mode) || dep_.sampling().Decide();
+      loop_.AddExternalEvent(accept_h_, handle, sampled);
     }
   }
 
@@ -271,7 +284,8 @@ MiniproxyResult Proxy::Run(profiler::ShardProfile* out_profile) {
   loop_tp_ = &prof_.CreateThread("event_loop");
   RegisterHandlers();
   loop_.set_tracking(TracksTransactions(options_.mode));
-  loop_.set_context_listener([this](context::NodeId node) {
+  loop_.set_context_listener([this](context::NodeId node, bool sampled) {
+    prof_.SetSampled(*loop_tp_, sampled);
     prof_.SetLocalContext(*loop_tp_, node);
   });
   dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
@@ -373,6 +387,8 @@ MiniproxyResult RunShardedMiniproxy(const MiniproxyOptions& options) {
         const int extra = options.clients % static_cast<int>(shards);
         shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
         shard_options.seed = options.seed + shard;
+        shard_options.sample_seed =
+            options.sample_seed != 0 ? options.sample_seed + shard : 0;
         MiniproxyShardOutput out;
         Proxy proxy(shard_options);
         proxy.SetShard(shard, shards);

@@ -28,6 +28,15 @@ struct MiniproxyOptions {
   sim::SimTime duration = sim::Seconds(20);
   uint64_t seed = 1;
 
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // Fraction of client connections that are profiled (the
+  // --sample-rate knob). The decision is drawn when the accept event is
+  // injected and rides on every event the connection spawns; unsampled
+  // connections are dispatched with no context-tree work.
+  double sample_rate = 1.0;
+  // Decision-stream seed; 0 derives it from `seed`.
+  uint64_t sample_seed = 0;
+
   // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
   // partitions the client population into independent deployments
   // (seed = seed + shard index) merged in shard order. For a fixed

@@ -48,8 +48,13 @@ class Haboob {
         graph_(sched_),
         prof_(dep_, MakeProfilerOptions(options)),
         accept_ch_(sched_) {
+    dep_.sampling().Configure(profiler::SamplingConfig{
+        options.sample_rate,
+        options.sample_seed != 0 ? options.sample_seed : options.seed});
     if (options.live) {
-      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_);
+      obs::live::LiveOptions lo;
+      lo.history_bytes = options.live_history_bytes;
+      daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       // The server's stage lives outside the deployment's registry, so
       // attach it and route the daemon's pre-query flush to it directly.
@@ -78,14 +83,17 @@ class Haboob {
     return *worker_tps_.at(stage).at(static_cast<size_t>(worker));
   }
 
-  sim::SimTime TrackingCost() const {
-    return TracksTransactions(options_.mode) ? workload::kSedaTrackingCost : 0;
+  // Unsampled elements skip the per-element context-concatenation
+  // cost: that work really is elided for them (stage.cc never touches
+  // the context tree), which is the overhead sampling buys back.
+  sim::SimTime TrackingCost(bool sampled) const {
+    return TracksTransactions(options_.mode) && sampled ? workload::kSedaTrackingCost : 0;
   }
 
   sim::Task<void> Charge(StageGraph::WorkerContext& wc, sim::SimTime cost) {
     ThreadProfile& tp = TpOf(wc.stage, wc.worker);
-    co_await cpu_.Consume(
-        prof_.ChargeCpu(tp, cost + workload::kSedaStageDispatchCost + TrackingCost()));
+    co_await cpu_.Consume(prof_.ChargeCpu(
+        tp, cost + workload::kSedaStageDispatchCost + TrackingCost(wc.sampled)));
   }
 
   // Each SEDA stage gets its own track in the live daemon, so the
@@ -109,7 +117,7 @@ class Haboob {
 
   void BuildStages() {
     listen_ = graph_.AddStage("ListenStage", 1, [this](auto& wc) -> sim::Task<void> {
-      if (daemon_ != nullptr) {
+      if (daemon_ != nullptr && wc.sampled) {
         ReqState& st = requests_.at(wc.payload);
         st.txn = daemon_->BeginTxn("ListenStage", daemon_->now());
         daemon_->SetTxnType(st.txn, "http_request");
@@ -234,7 +242,12 @@ class Haboob {
       if (!conn) {
         break;
       }
-      graph_.InjectExternal(listen_, *conn);
+      // The sampling decision is drawn once per request, here at the
+      // transaction's origin; it rides on every queue element the
+      // request spawns through the stage graph.
+      const bool sampled =
+          !TracksTransactions(options_.mode) || dep_.sampling().Decide();
+      graph_.InjectExternal(listen_, *conn, sampled);
     }
   }
 
@@ -294,9 +307,12 @@ SedaServerResult Haboob::Run(profiler::ShardProfile* out_profile) {
           &prof_.CreateThread(graph_.StageName(s) + "_w" + std::to_string(w)));
     }
   }
-  graph_.set_context_listener([this](StageId stage, int worker, context::NodeId node) {
-    prof_.SetLocalContext(TpOf(stage, worker), node);
-  });
+  graph_.set_context_listener(
+      [this](StageId stage, int worker, context::NodeId node, bool sampled) {
+        ThreadProfile& tp = TpOf(stage, worker);
+        prof_.SetSampled(tp, sampled);
+        prof_.SetLocalContext(tp, node);
+      });
   dep_.set_element_namer([this](context::ElementKind kind, uint32_t id) {
     return kind == context::ElementKind::kStage ? graph_.StageName(id)
                                                 : "handler:" + std::to_string(id);
@@ -392,6 +408,8 @@ SedaServerResult RunShardedSedaServer(const SedaServerOptions& options) {
         const int extra = options.clients % static_cast<int>(shards);
         shard_options.clients = base + (static_cast<int>(shard) < extra ? 1 : 0);
         shard_options.seed = options.seed + shard;
+        shard_options.sample_seed =
+            options.sample_seed != 0 ? options.sample_seed + shard : 0;
         SedaShardOutput out;
         Haboob haboob(shard_options);
         haboob.SetShard(shard, shards);

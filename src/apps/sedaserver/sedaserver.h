@@ -33,6 +33,18 @@ struct SedaServerOptions {
   // stage it passes through, re-typed cache_hit/cache_miss at the
   // cache stage.
   bool live = false;
+  // Byte budget of the daemon's retention-bounded history store (the
+  // --history-bytes knob; 0 disables it).
+  size_t live_history_bytes = 1 << 20;
+
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // Fraction of HTTP requests that are profiled (the --sample-rate
+  // knob). The decision is drawn once when a request is injected into
+  // ListenStage and rides on every queue element it spawns; unsampled
+  // requests cross the stage graph with no context-tree work.
+  double sample_rate = 1.0;
+  // Decision-stream seed; 0 derives it from `seed`.
+  uint64_t sample_seed = 0;
 
   // Shard-parallel execution (src/sim/parallel_runner.h): shards > 1
   // partitions the client population into independent deployments

@@ -14,6 +14,12 @@
 //                [--interval S] [--ring N] [--span-out FILE]
 //                [--json-out FILE] [--no-clear] [--seed N]
 //                [--shards S] [--threads T]
+//                [--sample-rate R] [--sample-seed N] [--history-bytes B]
+//
+// --sample-rate R profiles a fraction R of transactions (the
+// production-sampling knob, docs/PRODUCTION.md); the header then shows
+// the sampled/total ratio. --history-bytes B bounds the daemon's
+// retained-transaction store (oldest evicted first; 0 disables).
 //
 // --shards S > 1 partitions the clients into S independent
 // deployments run on --threads workers (sim::ParallelRunner) and
@@ -43,6 +49,9 @@ struct Flags {
   uint64_t seed = 1;
   int shards = 1;
   int threads = 1;
+  double sample_rate = 1.0;
+  uint64_t sample_seed = 0;
+  size_t history_bytes = 1 << 20;
 };
 
 void Usage(const char* argv0) {
@@ -50,7 +59,8 @@ void Usage(const char* argv0) {
                "usage: %s [--duration S] [--warmup S] [--clients N]\n"
                "          [--interval S] [--ring N] [--span-out FILE]\n"
                "          [--json-out FILE] [--no-clear] [--seed N]\n"
-               "          [--shards S] [--threads T]\n",
+               "          [--shards S] [--threads T]\n"
+               "          [--sample-rate R] [--sample-seed N] [--history-bytes B]\n",
                argv0);
 }
 
@@ -79,6 +89,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = static_cast<int>(v);
     } else if (arg == "--threads" && next(&v)) {
       flags->threads = static_cast<int>(v);
+    } else if (arg == "--sample-rate" && i + 1 < argc) {
+      flags->sample_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--sample-seed" && next(&v)) {
+      flags->sample_seed = static_cast<uint64_t>(v);
+    } else if (arg == "--history-bytes" && next(&v)) {
+      flags->history_bytes = static_cast<size_t>(v);
     } else if (arg == "--span-out" && i + 1 < argc) {
       flags->span_out = argv[++i];
     } else if (arg == "--json-out" && i + 1 < argc) {
@@ -121,6 +137,9 @@ int main(int argc, char** argv) {
   options.warmup = whodunit::sim::Seconds(flags.warmup_s);
   options.seed = flags.seed;
   options.live = true;
+  options.sample_rate = flags.sample_rate;
+  options.sample_seed = flags.sample_seed;
+  options.live_history_bytes = flags.history_bytes;
   options.live_span_ring = flags.ring;
   options.live_poll_interval = whodunit::sim::Seconds(flags.interval_s);
   options.shards = flags.shards;

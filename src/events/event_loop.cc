@@ -25,16 +25,16 @@ HandlerId EventLoop::RegisterHandler(std::string_view name, Handler handler) {
 }
 
 void EventLoop::AddEvent(HandlerId handler, uint64_t payload) {
-  Event ev{handler, payload, context::kEmptyContext};
-  if (tracking_) {
+  Event ev{handler, payload, context::kEmptyContext, curr_sampled_};
+  if (tracking_ && curr_sampled_) {
     ev.tran_ctxt = curr_node_;  // Figure 4, line 12
   }
   queue_.Send(std::move(ev));
 }
 
-void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload) {
+void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload, bool sampled) {
   obs_external_->Add();
-  queue_.Send(Event{handler, payload, context::kEmptyContext});
+  queue_.Send(Event{handler, payload, context::kEmptyContext, sampled});
 }
 
 sim::Process EventLoop::Run() {
@@ -45,15 +45,20 @@ sim::Process EventLoop::Run() {
     }
     obs_queue_depth_->Observe(queue_.pending());
     if (tracking_) {
-      // Figure 4, lines 5-6: concatenate the event's context with its
-      // handler; Append prunes consecutive duplicates and loops. With
-      // the interned tree this is one hash-cons probe, not a vector
-      // copy.
-      curr_node_ = context::GlobalContextTree().Append(
-          ev->tran_ctxt,
-          context::Element{context::ElementKind::kHandler, ev->handler}, pruning_);
+      curr_sampled_ = ev->sampled;
+      if (ev->sampled) {
+        // Figure 4, lines 5-6: concatenate the event's context with
+        // its handler; Append prunes consecutive duplicates and loops.
+        // With the interned tree this is one hash-cons probe, not a
+        // vector copy.
+        curr_node_ = context::GlobalContextTree().Append(
+            ev->tran_ctxt,
+            context::Element{context::ElementKind::kHandler, ev->handler}, pruning_);
+      } else {
+        curr_node_ = context::kEmptyContext;
+      }
       if (listener_) {
-        listener_(curr_node_);
+        listener_(curr_node_, ev->sampled);
       }
     }
     ++events_dispatched_;

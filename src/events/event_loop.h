@@ -37,6 +37,10 @@ struct Event {
   // interned context-tree node — a 4-byte handle, so stamping an event
   // no longer copies the element sequence.
   context::NodeId tran_ctxt = context::kEmptyContext;
+  // Production sampling (docs/PRODUCTION.md): the transaction's
+  // sampling decision rides beside the context handle; unsampled
+  // events are dispatched without any context-tree work.
+  bool sampled = true;
 };
 
 class EventLoop {
@@ -49,8 +53,10 @@ class EventLoop {
   // Fired whenever the current transaction context changes (before a
   // handler runs); the profiler glue hangs off this. Receives the
   // interned node id (materialize via GlobalContextTree() if the
-  // element sequence itself is needed).
-  using ContextListener = std::function<void(context::NodeId)>;
+  // element sequence itself is needed) and the event's sampling
+  // decision (the node is kEmptyContext when unsampled — no
+  // concatenation was performed).
+  using ContextListener = std::function<void(context::NodeId, bool sampled)>;
 
   explicit EventLoop(sim::Scheduler& sched, std::string name = "event_loop");
 
@@ -62,16 +68,18 @@ class EventLoop {
   void AddEvent(HandlerId handler, uint64_t payload);
 
   // Injects an event from outside any handler (a fresh external
-  // stimulus): its transaction context starts empty.
-  void AddExternalEvent(HandlerId handler, uint64_t payload);
+  // stimulus): its transaction context starts empty. `sampled` is the
+  // fresh transaction's sampling decision
+  // (profiler::SamplingPolicy::Decide at the origin).
+  void AddExternalEvent(HandlerId handler, uint64_t payload, bool sampled = true);
 
   // The commSetSelect pattern: a handler registers interest in a
   // future I/O completion. MakeEvent stamps the CURRENT transaction
   // context into the event immediately (at registration time); Post
   // queues it later, when the I/O completes, preserving that context.
   Event MakeEvent(HandlerId handler, uint64_t payload) {
-    Event ev{handler, payload, context::kEmptyContext};
-    if (tracking_) {
+    Event ev{handler, payload, context::kEmptyContext, curr_sampled_};
+    if (tracking_ && curr_sampled_) {
       ev.tran_ctxt = curr_node_;
     }
     return ev;
@@ -90,6 +98,8 @@ class EventLoop {
   context::TransactionContext current_context() const {
     return context::GlobalContextTree().Materialize(curr_node_);
   }
+  // The sampling decision of the event being dispatched.
+  bool current_sampled() const { return curr_sampled_; }
   uint64_t events_dispatched() const { return events_dispatched_; }
 
   // Whether context tracking is enabled (profiling on). When off, the
@@ -115,6 +125,7 @@ class EventLoop {
   std::vector<Handler> handler_fns_;
   sim::Channel<Event> queue_;
   context::NodeId curr_node_ = context::kEmptyContext;
+  bool curr_sampled_ = true;
   ContextListener listener_;
   bool tracking_ = true;
   bool pruning_ = true;

@@ -31,11 +31,14 @@ Whodunitd::Whodunitd(sim::Scheduler& sched, LiveOptions options)
     : sched_(sched),
       options_(options),
       ch_(sched),
+      history_(HistoryOptions{options.history_bytes, options.history_flush_interval_ns}),
       obs_begun_(&Registry().GetCounter("live.txns_begun")),
       obs_dropped_(&Registry().GetCounter("live.txns_dropped")),
       obs_abandoned_(&Registry().GetCounter("live.txns_abandoned")),
       obs_published_(&Registry().GetCounter("live.txns_published")),
-      obs_inflight_(&Registry().GetGauge("live.inflight_txns")) {
+      obs_inflight_(&Registry().GetGauge("live.inflight_txns")),
+      obs_sampling_total_(&Registry().GetCounter("sampling.txns_total")),
+      obs_sampling_sampled_(&Registry().GetCounter("sampling.txns_sampled")) {
   sim::Spawn(sched_, Pump());
 }
 
@@ -48,6 +51,7 @@ sim::Process Whodunitd::Pump() {
       break;
     }
     agg_.Ingest(*event);
+    history_.Ingest(*event, sched_.now());
     recent_.push_back(std::move(*event));
     if (recent_.size() > options_.span_ring) {
       recent_.pop_front();
@@ -172,6 +176,11 @@ Whodunitd::TopSnapshot Whodunitd::Top(size_t max_types, size_t max_contexts) con
   snap.txns = agg_.txns();
   snap.errors = agg_.errors();
   snap.inflight = builders_.size();
+  snap.sampling_total = obs_sampling_total_->Value();
+  snap.sampling_sampled = obs_sampling_sampled_->Value();
+  snap.history_txns = history_.retained_txns();
+  snap.history_bytes = history_.retained_bytes();
+  snap.history_evicted = history_.evicted_txns();
   snap.types = agg_.TypeRows();
   if (snap.types.size() > max_types) {
     snap.types.resize(max_types);
@@ -186,7 +195,16 @@ std::string Whodunitd::RenderTop(const TopSnapshot& snap) const {
   std::ostringstream out;
   out << "whodunitd — live transactional profile @ " << Fixed(snap.as_of_ns / 1e9) << "s"
       << "   (" << snap.txns << " txns, " << snap.errors << " errors, " << snap.inflight
-      << " in flight)\n\n";
+      << " in flight)\n";
+  if (snap.sampling_total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(snap.sampling_sampled) / static_cast<double>(snap.sampling_total);
+    out << "  sampling: " << snap.sampling_sampled << "/" << snap.sampling_total
+        << " txns sampled (" << Fixed(pct, 2) << "%)   history: " << snap.history_txns
+        << " txns / " << snap.history_bytes << " B retained, " << snap.history_evicted
+        << " evicted\n";
+  }
+  out << "\n";
   char line[256];
   std::snprintf(line, sizeof line, "  %-26s %8s %5s %10s %10s %10s %10s\n", "TYPE", "COUNT",
                 "ERR", "MEAN(ms)", "P50(ms)", "P95(ms)", "P99(ms)");
@@ -231,7 +249,12 @@ std::string Whodunitd::QueryJson(size_t max_types, size_t max_contexts) const {
   std::ostringstream out;
   out << "{\"schema\":\"whodunit-live-v1\",\"as_of_ns\":" << snap.as_of_ns
       << ",\"txns\":" << snap.txns << ",\"errors\":" << snap.errors
-      << ",\"inflight\":" << snap.inflight << ",\"types\":[";
+      << ",\"inflight\":" << snap.inflight
+      << ",\"sampling\":{\"txns_total\":" << snap.sampling_total
+      << ",\"txns_sampled\":" << snap.sampling_sampled
+      << "},\"history\":{\"retained_txns\":" << snap.history_txns
+      << ",\"retained_bytes\":" << snap.history_bytes
+      << ",\"evicted_txns\":" << snap.history_evicted << "},\"types\":[";
   for (size_t i = 0; i < snap.types.size(); ++i) {
     const auto& row = snap.types[i];
     out << (i ? "," : "") << "\n{\"type\":\"";
@@ -284,6 +307,9 @@ void Whodunitd::Shutdown() {
   obs_abandoned_->Add(builders_.size());
   builders_.Clear();
   obs_inflight_->Set(0);
+  // Settle the history's pending batch so the final snapshot reflects
+  // everything the daemon ingested.
+  history_.Flush(sched_.now());
   ch_.Close();
 }
 

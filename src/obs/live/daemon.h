@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/obs/live/aggregator.h"
+#include "src/obs/live/history.h"
 #include "src/obs/live/txn_event.h"
 #include "src/obs/metrics.h"
 #include "src/sim/channel.h"
@@ -50,6 +51,11 @@ struct LiveOptions {
   size_t max_inflight = 4096;
   // Completed events retained for span export, newest last.
   size_t span_ring = 128;
+  // Byte budget of the retention-bounded history store (history.h);
+  // 0 disables it. The --history-bytes knob on the apps.
+  size_t history_bytes = 1 << 20;
+  // Virtual-time flush interval of the history store.
+  int64_t history_flush_interval_ns = 30'000'000'000;
 };
 
 class Whodunitd {
@@ -102,6 +108,15 @@ class Whodunitd {
     uint64_t txns = 0;
     uint64_t errors = 0;
     uint64_t inflight = 0;
+    // Production sampling (docs/PRODUCTION.md): deployment-wide coin
+    // flips vs. transactions chosen, read from the sampling.* counters
+    // of this daemon's registry.
+    uint64_t sampling_total = 0;
+    uint64_t sampling_sampled = 0;
+    // Bounded history store occupancy and churn.
+    uint64_t history_txns = 0;
+    uint64_t history_bytes = 0;
+    uint64_t history_evicted = 0;
     std::vector<LiveAggregator::TypeRow> types;
     std::vector<LiveAggregator::StageRow> stages;
     std::vector<LiveAggregator::PairRow> crosstalk;
@@ -120,8 +135,11 @@ class Whodunitd {
   // Chrome trace JSON of the retained completed transactions.
   std::string ExportSpansJson() const;
   std::vector<TxnEvent> RecentEvents() const;
+  // Dump of the retention-bounded history (whodunit-history-v1).
+  std::string ExportHistoryJson() const { return history_.ExportJson(); }
 
   const LiveAggregator& aggregator() const { return agg_; }
+  const TxnHistory& history() const { return history_; }
   uint64_t inflight() const { return builders_.size(); }
 
   // Closes the publish channel so the pump coroutine drains and exits;
@@ -143,6 +161,7 @@ class Whodunitd {
   LiveOptions options_;
   sim::Channel<TxnEvent> ch_;
   LiveAggregator agg_;
+  TxnHistory history_;
   util::RobinHoodMap<uint64_t, Builder> builders_;
   std::deque<TxnEvent> recent_;
   uint64_t next_txn_ = 1;
@@ -155,6 +174,11 @@ class Whodunitd {
   Counter* obs_abandoned_;
   Counter* obs_published_;
   Gauge* obs_inflight_;
+  // The deployment's sampling counters (shared by name with
+  // SamplingPolicy through this daemon's registry), read at snapshot
+  // time for the sampled-vs-total display.
+  Counter* obs_sampling_total_;
+  Counter* obs_sampling_sampled_;
 };
 
 }  // namespace whodunit::obs::live

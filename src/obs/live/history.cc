@@ -1,0 +1,125 @@
+#include "src/obs/live/history.h"
+
+#include <sstream>
+
+namespace whodunit::obs::live {
+namespace {
+
+void JsonEscapeInto(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << (c == '\n' ? ' ' : c);
+  }
+}
+
+}  // namespace
+
+TxnHistory::TxnHistory(HistoryOptions options)
+    : options_(options),
+      obs_ingested_(&Registry().GetCounter("history.txns_ingested")),
+      obs_flushes_(&Registry().GetCounter("history.flushes")),
+      obs_evicted_txns_(&Registry().GetCounter("history.evicted_txns")),
+      obs_evicted_bytes_(&Registry().GetCounter("history.evicted_bytes")),
+      obs_retained_txns_(&Registry().GetGauge("history.retained_txns")),
+      obs_retained_bytes_(&Registry().GetGauge("history.retained_bytes")) {}
+
+size_t TxnHistory::ApproxBytes(const TxnEvent& event) {
+  size_t bytes = sizeof(TxnEvent);
+  bytes += event.type.size() + event.origin_stage.size();
+  bytes += event.spans.capacity() * sizeof(StageSpan);
+  for (const auto& span : event.spans) {
+    bytes += span.stage.size();
+  }
+  return bytes;
+}
+
+void TxnHistory::Ingest(const TxnEvent& event, int64_t now) {
+  if (!enabled()) {
+    return;
+  }
+  if (!saw_ingest_) {
+    // The flush clock starts at the first record, not at virtual time
+    // zero, so a late-starting daemon does not flush immediately.
+    saw_ingest_ = true;
+    last_flush_ns_ = now;
+  }
+  const size_t bytes = ApproxBytes(event);
+  pending_.push_back(Entry{event, bytes});
+  pending_bytes_ += bytes;
+  obs_ingested_->Add();
+  if (now - last_flush_ns_ >= options_.flush_interval_ns) {
+    Flush(now);
+  }
+}
+
+void TxnHistory::Flush(int64_t now) {
+  if (!enabled() || (pending_.empty() && retained_bytes_ <= options_.max_bytes)) {
+    last_flush_ns_ = now;
+    return;
+  }
+  ++flushes_;
+  obs_flushes_->Add();
+  while (!pending_.empty()) {
+    retained_bytes_ += pending_.front().bytes;
+    retained_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  pending_bytes_ = 0;
+  // Oldest-first eviction down to the soft limit. A single record
+  // larger than the whole budget still stays until a newer one
+  // arrives — the store never evicts its only record to emptiness
+  // unless the budget forces it.
+  while (retained_bytes_ > options_.max_bytes && !retained_.empty()) {
+    retained_bytes_ -= retained_.front().bytes;
+    ++evicted_txns_;
+    evicted_bytes_ += retained_.front().bytes;
+    obs_evicted_txns_->Add();
+    obs_evicted_bytes_->Add(retained_.front().bytes);
+    retained_.pop_front();
+  }
+  obs_retained_txns_->Set(static_cast<int64_t>(retained_.size()));
+  obs_retained_bytes_->Set(static_cast<int64_t>(retained_bytes_));
+  last_flush_ns_ = now;
+}
+
+std::vector<const TxnEvent*> TxnHistory::Scan() const {
+  std::vector<const TxnEvent*> out;
+  out.reserve(retained_.size());
+  for (const auto& entry : retained_) {
+    out.push_back(&entry.event);
+  }
+  return out;
+}
+
+std::string TxnHistory::ExportJson() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"whodunit-history-v1\",\"retained_txns\":" << retained_.size()
+      << ",\"retained_bytes\":" << retained_bytes_ << ",\"evicted_txns\":" << evicted_txns_
+      << ",\"evicted_bytes\":" << evicted_bytes_ << ",\"flushes\":" << flushes_
+      << ",\"txns\":[";
+  bool first = true;
+  for (const auto& entry : retained_) {
+    const TxnEvent& ev = entry.event;
+    out << (first ? "" : ",") << "\n{\"txn_id\":" << ev.txn_id << ",\"type\":\"";
+    JsonEscapeInto(out, ev.type);
+    out << "\",\"origin\":\"";
+    JsonEscapeInto(out, ev.origin_stage);
+    out << "\",\"start_ns\":" << ev.start_ns << ",\"end_ns\":" << ev.end_ns
+        << ",\"error\":" << (ev.error ? "true" : "false") << ",\"spans\":[";
+    for (size_t i = 0; i < ev.spans.size(); ++i) {
+      const StageSpan& span = ev.spans[i];
+      out << (i ? "," : "") << "{\"stage\":\"";
+      JsonEscapeInto(out, span.stage);
+      out << "\",\"start_ns\":" << span.start_ns << ",\"duration_ns\":" << span.duration_ns
+          << ",\"parent\":" << span.parent << ",\"link\":" << span.link << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace whodunit::obs::live

@@ -21,6 +21,7 @@
 #include "src/callpath/path_table.h"
 #include "src/context/synopsis.h"
 #include "src/context/transaction_context.h"
+#include "src/profiler/sampling.h"
 
 namespace whodunit::obs::live {
 class Whodunitd;
@@ -47,6 +48,13 @@ class Deployment {
   const context::SynopsisDictionary& synopses() const { return synopses_; }
 
   void set_element_namer(ElementNamer namer) { element_namer_ = std::move(namer); }
+
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // One policy per deployment: every stage's ResetTransaction draws its
+  // per-transaction decision here, so the deployment-wide decision
+  // stream is a single deterministic sequence.
+  SamplingPolicy& sampling() { return sampling_; }
+  const SamplingPolicy& sampling() const { return sampling_; }
 
   // Human-readable rendering of a context element / context / synopsis.
   std::string DescribeElement(context::ElementKind kind, uint32_t id) const;
@@ -82,6 +90,7 @@ class Deployment {
   callpath::FunctionRegistry functions_;
   callpath::CallPathTable paths_;
   context::SynopsisDictionary synopses_;
+  SamplingPolicy sampling_;
   ElementNamer element_namer_;
   std::vector<std::unique_ptr<StageProfiler>> stages_;
   size_t shard_index_ = 0;

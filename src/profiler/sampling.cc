@@ -1,0 +1,50 @@
+#include "src/profiler/sampling.h"
+
+namespace whodunit::profiler {
+namespace {
+
+// splitmix64 finalizer (same mixer util::Rng seeds with): a bijective
+// scramble of seed ^ index, so the decision stream is uncorrelated
+// with the workload's xoshiro draws and nearby seeds give independent
+// streams.
+uint64_t Mix(uint64_t x) {
+  uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SamplingPolicy::SamplingPolicy()
+    : obs_total_(&obs::Registry().GetCounter("sampling.txns_total")),
+      obs_sampled_(&obs::Registry().GetCounter("sampling.txns_sampled")) {}
+
+void SamplingPolicy::Configure(const SamplingConfig& config) {
+  config_ = config;
+  if (config.rate >= 1.0) {
+    threshold_ = kAlwaysOn;
+  } else if (config.rate <= 0.0) {
+    threshold_ = 0;
+  } else {
+    // rate * 2^64, computed in double; rate < 1 keeps it below 2^64.
+    threshold_ = static_cast<uint64_t>(config.rate * 18446744073709551616.0);
+  }
+}
+
+bool SamplingPolicy::Decide() {
+  ++decisions_;
+  obs_total_->Add();
+  bool sampled;
+  if (threshold_ == kAlwaysOn) {
+    sampled = true;
+  } else {
+    sampled = Mix(config_.seed ^ decisions_) < threshold_;
+  }
+  if (sampled) {
+    obs_sampled_->Add();
+  }
+  return sampled;
+}
+
+}  // namespace whodunit::profiler

@@ -20,7 +20,8 @@ StageProfiler::StageProfiler(Deployment& deployment, Options options)
       obs_matches_(&obs::Registry().GetCounter("profiler.synopsis_matches")),
       obs_misses_(&obs::Registry().GetCounter("profiler.synopsis_misses")),
       obs_adoptions_(&obs::Registry().GetCounter("profiler.flow_adoptions")),
-      obs_switches_(&obs::Registry().GetCounter("profiler.cct_switches")) {}
+      obs_switches_(&obs::Registry().GetCounter("profiler.cct_switches")),
+      obs_suppressed_(&obs::Registry().GetCounter("sampling.sends_suppressed")) {}
 
 ThreadProfile& StageProfiler::CreateThread(std::string thread_name) {
   threads_.push_back(
@@ -61,7 +62,7 @@ sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) 
         static_cast<sim::SimTime>(tp.uncharged_messages_) * options_.costs.per_message_context;
     tp.uncharged_messages_ = 0;
   }
-  if (Samples(options_.mode)) {
+  if (Samples(options_.mode) && tp.sampled_) {
     const uint64_t before = tp.sampler_.samples_taken();
     tp.sampler_.OnCpu(tp.stack_, app_cost);
     const uint64_t fired = tp.sampler_.samples_taken() - before;
@@ -69,7 +70,7 @@ sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) 
   }
   // Live observability: batch the app cost against the thread's current
   // context node; UpdateCct / FlushLive publish the batch.
-  if (live_ != nullptr) {
+  if (live_ != nullptr && tp.sampled_) {
     tp.live_cost_acc_ += app_cost;
   }
   return total;
@@ -90,11 +91,20 @@ void StageProfiler::ResetTransaction(ThreadProfile& tp) {
   tp.incoming_ = {};
   tp.local_node_ = context::kEmptyContext;
   tp.pending_sends_.clear();
+  tp.sampled_ = deployment_.sampling().Decide();
   UpdateCct(tp);
 }
 
 context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_response) {
   if (!TracksTransactions(options_.mode)) {
+    return {};
+  }
+  // Unsampled transaction: piggy-back nothing. A sampled send always
+  // carries at least one part, so the receiver reads an empty wire
+  // synopsis unambiguously as "unsampled" (OnReceive below). No
+  // dictionary work, no pending-send state, no per-message cost.
+  if (!tp.sampled_) {
+    obs_suppressed_->Add();
     return {};
   }
   obs_sends_->Add();
@@ -121,6 +131,17 @@ bool StageProfiler::OnReceive(ThreadProfile& tp, const context::Synopsis& synops
   if (!TracksTransactions(options_.mode)) {
     return false;
   }
+  // An empty wire synopsis under active sampling means the sender's
+  // transaction was unsampled (PrepareSend above): carry the unsampled
+  // state across the hop and skip the context machinery. Gated on
+  // always_on so rate-1.0 deployments keep the historical
+  // adopt-empty-context behaviour byte for byte.
+  if (synopsis.empty() && !deployment_.sampling().always_on()) {
+    tp.sampled_ = false;
+    tp.pending_sends_.clear();
+    return false;
+  }
+  tp.sampled_ = true;
   ++tp.uncharged_messages_;
   // Response recognition (§5): a message whose synopsis extends one we
   // sent is the reply to that request; restore the context we had when
@@ -165,6 +186,12 @@ uint64_t StageProfiler::CrosstalkTag(ThreadProfile& tp) {
 
 uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
   if (live_ == nullptr || !TracksTransactions(options_.mode)) {
+    return 0;
+  }
+  // Unsampled transactions never reach the daemon; every downstream
+  // live hook already no-ops on txn id 0.
+  if (!tp.sampled_) {
+    tp.live_txn_ = 0;
     return 0;
   }
   FlushLiveCost(tp);

@@ -78,6 +78,12 @@ class ThreadProfile {
   std::vector<std::pair<context::Synopsis, SavedState>> pending_sends_;
   context::Synopsis current_label_;
   bool label_valid_ = false;
+  // Production sampling (docs/PRODUCTION.md): whether the transaction
+  // this thread is currently executing was chosen by the deployment's
+  // SamplingPolicy. Starts true so non-transactional modes (gprof,
+  // csprof) and rate-1.0 runs behave exactly as before sampling
+  // existed.
+  bool sampled_ = true;
   uint64_t uncharged_pushes_ = 0;
   uint64_t uncharged_messages_ = 0;
   // Live-observability state: the daemon transaction this thread is
@@ -150,8 +156,22 @@ class StageProfiler {
   void SetLocalContext(ThreadProfile& tp, const context::TransactionContext& ctxt) {
     SetLocalContext(tp, context::GlobalContextTree().Intern(ctxt));
   }
-  // Begins a fresh top-level transaction at an origin stage.
+  // Begins a fresh top-level transaction at an origin stage. Draws the
+  // deployment's per-transaction sampling decision: an unsampled
+  // transaction pays only that coin flip — PrepareSend emits no
+  // synopsis, ChargeCpu skips the sampler and live batching, LiveBegin
+  // returns 0 — until the next ResetTransaction/OnReceive.
   void ResetTransaction(ThreadProfile& tp);
+
+  // ---- Production sampling (docs/PRODUCTION.md) -----------------------
+  // Whether the thread's current transaction is being profiled. Apps
+  // gate their shm-emulation and crosstalk hooks on this so unsampled
+  // transactions skip the flow detector entirely.
+  bool IsSampled(const ThreadProfile& tp) const { return tp.sampled_; }
+  // Restores the sampling bit on a thread that picked up work through
+  // an un-instrumented channel (an app-level queue carrying the bit
+  // alongside the payload instead of a synopsis).
+  void SetSampled(ThreadProfile& tp, bool sampled) { tp.sampled_ = sampled; }
 
   // ---- Messaging (§5, §7.4) ------------------------------------------
   // Computes the synopsis to piggy-back on an outgoing request and
@@ -270,6 +290,7 @@ class StageProfiler {
   obs::Counter* obs_misses_;
   obs::Counter* obs_adoptions_;
   obs::Counter* obs_switches_;
+  obs::Counter* obs_suppressed_;
 };
 
 }  // namespace whodunit::profiler

@@ -13,8 +13,8 @@ StageId StageGraph::AddStage(std::string name, int workers, Body body) {
 
 const std::string& StageGraph::StageName(StageId id) const { return stages_[id]->name(); }
 
-void StageGraph::InjectExternal(StageId stage, uint64_t payload) {
-  stages_[stage]->Enqueue(QueueElem{payload, context::kEmptyContext});
+void StageGraph::InjectExternal(StageId stage, uint64_t payload, bool sampled) {
+  stages_[stage]->Enqueue(QueueElem{payload, context::kEmptyContext, sampled});
 }
 
 void StageGraph::Start() {
@@ -30,8 +30,8 @@ void StageGraph::Stop() {
 }
 
 void StageGraph::WorkerContext::EnqueueTo(StageId next, uint64_t next_payload) {
-  QueueElem elem{next_payload, context::kEmptyContext};
-  if (graph.tracking()) {
+  QueueElem elem{next_payload, context::kEmptyContext, sampled};
+  if (graph.tracking() && sampled) {
     elem.tran_ctxt = curr_node;  // Figure 5, line 12
   }
   graph.stage(next).Enqueue(std::move(elem));
@@ -66,17 +66,19 @@ sim::Process Stage::WorkerLoop(int worker) {
     }
     obs_queue_depth_->Observe(queue_.pending());
     StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload,
-                                 context::kEmptyContext};
+                                 context::kEmptyContext, elem->sampled};
     if (graph_.tracking()) {
-      // Figure 5, lines 5-6: current context = element's context
-      // concatenated with the current stage (loops pruned by Append).
-      // One hash-cons probe against the global context tree.
-      wc.curr_node = context::GlobalContextTree().Append(
-          elem->tran_ctxt, context::Element{context::ElementKind::kStage, id_},
-          graph_.pruning());
-      obs_concats_->Add();
+      if (elem->sampled) {
+        // Figure 5, lines 5-6: current context = element's context
+        // concatenated with the current stage (loops pruned by Append).
+        // One hash-cons probe against the global context tree.
+        wc.curr_node = context::GlobalContextTree().Append(
+            elem->tran_ctxt, context::Element{context::ElementKind::kStage, id_},
+            graph_.pruning());
+        obs_concats_->Add();
+      }
       if (graph_.listener_) {
-        graph_.listener_(id_, worker, wc.curr_node);
+        graph_.listener_(id_, worker, wc.curr_node, elem->sampled);
       }
     }
     ++processed_;

@@ -32,6 +32,10 @@ struct QueueElem {
   // The interned transaction context (a 4-byte handle into the global
   // context tree), so enqueueing never copies an element sequence.
   context::NodeId tran_ctxt = context::kEmptyContext;
+  // Production sampling (docs/PRODUCTION.md): the transaction's
+  // sampling decision rides beside the context handle; unsampled
+  // elements skip context concatenation entirely.
+  bool sampled = true;
 };
 
 class Stage;
@@ -53,8 +57,11 @@ class StageGraph {
   size_t stage_count() const { return stages_.size(); }
 
   // Injects an external request into a stage's input queue with an
-  // empty transaction context.
-  void InjectExternal(StageId stage, uint64_t payload);
+  // empty transaction context. `sampled` is the fresh transaction's
+  // sampling decision (profiler::SamplingPolicy::Decide at the
+  // origin); unsampled requests flow through the graph without any
+  // context-tree work.
+  void InjectExternal(StageId stage, uint64_t payload, bool sampled = true);
 
   // Spawns all worker processes.
   void Start();
@@ -69,8 +76,11 @@ class StageGraph {
 
   // Fired when a worker's current transaction context changes;
   // the worker index is global across stages. Receives the interned
-  // node id (materialize via GlobalContextTree() for the sequence).
-  using ContextListener = std::function<void(StageId, int worker, context::NodeId)>;
+  // node id (materialize via GlobalContextTree() for the sequence)
+  // and the element's sampling decision (node is kEmptyContext when
+  // unsampled — no concatenation was performed).
+  using ContextListener =
+      std::function<void(StageId, int worker, context::NodeId, bool sampled)>;
   void set_context_listener(ContextListener listener) { listener_ = std::move(listener); }
 
   sim::Scheduler& scheduler() { return sched_; }
@@ -90,6 +100,9 @@ class StageGraph {
     }
 
     context::NodeId curr_node = context::kEmptyContext;
+    // The element's sampling decision, propagated to every element
+    // this worker enqueues downstream.
+    bool sampled = true;
   };
 
  private:

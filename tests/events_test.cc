@@ -19,7 +19,7 @@ struct LoopFixture {
   std::vector<TransactionContext> contexts_seen;
 
   LoopFixture() {
-    loop.set_context_listener([this](context::NodeId node) {
+    loop.set_context_listener([this](context::NodeId node, bool) {
       contexts_seen.push_back(context::GlobalContextTree().Materialize(node));
     });
   }

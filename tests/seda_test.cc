@@ -18,7 +18,7 @@ TEST(SedaTest, PipelinePropagatesContexts) {
   sim::Scheduler sched;
   StageGraph graph(sched);
   std::vector<std::pair<StageId, TransactionContext>> seen;
-  graph.set_context_listener([&](StageId s, int, context::NodeId node) {
+  graph.set_context_listener([&](StageId s, int, context::NodeId node, bool) {
     seen.emplace_back(s, context::GlobalContextTree().Materialize(node));
   });
 

@@ -61,6 +61,34 @@ TEST(ShardInvarianceTest, MergedProfileIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ShardInvarianceTest, SampledRunIsByteIdenticalAcrossThreadCounts) {
+  // The production-sampling contract (docs/PRODUCTION.md): the 1%-rate
+  // run composes with shard determinism. Each shard's decision stream
+  // is a stateless hash of (seed + shard, decision index), so at a
+  // fixed rate and seed the merged profile is still byte-identical at
+  // any thread count.
+  apps::BookstoreResult reference;
+  for (int threads : {1, 2, 4, 8}) {
+    apps::BookstoreOptions o = SmallRun(4, threads);
+    o.sample_rate = 0.01;
+    o.sample_seed = 1234;
+    const apps::BookstoreResult result = apps::RunBookstore(o);
+    if (threads == 1) {
+      reference = result;
+      ASSERT_FALSE(reference.db_profile_text.empty());
+      continue;
+    }
+    EXPECT_EQ(result.db_profile_text, reference.db_profile_text)
+        << threads << " threads";
+    EXPECT_EQ(result.crosstalk_text, reference.crosstalk_text)
+        << threads << " threads";
+    EXPECT_EQ(result.stitched_text, reference.stitched_text)
+        << threads << " threads";
+    EXPECT_EQ(result.interactions, reference.interactions);
+    EXPECT_DOUBLE_EQ(result.throughput_tpm, reference.throughput_tpm);
+  }
+}
+
 TEST(ShardInvarianceTest, ShardCountSweepIsSelfDeterministic) {
   // The S-shard run is a workload definition: re-running it at any
   // S (and any thread placement) reproduces itself exactly.
