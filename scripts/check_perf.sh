@@ -12,6 +12,16 @@
 # even under CHECK_PERF_WARN_ONLY (wall-clock noise cannot excuse a
 # broken sampling gate).
 #
+# Two more gates ride on the same suite (PR 7):
+#   * derived.section_cache_hit_rate must stay above 0.5 on
+#     bench_fig12_throughput AND bench_ablation_section_cache. Hit
+#     rates count deterministic cache events, not wall time, so this
+#     floor also gates hard under CHECK_PERF_WARN_ONLY.
+#   * derived.detector_cached_ratio (detector-on section-cache replay
+#     over detector-off cached replay, bench_table3_emulation) must
+#     stay below 3.0. A within-run ratio — noise mostly cancels — but
+#     still wall-clock-derived, so CHECK_PERF_WARN_ONLY demotes it.
+#
 # Usage: scripts/check_perf.sh [-B BUILD_DIR] [-n RUNS]
 set -u
 
@@ -48,8 +58,58 @@ trap 'rm -rf "$fresh_dir"' EXIT
 # run_benches.sh fails the suite if any bench exits non-zero, which is
 # how bench_ablation_sampling's simulated-time assertions gate the run.
 "$repo_root/scripts/run_benches.sh" -n "$runs" -B "$build_dir" -o "$fresh_dir" \
-    bench_table3_emulation bench_ablation_sampling || exit 1
+    bench_table3_emulation bench_ablation_sampling \
+    bench_ablation_section_cache bench_fig12_throughput || exit 1
 echo "check_perf: sampling ablation assertions passed (monotone overhead, 0.1% within 10% of off)"
+
+# Hard floor: the section cache must actually hit under the app-level
+# workloads (fig12's bookstore mix) and its own ablation. A hit rate is
+# a deterministic event count, so wall-clock noise cannot excuse it —
+# no CHECK_PERF_WARN_ONLY escape here.
+python3 - "$fresh_dir" <<'PYEOF'
+import json, os, sys
+
+fresh_dir = sys.argv[1]
+floor = 0.5
+failed = False
+for name in ("fig12_throughput", "ablation_section_cache"):
+    with open(os.path.join(fresh_dir, f"BENCH_{name}.json")) as f:
+        doc = json.load(f)
+    rate = doc.get("derived", {}).get("section_cache_hit_rate")
+    if rate is None:
+        print(f"check_perf: FAIL: {name} recorded no section-cache traffic", file=sys.stderr)
+        failed = True
+        continue
+    verdict = "OK" if rate > floor else "FAIL"
+    print(f"check_perf: {name} section_cache_hit_rate {rate:.4f} (floor {floor}) {verdict}")
+    if rate <= floor:
+        failed = True
+if failed:
+    sys.exit(1)
+PYEOF
+[ $? -eq 0 ] || exit 1
+
+# Detector tax with the cache hitting: < 3x cached replay. Wall-clock
+# derived (though within-run), so WARN_ONLY may demote a miss.
+python3 - "$fresh_dir/BENCH_table3_emulation.json" <<'PYEOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+ratio = doc.get("derived", {}).get("detector_cached_ratio")
+if ratio is None:
+    print("check_perf: detector_cached_ratio missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: detector_cached_ratio {ratio:.2f}x (limit 3.0x)")
+if ratio >= 3.0:
+    msg = f"detector-to-cached ratio {ratio:.2f}x breaches the 3x budget"
+    if os.environ.get("CHECK_PERF_WARN_ONLY") == "1":
+        print(f"WARNING (CHECK_PERF_WARN_ONLY=1): {msg}", file=sys.stderr)
+    else:
+        print(f"FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+PYEOF
+[ $? -eq 0 ] || exit 1
 
 python3 - "$baseline" "$fresh_dir/BENCH_table3_emulation.json" "$threshold_pct" <<'PYEOF'
 import json, os, sys

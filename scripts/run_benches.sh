@@ -195,6 +195,15 @@ if "BM_EmulationFromCache" in gb:
     derived["emulate_cached_ns_per_op_min"] = round(
         min(r[1] for r in gbench["BM_EmulationFromCache"]), 2)
 
+# Detector tax with the section cache hitting, relative to cached
+# replay without observation — the "<3x" acceptance headline
+# (docs/PERFORMANCE.md). A within-run ratio, so host noise that
+# inflates both numerators cancels out.
+if "BM_SectionCacheWithDetector" in gb and "BM_EmulationFromCache" in gb:
+    derived["detector_cached_ratio"] = round(
+        gb["BM_SectionCacheWithDetector"]["cpu_time_ns"]
+        / gb["BM_EmulationFromCache"]["cpu_time_ns"], 3)
+
 # Section-cache hit rate from the obs counters, wherever the bench
 # exercised the flow-summary cache (docs/METRICS.md).
 counters = out.get("metrics", {}).get("counters", {})

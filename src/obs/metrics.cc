@@ -4,11 +4,9 @@
 
 namespace whodunit::obs {
 
-size_t ThisThreadShard() {
-  static std::atomic<size_t> next{0};
-  thread_local const size_t shard = next.fetch_add(1, std::memory_order_relaxed) % kShards;
-  return shard;
-}
+namespace internal {
+std::atomic<size_t> g_next_shard{0};
+}  // namespace internal
 
 uint64_t Counter::Value() const {
   uint64_t total = 0;

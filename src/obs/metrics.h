@@ -36,15 +36,23 @@ namespace whodunit::obs {
 // concurrency the tests exercise.
 inline constexpr size_t kShards = 16;
 
-// Index of the calling thread's shard, assigned round-robin on first
-// use per thread.
-size_t ThisThreadShard();
-
 namespace internal {
 struct alignas(64) PaddedAtomic {
   std::atomic<uint64_t> v{0};
 };
+// Round-robin shard assignment state (defined in metrics.cc).
+extern std::atomic<size_t> g_next_shard;
 }  // namespace internal
+
+// Index of the calling thread's shard, assigned round-robin on first
+// use per thread. Inline: Counter::Add sits on per-instruction paths
+// (the flow detector's hooks), where an out-of-line call per event is
+// measurable.
+inline size_t ThisThreadShard() {
+  thread_local const size_t shard =
+      internal::g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
 
 // Monotonic event count.
 class Counter {

@@ -18,210 +18,52 @@ FlowDetector::FlowDetector(Config config, CtxtProvider ctxt_provider)
       obs_window_dedups_(&obs::Registry().GetCounter("shm.consume_window_dedups")),
       obs_dict_size_(&obs::Registry().GetGauge("shm.dict_size")) {}
 
-const FlowDetector::Entry* FlowDetector::FindEntry(const vm::Loc& loc) {
-  if (loc.is_mem()) {
-    return mem_dict_.Find(loc.addr);
-  }
-  ThreadState& ts = St(loc.thread);
-  const auto r = static_cast<uint32_t>(loc.addr);
-  return (ts.reg_valid >> r) & 1u ? &ts.regs[r] : nullptr;
-}
-
-const FlowDetector::Entry* FlowDetector::FindEntryConst(const vm::Loc& loc) const {
-  if (loc.is_mem()) {
-    return mem_dict_.Find(loc.addr);
-  }
-  if (loc.thread >= threads_.size()) {
-    return nullptr;
-  }
-  const ThreadState& ts = threads_[loc.thread];
-  const auto r = static_cast<uint32_t>(loc.addr);
-  return (ts.reg_valid >> r) & 1u ? &ts.regs[r] : nullptr;
-}
-
-void FlowDetector::SetEntry(const vm::Loc& loc, const Entry& entry) {
-  if (loc.is_mem()) {
-    mem_dict_.Upsert(loc.addr, entry);
-    return;
-  }
-  ThreadState& ts = St(loc.thread);
-  const auto r = static_cast<uint32_t>(loc.addr);
-  reg_entries_ += static_cast<size_t>(((ts.reg_valid >> r) & 1u) == 0);
-  ts.reg_valid |= 1u << r;
-  ts.regs[r] = entry;
-}
-
-bool FlowDetector::EraseEntry(const vm::Loc& loc) {
-  if (loc.is_mem()) {
-    return mem_dict_.Erase(loc.addr);
-  }
-  ThreadState& ts = St(loc.thread);
-  const auto r = static_cast<uint32_t>(loc.addr);
-  if (((ts.reg_valid >> r) & 1u) == 0) {
-    return false;
-  }
-  ts.reg_valid &= ~(1u << r);
-  --reg_entries_;
-  return true;
-}
-
 void FlowDetector::FlushIfForeign(const vm::Loc& loc, uint64_t lock_id) {
   const Entry* e = FindEntry(loc);
   if (e != nullptr && e->lock_id != lock_id) {
     EraseEntry(loc);
-    obs_flushes_->Add();
+    ++tally_.flushes;
     if (rec_ != nullptr) {
       rec_->NoteFlush(loc);
     }
   }
 }
 
-void FlowDetector::ClearThreadRegisters(vm::ThreadId t) {
-  ThreadState& ts = St(t);
-  reg_entries_ -= std::popcount(ts.reg_valid);
-  ts.reg_valid = 0;
-}
+// --- Fast-path tails -------------------------------------------------
 
-void FlowDetector::OnLock(vm::ThreadId t, uint64_t lock_id) {
-  ThreadState& ts = St(t);
-  if (ts.lock_stack.empty()) {
-    // Entering an outermost critical section: registers carry values
-    // computed in un-emulated code, so they have no associated context
-    // (§3.2, "live registers on entry"). A pending consume window is
-    // over. With the bitmask register file this is one mask reset.
-    ClearThreadRegisters(t);
-    ts.post_window_left = 0;
-    obs_critical_sections_->Add();
-    if (rec_ != nullptr) {
-      rec_->NoteLockReset(lock_id);
+// The consume-window read path past the single lock-stack/window test:
+// one folded dictionary probe, then role/demotion/dedup bookkeeping
+// for the (rare) hit.
+void FlowDetector::ConsumeInWindow(vm::ThreadId t, ThreadState& ts, const vm::Loc& src) {
+  Entry entry;
+  if (src.is_mem()) {
+    const Entry* e = mem_dict_.Find(src.addr);
+    if (e == nullptr || e->ctxt == kInvalidCtxt) {
+      return;
     }
-  }
-  ts.lock_stack.push_back(lock_id);
-}
-
-void FlowDetector::OnUnlock(vm::ThreadId t, uint64_t lock_id) {
-  ThreadState& ts = St(t);
-  // Pop the matching lock (LIFO discipline is the normal case).
-  for (size_t i = ts.lock_stack.size(); i-- > 0;) {
-    if (ts.lock_stack[i] == lock_id) {
-      ts.lock_stack.erase(ts.lock_stack.begin() + static_cast<long>(i));
-      break;
+    entry = *e;
+    mem_dict_.Erase(src.addr);
+  } else {
+    ThreadState& ss = St(src.thread);
+    const auto r = static_cast<uint32_t>(src.addr);
+    if (((ss.reg_valid >> r) & 1u) == 0 || ss.regs[r].ctxt == kInvalidCtxt) {
+      return;
     }
-  }
-  if (ts.lock_stack.empty()) {
-    // Keep emulating for MAX instructions watching for consumption.
-    ts.post_window_left = config_.post_window;
-    ts.window_flows.clear();
-    obs_dict_size_->Set(static_cast<int64_t>(dictionary_size()));
-    if (rec_ != nullptr) {
-      rec_->NoteWindowStart();
-    }
-  }
-}
-
-void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) {
-  ThreadState& ts = St(t);
-  if (!InCriticalSection(ts)) {
-    // Outside any critical section the algorithm does not propagate;
-    // a write still clobbers whatever context the destination held.
-    if (rec_ != nullptr) {
-      rec_->NoteOutsideErase(dst);
-    }
-    EraseEntry(dst);
-    return;
-  }
-  const uint64_t lock_id = OutermostLock(ts);
-  if (rec_ != nullptr) {
-    // Fingerprint the source's raw pre-state before the foreign flush.
-    const Entry* pre = FindEntry(src);
-    rec_->NoteMovSrcAccess(src, pre != nullptr, pre != nullptr ? pre->ctxt : kInvalidCtxt,
-                           pre != nullptr ? pre->lock_id : 0,
-                           pre != nullptr ? pre->producer : 0, lock_id);
-  }
-  FlushIfForeign(src, lock_id);
-  FlushIfForeign(dst, lock_id);
-
-  if (const Entry* e = FindEntry(src)) {
-    // Propagation: dst inherits src's context, valid or invalid,
-    // along with the identity of the value's original producer.
-    SetEntry(dst, Entry{e->ctxt, lock_id, e->producer});
-    obs_propagations_->Add();
-    if (rec_ != nullptr) {
-      rec_->NotePropagate(dst, src, lock_id);
-    }
-    return;
-  }
-  // Source has no context: the executing thread is contributing a
-  // value it computed before entering the critical section. Associate
-  // the thread's transaction context with the destination. Writing
-  // such a value into *memory* is production of a resource.
-  const CtxtId current = ctxt_provider_(t);
-  SetEntry(dst, Entry{current, lock_id, t});
-  obs_associations_->Add();
-  if (rec_ != nullptr) {
-    rec_->NoteAssociate(dst, lock_id, current, dst.is_mem());
-  }
-  if (dst.is_mem()) {
-    RecordProducer(lock_id, t);
-  }
-}
-
-void FlowDetector::OnWriteValue(vm::ThreadId t, const vm::Loc& dst) {
-  ThreadState& ts = St(t);
-  if (!InCriticalSection(ts)) {
-    if (rec_ != nullptr) {
-      rec_->NoteOutsideErase(dst);
-    }
-    EraseEntry(dst);
-    return;
-  }
-  const uint64_t lock_id = OutermostLock(ts);
-  // Non-MOV modification: immediate store, arithmetic result. The
-  // location's value no longer carries any transaction's data.
-  SetEntry(dst, Entry{kInvalidCtxt, lock_id, t});
-  obs_poisonings_->Add();
-  if (rec_ != nullptr) {
-    rec_->NotePoison(dst, lock_id);
-  }
-}
-
-void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
-  ThreadState& ts = St(t);
-  if (InCriticalSection(ts)) {
-    // Reads inside critical sections are handled by OnMov propagation.
-    return;
-  }
-  if (rec_ != nullptr) {
-    rec_->NoteOutsideWindowUse();
-  }
-  if (ts.post_window_left <= 0) {
-    // Reads outside the consume window are un-emulated in the real
-    // system.
-    return;
-  }
-  const Entry* found = FindEntry(src);
-  if (rec_ != nullptr) {
-    rec_->NoteConsumeAccess(src, found != nullptr,
-                            found != nullptr ? found->ctxt : kInvalidCtxt,
-                            found != nullptr ? found->lock_id : 0,
-                            found != nullptr ? found->producer : 0);
-  }
-  if (found == nullptr || found->ctxt == kInvalidCtxt) {
-    return;
+    entry = ss.regs[r];
+    ss.reg_valid &= ~(1u << r);
+    --reg_entries_;
   }
   // Consumption: the thread used, after leaving the critical section,
   // a value that carries a transaction context.
-  const Entry entry = *found;
-  if (rec_ != nullptr) {
-    rec_->NoteConsume(src, entry.lock_id, entry.producer);
+  LockRoles& roles = RolesOf(entry.lock_id);
+  if (roles.consumers.insert(t)) {
+    MaybeDemote(entry.lock_id, roles);
   }
-  EraseEntry(src);
-  RecordConsumer(entry.lock_id, t);
-  if (entry.producer != t && !IsDemoted(entry.lock_id)) {
+  if (entry.producer != t && !roles.demoted) {
     const auto key = std::make_pair(entry.lock_id, entry.ctxt);
     for (const auto& seen : ts.window_flows) {
       if (seen == key) {
-        obs_window_dedups_->Add();
+        ++tally_.window_dedups;
         return;  // same logical flow, another word of the element
       }
     }
@@ -236,25 +78,155 @@ void FlowDetector::OnRead(vm::ThreadId t, const vm::Loc& src) {
   }
 }
 
-void FlowDetector::OnRetireBatch(vm::ThreadId t, int64_t n) {
-  // No recording note: window decrements are deterministic given the
-  // trace, and every branch that *reads* the inherited window (a read
-  // outside a critical section) pins it via NoteOutsideWindowUse.
-  ThreadState& ts = St(t);
-  if (!InCriticalSection(ts) && ts.post_window_left > 0) {
-    ts.post_window_left -=
-        static_cast<int>(std::min<int64_t>(n, ts.post_window_left));
+// Pop for the non-LIFO unlock order (legal, rare): release the
+// matching lock wherever it sits in the stack.
+void FlowDetector::PopLockSlow(ThreadState& ts, uint64_t lock_id) {
+  for (size_t i = ts.lock_stack.size(); i-- > 0;) {
+    if (ts.lock_stack[i] == lock_id) {
+      ts.lock_stack.erase(ts.lock_stack.begin() + static_cast<long>(i));
+      return;
+    }
   }
 }
 
+// --- Recording variants ----------------------------------------------
+//
+// Single-path bodies used during cold-run section recording: same
+// dictionary transitions and counter totals as the inline fast paths,
+// plus a Note* classification per event into rec_.
+
+void FlowDetector::RecOnLock(vm::ThreadId t, uint64_t lock_id) {
+  ThreadState& ts = St(t);
+  if (ts.lock_stack.empty()) {
+    ClearThreadRegisters(t);
+    ts.post_window_left = 0;
+    ++tally_.critical_sections;
+    if (--sections_until_flush_ == 0) {
+      FlushObsTallies();
+    }
+    rec_->NoteLockReset(lock_id);
+  }
+  ts.lock_stack.push_back(lock_id);
+}
+
+void FlowDetector::RecOnUnlock(vm::ThreadId t, uint64_t lock_id) {
+  ThreadState& ts = St(t);
+  if (!ts.lock_stack.empty() && ts.lock_stack.back() == lock_id) {
+    ts.lock_stack.pop_back();
+  } else {
+    PopLockSlow(ts, lock_id);
+  }
+  if (ts.lock_stack.empty()) {
+    // Keep emulating for MAX instructions watching for consumption.
+    ts.post_window_left = config_.post_window;
+    ts.window_flows.clear();
+    obs_dict_size_->Set(static_cast<int64_t>(dictionary_size()));
+    rec_->NoteWindowStart();
+  }
+}
+
+void FlowDetector::RecOnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Loc& src) {
+  ThreadState& ts = St(t);
+  if (!InCriticalSection(ts)) {
+    rec_->NoteOutsideErase(dst);
+    EraseEntry(dst);
+    return;
+  }
+  const uint64_t lock_id = OutermostLock(ts);
+  {
+    // Fingerprint the source's raw pre-state before the foreign flush.
+    const Entry* pre = FindEntry(src);
+    rec_->NoteMovSrcAccess(src, pre != nullptr, pre != nullptr ? pre->ctxt : kInvalidCtxt,
+                           pre != nullptr ? pre->lock_id : 0,
+                           pre != nullptr ? pre->producer : 0, lock_id);
+  }
+  FlushIfForeign(src, lock_id);
+  FlushIfForeign(dst, lock_id);
+
+  if (const Entry* e = FindEntry(src)) {
+    // Propagation: dst inherits src's context, valid or invalid,
+    // along with the identity of the value's original producer.
+    SetEntry(dst, Entry{e->ctxt, lock_id, e->producer});
+    ++tally_.propagations;
+    rec_->NotePropagate(dst, src, lock_id);
+    return;
+  }
+  // Source has no context: the executing thread is contributing a
+  // value it computed before entering the critical section. Associate
+  // the thread's transaction context with the destination. Writing
+  // such a value into *memory* is production of a resource.
+  const CtxtId current = ctxt_provider_(t);
+  SetEntry(dst, Entry{current, lock_id, t});
+  ++tally_.associations;
+  rec_->NoteAssociate(dst, lock_id, current, dst.is_mem());
+  if (dst.is_mem()) {
+    RecordProducer(lock_id, t);
+  }
+}
+
+void FlowDetector::RecOnWriteValue(vm::ThreadId t, const vm::Loc& dst) {
+  ThreadState& ts = St(t);
+  if (!InCriticalSection(ts)) {
+    rec_->NoteOutsideErase(dst);
+    EraseEntry(dst);
+    return;
+  }
+  const uint64_t lock_id = OutermostLock(ts);
+  SetEntry(dst, Entry{kInvalidCtxt, lock_id, t});
+  ++tally_.poisonings;
+  rec_->NotePoison(dst, lock_id);
+}
+
+void FlowDetector::RecOnRead(vm::ThreadId t, const vm::Loc& src) {
+  ThreadState& ts = St(t);
+  if (InCriticalSection(ts)) {
+    return;
+  }
+  rec_->NoteOutsideWindowUse();
+  if (ts.post_window_left <= 0) {
+    return;
+  }
+  const Entry* found = FindEntry(src);
+  rec_->NoteConsumeAccess(src, found != nullptr,
+                          found != nullptr ? found->ctxt : kInvalidCtxt,
+                          found != nullptr ? found->lock_id : 0,
+                          found != nullptr ? found->producer : 0);
+  if (found == nullptr || found->ctxt == kInvalidCtxt) {
+    return;
+  }
+  const Entry entry = *found;
+  rec_->NoteConsume(src, entry.lock_id, entry.producer);
+  EraseEntry(src);
+  RecordConsumer(entry.lock_id, t);
+  if (entry.producer != t && !IsDemoted(entry.lock_id)) {
+    const auto key = std::make_pair(entry.lock_id, entry.ctxt);
+    for (const auto& seen : ts.window_flows) {
+      if (seen == key) {
+        ++tally_.window_dedups;
+        return;  // same logical flow, another word of the element
+      }
+    }
+    ts.window_flows.push_back(key);
+    ++flows_detected_;
+    obs_flows_->Add();
+    FlowEvent ev{entry.producer, t, entry.ctxt, entry.lock_id, src};
+    flow_log_.push_back(ev);
+    if (on_flow_) {
+      on_flow_(ev);
+    }
+  }
+}
+
+// --- Role lists ------------------------------------------------------
+
 void FlowDetector::RecordProducer(uint64_t lock_id, vm::ThreadId t) {
-  LockRoles& roles = roles_.GetOrInsert(lock_id);
+  LockRoles& roles = RolesOf(lock_id);
   roles.producers.insert(t);
   MaybeDemote(lock_id, roles);
 }
 
 void FlowDetector::RecordConsumer(uint64_t lock_id, vm::ThreadId t) {
-  LockRoles& roles = roles_.GetOrInsert(lock_id);
+  LockRoles& roles = RolesOf(lock_id);
   roles.consumers.insert(t);
   MaybeDemote(lock_id, roles);
 }
@@ -333,6 +305,14 @@ bool FlowDetector::MatchSection(const DictEffects& fx, vm::ThreadId t,
       return false;
     }
   }
+  // Prefetch the memory-namespace buckets up front: the validation
+  // loop then probes lines already in flight instead of serializing
+  // one miss per input.
+  for (const DictInput& in : fx.inputs) {
+    if (in.loc.is_mem()) {
+      mem_dict_.Prefetch(in.loc.addr);
+    }
+  }
   out->ctxts.assign(fx.inputs.size(), kInvalidCtxt);
   out->producers.assign(fx.inputs.size(), 0);
   for (size_t i = 0; i < fx.inputs.size(); ++i) {
@@ -393,7 +373,10 @@ void FlowDetector::ApplySection(const DictEffects& fx, vm::ThreadId t,
       case DictOp::Kind::kLockReset:
         ClearThreadRegisters(t);
         ts.post_window_left = 0;
-        obs_critical_sections_->Add();
+        ++tally_.critical_sections;
+        if (--sections_until_flush_ == 0) {
+          FlushObsTallies();
+        }
         break;
       case DictOp::Kind::kWindowStart:
         ts.post_window_left = config_.post_window;
@@ -420,7 +403,7 @@ void FlowDetector::ApplySection(const DictEffects& fx, vm::ThreadId t,
           }
         }
         if (duplicate) {
-          obs_window_dedups_->Add();
+          ++tally_.window_dedups;
           break;
         }
         ts.window_flows.push_back(key);
@@ -436,6 +419,11 @@ void FlowDetector::ApplySection(const DictEffects& fx, vm::ThreadId t,
     }
   }
   for (const DictWrite& w : fx.writes) {
+    if (w.loc.is_mem()) {
+      mem_dict_.Prefetch(w.loc.addr);
+    }
+  }
+  for (const DictWrite& w : fx.writes) {
     if (w.erase) {
       EraseEntry(w.loc);
     } else {
@@ -443,10 +431,10 @@ void FlowDetector::ApplySection(const DictEffects& fx, vm::ThreadId t,
     }
   }
   ts.post_window_left = fx.final_post_window;
-  obs_propagations_->Add(fx.n_propagations);
-  obs_associations_->Add(fx.n_associations);
-  obs_poisonings_->Add(fx.n_poisonings);
-  obs_flushes_->Add(fx.n_flushes);
+  tally_.propagations += fx.n_propagations;
+  tally_.associations += fx.n_associations;
+  tally_.poisonings += fx.n_poisonings;
+  tally_.flushes += fx.n_flushes;
   obs_dict_size_->Set(static_cast<int64_t>(dictionary_size()));
 }
 

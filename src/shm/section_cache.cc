@@ -48,8 +48,9 @@ vm::ExecResult SectionCache::RunMiss(vm::Interpreter& interp, const vm::Program&
     // translation cycles in their replayed cost.
     return Plain(interp, program, t, cpu, mem, det);
   }
-  const Variants* v = table_.Find(program.id);
-  if (v != nullptr && v->never_cache) {
+  const ProgramEntry* pe = table_.Find(program.id);
+  if (pe != nullptr &&
+      (pe->never_cache || (t < pe->rings.size() && pe->rings[t].demoted))) {
     return Plain(interp, program, t, cpu, mem, det);
   }
   if (det != nullptr && !det->CanRecordSection(t)) {
@@ -64,13 +65,12 @@ vm::ExecResult SectionCache::RecordCold(vm::Interpreter& interp, const vm::Progr
                                         vm::ThreadId t, vm::CpuState& cpu, vm::Memory& mem,
                                         FlowDetector* det) {
   const auto start = std::chrono::steady_clock::now();
-  SectionRecording dict_rec;
   if (det != nullptr) {
-    det->BeginSectionRecording(&dict_rec, t);
+    det->BeginSectionRecording(&scratch_rec_, t);
   }
-  vm::EffectRecorder<FlowDetector> rec(t, cpu, mem, det);
-  const vm::ExecResult res = interp.ExecuteWith(program, t, cpu, mem, &rec);
-  vm::ArchEffects arch = rec.Finish();
+  scratch_arch_.Reset(t, cpu, mem, det);
+  const vm::ExecResult res = interp.ExecuteWith(program, t, cpu, mem, &scratch_arch_);
+  vm::ArchEffects arch = scratch_arch_.Finish();
   DictEffects dict;
   if (det != nullptr) {
     dict = det->EndSectionRecording();
@@ -82,27 +82,36 @@ vm::ExecResult SectionCache::RecordCold(vm::Interpreter& interp, const vm::Progr
                                        /*start_ns=*/0, /*duration_ns=*/ns});
 
   const bool cacheable = arch.cacheable && (det == nullptr || dict.cacheable);
-  Variants& vv = table_.GetOrInsert(program.id);
+  ProgramEntry& pe = table_.GetOrInsert(program.id);
   if (!cacheable) {
-    vv.never_cache = true;
+    pe.never_cache = true;
     obs_uncacheable_->Add();
     obs_sections_->Set(static_cast<int64_t>(table_.size()));
     return res;
   }
-  ++vv.records;
-  if (config_.churn_demote_records != 0 && vv.records >= config_.churn_demote_records &&
-      vv.replay_hits < vv.records) {
-    // The section re-records on ~every execution (its fingerprint pins
-    // a value that walks), so the cache is a net slowdown here: demote
-    // to plain emulation for good.
-    variant_count_ -= vv.summaries.size();
-    obs_invalidations_->Add(vv.summaries.size());
-    vv.summaries.clear();
-    vv.never_cache = true;
-    obs_churn_demotions_->Add();
-    obs_sections_->Set(static_cast<int64_t>(table_.size()));
-    obs_variants_->Set(static_cast<int64_t>(variant_count_));
-    return res;
+  if (t >= pe.rings.size()) {
+    pe.rings.resize(static_cast<size_t>(t) + 1);
+  }
+  ThreadRing& ring = pe.rings[t];
+  const bool full = ring.summaries.size() >= config_.max_variants;
+  if (full) {
+    ++ring.evictions;
+    if (config_.churn_demote_records != 0 &&
+        ring.evictions >= config_.churn_demote_records &&
+        ring.replay_hits < ring.evictions) {
+      // This thread's fingerprints walk an unbounded set (evictions
+      // outpace replays even with a full ring), so the cache is a net
+      // slowdown here: demote the ring to plain emulation for good.
+      variant_count_ -= ring.summaries.size();
+      obs_invalidations_->Add(static_cast<uint64_t>(ring.summaries.size()));
+      ring.summaries.clear();
+      ring.summaries.shrink_to_fit();
+      ring.demoted = true;
+      obs_churn_demotions_->Add();
+      obs_sections_->Set(static_cast<int64_t>(table_.size()));
+      obs_variants_->Set(static_cast<int64_t>(variant_count_));
+      return res;
+    }
   }
   SectionSummary s;
   s.thread = t;
@@ -110,14 +119,15 @@ vm::ExecResult SectionCache::RecordCold(vm::Interpreter& interp, const vm::Progr
   s.arch = std::move(arch);
   s.dict = std::move(dict);
   s.base = res;  // translation was paid on an earlier run; res excludes it
-  if (vv.summaries.size() < config_.max_variants) {
-    vv.summaries.push_back(std::move(s));
-    ++variant_count_;
-  } else {
-    vv.summaries[vv.next_evict] = std::move(s);
-    vv.next_evict = (vv.next_evict + 1) % config_.max_variants;
+  if (full) {
+    // Least recently replayed lives at the back (Run swaps hits to the
+    // front); drop it to make room.
+    ring.summaries.pop_back();
     obs_invalidations_->Add();
+  } else {
+    ++variant_count_;
   }
+  ring.summaries.insert(ring.summaries.begin(), std::move(s));
   obs_records_->Add();
   obs_sections_->Set(static_cast<int64_t>(table_.size()));
   obs_variants_->Set(static_cast<int64_t>(variant_count_));
@@ -165,19 +175,23 @@ vm::ExecResult SectionCache::ShadowVerifyHit(const SectionSummary& s, vm::Interp
 }
 
 void SectionCache::Invalidate(uint64_t program_id) {
-  Variants* v = table_.Find(program_id);
-  if (v == nullptr) {
+  ProgramEntry* pe = table_.Find(program_id);
+  if (pe == nullptr) {
     return;
   }
-  variant_count_ -= v->summaries.size();
-  obs_invalidations_->Add(v->summaries.size());
+  size_t dropped = 0;
+  for (const ThreadRing& ring : pe->rings) {
+    dropped += ring.summaries.size();
+  }
+  variant_count_ -= dropped;
+  obs_invalidations_->Add(static_cast<uint64_t>(dropped));
   table_.Erase(program_id);
   obs_sections_->Set(static_cast<int64_t>(table_.size()));
   obs_variants_->Set(static_cast<int64_t>(variant_count_));
 }
 
 void SectionCache::Clear() {
-  obs_invalidations_->Add(variant_count_);
+  obs_invalidations_->Add(static_cast<uint64_t>(variant_count_));
   table_.Clear();
   variant_count_ = 0;
   obs_sections_->Set(0);

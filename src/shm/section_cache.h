@@ -5,18 +5,19 @@
 // paper §3, Table 3). The first time a section runs, the cache records
 // its *net effect* — architectural (vm::ArchEffects: the read-set
 // fingerprint and the final register/memory/flag writes with MOV
-// chains kept symbolic) and dictionary-side (shm::DictEffects:
-// propagations, poisonings, consume ops, role updates with contexts
-// kept symbolic) — keyed by the program id and the executing thread.
-// Subsequent executions whose fingerprints match replay the summary
-// and bypass the MiniVM dispatch loop entirely.
+// chains and final compares kept symbolic) and dictionary-side
+// (shm::DictEffects: propagations, poisonings, consume ops, role
+// updates with contexts kept symbolic) — in a ring keyed by
+// (program id, executing thread). Subsequent executions whose
+// fingerprints match replay the summary and bypass the MiniVM
+// dispatch loop entirely.
 //
 // Invalidation is structural rather than epochal:
 //   * guest-code change  — programs are immutable and get fresh ids
 //     from the builder, so a rebuilt section simply misses;
 //   * fingerprint mismatch — a pinned value or dictionary shape
-//     differs; the cold run records a new variant (per-section ring,
-//     `max_variants`);
+//     differs; the cold run records a new variant into the
+//     (program, thread) ring (`max_variants`);
 //   * demotion-state / window state — never stale by construction:
 //     demotion checks, window dedup and flow emission re-execute live
 //     during replay, and summaries whose behavior depended on the
@@ -33,6 +34,7 @@
 #define SRC_SHM_SECTION_CACHE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -53,16 +55,18 @@ class SectionCache {
  public:
   struct Config {
     bool enabled = true;
-    // Fingerprint variants retained per (program, thread) section; a
-    // ring evicts the oldest beyond this. Sections whose pinned values
-    // walk (a queue fingerprinting its depth) get one variant per
-    // distinct value, so steady-state workloads cycle within the ring.
-    size_t max_variants = 8;
-    // Churn guard: once a section has recorded this many variants while
-    // replaying fewer hits than recordings, it is demoted to plain
-    // emulation for good. Recording costs several times a plain run, so
-    // a section whose pinned values walk on every execution (a queue
-    // fingerprinting a monotonically growing depth) would otherwise
+    // Fingerprint variants retained per (program, thread) ring; a full
+    // ring evicts the least recently replayed. Sections whose pinned
+    // values walk a bounded set (a table section whose fingerprint pins
+    // the row index, a queue fingerprinting its depth) get one variant
+    // per distinct value, so the default covers a 64-value working set
+    // for each thread before anything is evicted.
+    size_t max_variants = 64;
+    // Churn guard: once a full ring has evicted this many summaries
+    // while replaying fewer hits than evictions, that (program, thread)
+    // ring is demoted to plain emulation for good. Recording costs
+    // several times a plain run, so a section whose pinned values walk
+    // an unbounded set (a monotonically growing depth) would otherwise
     // turn the cache into a steady-state slowdown. 0 disables.
     uint32_t churn_demote_records = 32;
     // Re-emulate every hit and assert equivalence (debug).
@@ -83,31 +87,43 @@ class SectionCache {
   vm::ExecResult Run(vm::Interpreter& interp, const vm::Program& program, vm::ThreadId t,
                      vm::CpuState& cpu, vm::Memory& mem, FlowDetector* det) {
     if (config_.enabled) {
-      Variants* v = table_.Find(program.id);
-      if (v != nullptr && !v->summaries.empty() && interp.IsTranslated(program.id)) {
-        for (SectionSummary& s : v->summaries) {
-          if (s.thread != t || s.has_dict != (det != nullptr)) {
+      ProgramEntry* pe = table_.Find(program.id);
+      if (pe != nullptr && t < pe->rings.size() && interp.IsTranslated(program.id)) {
+        ThreadRing& ring = pe->rings[t];
+        std::vector<SectionSummary>& sums = ring.summaries;
+        const bool want_dict = det != nullptr;
+        for (size_t i = 0; i < sums.size(); ++i) {
+          SectionSummary& s = sums[i];
+          if (s.has_dict != want_dict) {
             continue;
           }
           if (!MatchArch(s.arch, cpu, mem)) {
             continue;
           }
-          if (det != nullptr && !det->MatchSection(s.dict, t, &resolved_)) {
+          if (want_dict && !det->MatchSection(s.dict, t, &resolved_)) {
             continue;
           }
           ++hits_;
-          ++v->replay_hits;
+          ++ring.replay_hits;
           obs_hits_->Add();
+          if (i != 0) {
+            // Keep the ring in replay-recency order: repeated sections
+            // match at the front, and eviction drops the back.
+            std::swap(sums[0], s);
+          }
+          SectionSummary& m = sums[0];
           if (config_.shadow_verify) {
-            return ShadowVerifyHit(s, interp, program, t, cpu, mem, det);
+            return ShadowVerifyHit(m, interp, program, t, cpu, mem, det);
           }
-          ApplyArch(s.arch, cpu, mem);
-          if (det != nullptr) {
-            det->ApplySection(s.dict, t, resolved_);
+          ApplyArch(m.arch, cpu, mem);
+          if (want_dict) {
+            det->ApplySection(m.dict, t, resolved_);
           }
-          return s.base;
+          return m.base;
         }
-        obs_fingerprint_misses_->Add();
+        if (!sums.empty()) {
+          obs_fingerprint_misses_->Add();
+        }
       }
     }
     return RunMiss(interp, program, t, cpu, mem, det);
@@ -123,18 +139,25 @@ class SectionCache {
   size_t variants() const { return variant_count_; }
 
  private:
-  struct Variants {
+  // Summaries recorded by one thread for one program, most recently
+  // replayed first. Keying the ring per (program, thread) keeps one
+  // thread's walking fingerprints (its own row indices, its own queue
+  // slots) from evicting another thread's working set, and drops the
+  // per-summary thread check from the hit scan.
+  struct ThreadRing {
     std::vector<SectionSummary> summaries;
-    size_t next_evict = 0;
-    // Recording/replay tallies for the churn guard: a section whose
-    // recordings outpace its hits past `churn_demote_records` is
-    // paying record cost on ~every run and gets demoted.
-    uint32_t records = 0;
+    // Replay/eviction tallies for the churn guard: a ring whose
+    // evictions outpace its hits past `churn_demote_records` is paying
+    // record cost on ~every run and gets demoted.
     uint64_t replay_hits = 0;
-    // Set when a recording declared the section uncacheable (effect
-    // overflow, mid-section context change, lock held at exit) or the
-    // churn guard demoted it: skip the recording overhead on later
-    // runs too.
+    uint32_t evictions = 0;
+    bool demoted = false;
+  };
+  struct ProgramEntry {
+    std::vector<ThreadRing> rings;  // dense, indexed by ThreadId
+    // Set when a recording declared the program uncacheable (effect
+    // overflow, mid-section context change, lock held at exit): skip
+    // the recording overhead on later runs, for every thread.
     bool never_cache = false;
   };
 
@@ -144,20 +167,35 @@ class SectionCache {
 
   // Single gather pass: reads every input's live value into arch_vals_
   // (ApplyArch reuses them — a section may overwrite its own inputs)
-  // and fail-fasts on a pinned-value mismatch.
+  // and fail-fasts on a pinned-value mismatch. Register pins are
+  // checked first — they're free to read — while the memory inputs'
+  // bucket lines stream in behind a prefetch sweep.
   bool MatchArch(const vm::ArchEffects& fx, const vm::CpuState& cpu, const vm::Memory& mem) {
-    if (cpu.cmp != fx.initial_cmp) {
+    if (fx.pin_initial_cmp && cpu.cmp != fx.initial_cmp) {
       return false;
     }
     const size_t n = fx.inputs.size();
     for (size_t i = 0; i < n; ++i) {
       const vm::ArchInput& in = fx.inputs[i];
-      const uint64_t live = in.loc.kind == vm::Loc::Kind::kReg ? cpu.regs[in.loc.addr]
-                                                               : mem.Read(in.loc.addr);
-      if (in.required && live != in.value) {
-        return false;
+      if (in.loc.kind == vm::Loc::Kind::kReg) {
+        const uint64_t live = cpu.regs[in.loc.addr];
+        if (in.required && live != in.value) {
+          return false;
+        }
+        arch_vals_[i] = live;
+      } else {
+        mem.Prefetch(in.loc.addr);
       }
-      arch_vals_[i] = live;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const vm::ArchInput& in = fx.inputs[i];
+      if (in.loc.kind != vm::Loc::Kind::kReg) {
+        const uint64_t live = mem.Read(in.loc.addr);
+        if (in.required && live != in.value) {
+          return false;
+        }
+        arch_vals_[i] = live;
+      }
     }
     return true;
   }
@@ -185,7 +223,19 @@ class SectionCache {
         mem.Write(w.loc.addr, v);
       }
     }
-    cpu.cmp = fx.final_cmp;
+    switch (fx.final_cmp_kind) {
+      case vm::ArchEffects::CmpKind::kInitial:
+        break;  // flags never written: replay leaves them untouched
+      case vm::ArchEffects::CmpKind::kSym:
+        cpu.cmp = vm::internal::Sign(
+            static_cast<int64_t>(arch_vals_[fx.final_cmp_input] + fx.final_cmp_delta) -
+            fx.final_cmp_imm);
+        break;
+      case vm::ArchEffects::CmpKind::kConcrete:
+      default:
+        cpu.cmp = fx.final_cmp;
+        break;
+    }
   }
 
   vm::ExecResult RunMiss(vm::Interpreter& interp, const vm::Program& program, vm::ThreadId t,
@@ -198,7 +248,7 @@ class SectionCache {
                                  vm::CpuState& cpu, vm::Memory& mem, FlowDetector* det);
 
   Config config_;
-  util::RobinHoodMap<uint64_t, Variants> table_;
+  util::RobinHoodMap<uint64_t, ProgramEntry> table_;
   size_t variant_count_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -206,6 +256,10 @@ class SectionCache {
   // capacities are warm. arch_vals_ is bounded by the recording cap.
   FlowDetector::ResolvedDictInputs resolved_;
   uint64_t arch_vals_[vm::kMaxArchEntries];
+  // Pooled recording scratch: RecordCold reuses these so cold runs
+  // stop paying a fresh allocation burst per recording.
+  SectionRecording scratch_rec_;
+  vm::EffectRecorder<FlowDetector> scratch_arch_;
 
   // Self-observability handles, resolved once (see docs/METRICS.md).
   obs::Counter* obs_hits_;

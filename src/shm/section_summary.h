@@ -164,10 +164,25 @@ class SectionRecording {
              std::vector<std::pair<uint64_t, CtxtId>> pre_window_flows,
              int post_window_config) {
     t_ = t;
-    fx_ = DictEffects{};
+    // Field-wise reset rather than `fx_ = DictEffects{}` so a pooled
+    // recording's vector capacities survive when the previous run never
+    // reached Finish() (uncacheable aborts).
+    fx_.inputs.clear();
+    fx_.ops.clear();
+    fx_.writes.clear();
     fx_.post_window_config = post_window_config;
+    fx_.pin_pre_window = false;
     fx_.pre_post_window = pre_post_window;
+    fx_.pin_pre_window_flows = false;
     fx_.pre_window_flows = std::move(pre_window_flows);
+    fx_.final_post_window = 0;
+    fx_.uses_current = false;
+    fx_.current_was_invalid = false;
+    fx_.n_propagations = 0;
+    fx_.n_associations = 0;
+    fx_.n_poisonings = 0;
+    fx_.n_flushes = 0;
+    fx_.cacheable = true;
     locs_.clear();
     saw_window_start_ = false;
     saw_lock_reset_ = false;

@@ -66,6 +66,32 @@ class RobinHoodMap {
 
   bool Contains(const Key& key) const { return Find(key) != nullptr; }
 
+  // Issues a prefetch for key's home bucket. Probe batches (the
+  // section cache's fingerprint sweeps, the flow detector's dictionary
+  // input groups) call this for every key up front, then probe: the
+  // bucket lines load in parallel instead of serializing one cache
+  // miss per probe.
+  void Prefetch(const Key& key) const {
+    if (size_ != 0) {
+      __builtin_prefetch(&slots_[Hash{}(key)&mask_]);
+    }
+  }
+
+  // Returns the value slot for key, inserting a default-constructed
+  // value if absent; *existed reports which. The hit path is a single
+  // probe (Find + GetOrInsert would pay two), which matters to callers
+  // that overwrite an entry but must know whether one was there — the
+  // flow detector's dictionary writes.
+  Value& FindOrInsert(const Key& key, bool* existed) {
+    if (Value* v = Find(key)) {
+      *existed = true;
+      return *v;
+    }
+    *existed = false;
+    ReserveForInsert();
+    return *InsertFresh(key, Value{});
+  }
+
   // Inserts key with a default-constructed value if absent; returns
   // the (new or existing) value.
   Value& GetOrInsert(const Key& key) {

@@ -67,6 +67,18 @@ class InstructionObserver {
   }
   // Any operand read (includes MOV sources and address bases).
   virtual void OnRead(ThreadId /*t*/, const Loc& /*src*/) {}
+  // A compare against an immediate: cmp <- sign(value(lhs) - imm).
+  // Delivered after the operand's OnRead, before the flags update.
+  // Effect recorders use it to keep the flags *symbolic* in lhs — a
+  // table read whose only post-section use is `CmpRI(row, 0)` replays
+  // for any row value instead of pinning the payload.
+  virtual void OnCompare(ThreadId /*t*/, const Loc& /*lhs*/, int64_t /*imm*/) {}
+  // A compare of two locations: cmp <- sign(value(lhs) - value(rhs)).
+  virtual void OnCompareLocs(ThreadId /*t*/, const Loc& /*lhs*/, const Loc& /*rhs*/) {}
+  // A conditional jump consulted the flags (taken or not). This is
+  // where a symbolic compare result must collapse to a concrete pin:
+  // the recorded instruction trace embeds the branch direction.
+  virtual void OnBranch(ThreadId /*t*/) {}
   virtual void OnLock(ThreadId /*t*/, uint64_t /*lock_id*/) {}
   virtual void OnUnlock(ThreadId /*t*/, uint64_t /*lock_id*/) {}
   // Fired after each instruction completes.
@@ -107,6 +119,9 @@ class Interpreter {
     void OnWriteValue(ThreadId, const Loc&) {}
     void OnAffineWrite(ThreadId, const Loc&, const Loc&, uint64_t) {}
     void OnRead(ThreadId, const Loc&) {}
+    void OnCompare(ThreadId, const Loc&, int64_t) {}
+    void OnCompareLocs(ThreadId, const Loc&, const Loc&) {}
+    void OnBranch(ThreadId) {}
     void OnLock(ThreadId, uint64_t) {}
     void OnUnlock(ThreadId, uint64_t) {}
     void OnRetireBatch(ThreadId, int64_t) {}
@@ -140,10 +155,43 @@ class Interpreter {
 
   uint64_t translations_performed() const { return translations_performed_; }
 
+  ~Interpreter() { FlushObsTallies(); }
+
+  // Publishes batched per-Execute counts (translation-cache hits,
+  // instructions emulated/direct) to the metrics registry. Called
+  // automatically every kObsFlushExecutes executions and at
+  // destruction; explicit calls are only needed when exact counts must
+  // be visible mid-lifetime.
+  void FlushObsTallies() {
+    if (tally_cache_hits_ != 0) {
+      obs_cache_hits_->Add(tally_cache_hits_);
+      tally_cache_hits_ = 0;
+    }
+    if (tally_emulated_ != 0) {
+      obs_emulated_->Add(tally_emulated_);
+      tally_emulated_ = 0;
+    }
+    if (tally_direct_ != 0) {
+      obs_direct_->Add(tally_direct_);
+      tally_direct_ = 0;
+    }
+    obs_flush_countdown_ = kObsFlushExecutes;
+  }
+
  private:
+  // Executions between metric publications. Per-Execute sharded-atomic
+  // updates were a measurable fraction of the short-critical-section
+  // emulation cost; counts are staged in plain members instead and
+  // published in batches (bounded staleness, exact totals).
+  static constexpr uint32_t kObsFlushExecutes = 256;
+
   // Used as a set: presence of the program id means "translated".
   util::RobinHoodMap<uint64_t, uint8_t> translated_;
   uint64_t translations_performed_ = 0;
+  uint64_t tally_cache_hits_ = 0;
+  uint64_t tally_emulated_ = 0;
+  uint64_t tally_direct_ = 0;
+  uint32_t obs_flush_countdown_ = kObsFlushExecutes;
 
   // Self-observability handles, resolved once (see docs/METRICS.md).
   obs::Counter* obs_translations_ = &obs::Registry().GetCounter("vm.translations");
@@ -164,7 +212,7 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
     // One translation-cache probe per Execute, hoisted out of the
     // instruction loop (translation state cannot change mid-run).
     if (translated_.Contains(program.id)) {
-      obs_cache_hits_->Add();
+      ++tally_cache_hits_;
     } else {
       // Translation pass: in the real system this decodes guest code
       // and emits a translated block; here the per-instruction cost
@@ -329,6 +377,7 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
       case Opcode::kCmpRI:
         if (hooks) {
           observer->OnRead(thread, Loc::Reg(thread, ins.r1));
+          observer->OnCompare(thread, Loc::Reg(thread, ins.r1), ins.imm);
         }
         cpu.cmp = internal::Sign(static_cast<int64_t>(cpu.regs[ins.r1]) - ins.imm);
         break;
@@ -336,6 +385,8 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
         if (hooks) {
           observer->OnRead(thread, Loc::Reg(thread, ins.r1));
           observer->OnRead(thread, Loc::Reg(thread, ins.r2));
+          observer->OnCompareLocs(thread, Loc::Reg(thread, ins.r1),
+                                  Loc::Reg(thread, ins.r2));
         }
         cpu.cmp = internal::Sign(static_cast<int64_t>(cpu.regs[ins.r1]) -
                                  static_cast<int64_t>(cpu.regs[ins.r2]));
@@ -345,6 +396,7 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
         if (hooks) {
           read_base(ins.m1);
           observer->OnRead(thread, Loc::Mem(a));
+          observer->OnCompare(thread, Loc::Mem(a), ins.imm);
         }
         cpu.cmp = internal::Sign(static_cast<int64_t>(mem.Read(a)) - ins.imm);
         break;
@@ -353,21 +405,33 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
         next_pc = ins.target;
         break;
       case Opcode::kJe:
+        if (hooks) {
+          observer->OnBranch(thread);
+        }
         if (cpu.cmp == 0) {
           next_pc = ins.target;
         }
         break;
       case Opcode::kJne:
+        if (hooks) {
+          observer->OnBranch(thread);
+        }
         if (cpu.cmp != 0) {
           next_pc = ins.target;
         }
         break;
       case Opcode::kJl:
+        if (hooks) {
+          observer->OnBranch(thread);
+        }
         if (cpu.cmp < 0) {
           next_pc = ins.target;
         }
         break;
       case Opcode::kJge:
+        if (hooks) {
+          observer->OnBranch(thread);
+        }
         if (cpu.cmp >= 0) {
           next_pc = ins.target;
         }
@@ -399,8 +463,12 @@ ExecResult Interpreter::ExecuteWith(const Program& program, ThreadId thread, Cpu
   }
 
   // Aggregated once per Execute so the per-instruction loop stays
-  // free of instrumentation.
-  (emulate ? obs_emulated_ : obs_direct_)->Add(static_cast<uint64_t>(result.instructions));
+  // free of instrumentation; staged in plain members and published in
+  // batches so short sections don't pay a sharded-atomic update each.
+  (emulate ? tally_emulated_ : tally_direct_) += static_cast<uint64_t>(result.instructions);
+  if (--obs_flush_countdown_ == 0) {
+    FlushObsTallies();
+  }
   return result;
 }
 
@@ -443,10 +511,30 @@ struct ArchWrite {
 inline constexpr size_t kMaxArchEntries = 256;
 
 struct ArchEffects {
+  // Provenance of the flags value the section leaves behind.
+  //   kConcrete — replay writes final_cmp (a constant of the recorded
+  //               run; deterministic given the pinned inputs).
+  //   kInitial  — the section never wrote the flags; replay leaves the
+  //               live cpu.cmp untouched.
+  //   kSym      — the last compare's operand stayed symbolic; replay
+  //               recomputes sign(live(inputs[final_cmp_input]) +
+  //               final_cmp_delta - final_cmp_imm). This is what lets a
+  //               table read whose only post-section use is
+  //               `CmpRI(row, 0)` hit the cache for any row payload.
+  enum class CmpKind : uint8_t { kConcrete, kInitial, kSym };
+
   std::vector<ArchInput> inputs;
   std::vector<ArchWrite> writes;
-  int initial_cmp = 0;  // cpu.cmp fingerprint (branches read it hook-free)
+  int initial_cmp = 0;  // cpu.cmp fingerprint of the recorded run
   int final_cmp = 0;
+  CmpKind final_cmp_kind = CmpKind::kConcrete;
+  int32_t final_cmp_input = -1;   // kSym: input index of the operand
+  uint64_t final_cmp_delta = 0;   // kSym: affine offset from that input
+  int64_t final_cmp_imm = 0;      // kSym: compare immediate
+  // True when a conditional branch consulted the flags before any
+  // compare in the section: the recorded trace embeds that direction,
+  // so replay must validate the live cpu.cmp against initial_cmp.
+  bool pin_initial_cmp = false;
   bool cacheable = true;  // false: recording overflowed, do not summarize
 };
 
@@ -468,9 +556,38 @@ class EffectRecorder {
  public:
   static constexpr size_t kMaxEntries = kMaxArchEntries;
 
-  EffectRecorder(ThreadId t, const CpuState& cpu, const Memory& mem, Inner* inner)
-      : thread_(t), cpu_(&cpu), mem_(&mem), inner_(inner) {
+  EffectRecorder(ThreadId t, const CpuState& cpu, const Memory& mem, Inner* inner) {
+    Reset(t, cpu, mem, inner);
+  }
+
+  // Pooling support: a default-constructed recorder is inert until
+  // Reset. Reset clears field-by-field (not `fx_ = {}`), so pending_/
+  // written_ keep their capacity across recordings — a cold record
+  // then costs no allocations.
+  EffectRecorder() = default;
+
+  void Reset(ThreadId t, const CpuState& cpu, const Memory& mem, Inner* inner) {
+    thread_ = t;
+    cpu_ = &cpu;
+    mem_ = &mem;
+    inner_ = inner;
+    fx_.inputs.clear();
+    fx_.writes.clear();
     fx_.initial_cmp = cpu.cmp;
+    fx_.final_cmp = 0;
+    fx_.final_cmp_kind = ArchEffects::CmpKind::kConcrete;
+    fx_.final_cmp_input = -1;
+    fx_.final_cmp_delta = 0;
+    fx_.final_cmp_imm = 0;
+    fx_.pin_initial_cmp = false;
+    fx_.cacheable = true;
+    pending_.clear();
+    written_.clear();
+    cmp_state_ = CmpState::kInitial;
+    cmp_input_ = -1;
+    cmp_delta_ = 0;
+    cmp_imm_ = 0;
+    initial_cmp_read_ = false;
   }
 
   void OnMov(ThreadId t, const Loc& dst, const Loc& src) {
@@ -508,6 +625,58 @@ class EffectRecorder {
     pending_.push_back(src);
   }
 
+  // Compare against an immediate: the operand's provenance becomes the
+  // flags' provenance. A symbolic operand (kCopy/kAffine of an input)
+  // keeps the flags symbolic — no pin — unless a later OnBranch
+  // consumes them.
+  void OnCompare(ThreadId t, const Loc& lhs, int64_t imm) {
+    if (inner_ != nullptr) {
+      inner_->OnCompare(t, lhs, imm);
+    }
+    const Taint st = SourceTaint(lhs, /*affine_delta=*/0, /*affine=*/false);
+    ClaimPending(lhs);
+    PromotePending();
+    if (st.kind == ArchWrite::Kind::kConcrete || st.input < 0) {
+      // Deterministic given already-pinned inputs.
+      cmp_state_ = CmpState::kConcrete;
+    } else {
+      cmp_state_ = CmpState::kSym;
+      cmp_input_ = st.input;
+      cmp_delta_ = st.kind == ArchWrite::Kind::kAffine ? st.delta : 0;
+      cmp_imm_ = imm;
+    }
+  }
+
+  // Two-location compares pin both operands (the difference of two
+  // live values has no single-input symbolic form).
+  void OnCompareLocs(ThreadId t, const Loc& lhs, const Loc& rhs) {
+    if (inner_ != nullptr) {
+      inner_->OnCompareLocs(t, lhs, rhs);
+    }
+    ClaimPending(lhs);
+    ClaimPending(rhs);
+    RequireLoc(lhs);
+    RequireLoc(rhs);
+    PromotePending();
+    cmp_state_ = CmpState::kConcrete;
+  }
+
+  // A conditional branch consumed the flags: the recorded trace embeds
+  // its direction, so a symbolic compare result collapses to a pin of
+  // the operand's source *input index* (not its current loc — the loc
+  // may have been overwritten since the compare).
+  void OnBranch(ThreadId t) {
+    if (inner_ != nullptr) {
+      inner_->OnBranch(t);
+    }
+    if (cmp_state_ == CmpState::kSym) {
+      fx_.inputs[static_cast<size_t>(cmp_input_)].required = true;
+      cmp_state_ = CmpState::kConcrete;
+    } else if (cmp_state_ == CmpState::kInitial) {
+      initial_cmp_read_ = true;
+    }
+  }
+
   void OnLock(ThreadId t, uint64_t lock_id) {
     if (inner_ != nullptr) {
       inner_->OnLock(t, lock_id);
@@ -534,6 +703,21 @@ class EffectRecorder {
   ArchEffects Finish() {
     PromotePending();
     fx_.final_cmp = cpu_->cmp;
+    fx_.pin_initial_cmp = initial_cmp_read_;
+    switch (cmp_state_) {
+      case CmpState::kInitial:
+        fx_.final_cmp_kind = ArchEffects::CmpKind::kInitial;
+        break;
+      case CmpState::kSym:
+        fx_.final_cmp_kind = ArchEffects::CmpKind::kSym;
+        fx_.final_cmp_input = cmp_input_;
+        fx_.final_cmp_delta = cmp_delta_;
+        fx_.final_cmp_imm = cmp_imm_;
+        break;
+      case CmpState::kConcrete:
+        fx_.final_cmp_kind = ArchEffects::CmpKind::kConcrete;
+        break;
+    }
     fx_.writes.reserve(written_.size());
     for (const WrittenLoc& w : written_) {
       ArchWrite aw;
@@ -654,6 +838,9 @@ class EffectRecorder {
         used[static_cast<size_t>(w.input)] = 1;
       }
     }
+    if (fx_.final_cmp_kind == ArchEffects::CmpKind::kSym && fx_.final_cmp_input >= 0) {
+      used[static_cast<size_t>(fx_.final_cmp_input)] = 1;
+    }
     std::vector<int32_t> remap(fx_.inputs.size(), -1);
     size_t kept = 0;
     for (size_t i = 0; i < fx_.inputs.size(); ++i) {
@@ -667,6 +854,9 @@ class EffectRecorder {
       if (w.input >= 0) {
         w.input = remap[static_cast<size_t>(w.input)];
       }
+    }
+    if (fx_.final_cmp_kind == ArchEffects::CmpKind::kSym && fx_.final_cmp_input >= 0) {
+      fx_.final_cmp_input = remap[static_cast<size_t>(fx_.final_cmp_input)];
     }
   }
 
@@ -683,13 +873,22 @@ class EffectRecorder {
     written_.push_back(WrittenLoc{dst, t});
   }
 
-  [[maybe_unused]] ThreadId thread_;
-  const CpuState* cpu_;
-  const Memory* mem_;
-  Inner* inner_;
+  // Provenance of the current flags value, mirroring
+  // ArchEffects::CmpKind but tracked live as compares/branches fire.
+  enum class CmpState : uint8_t { kInitial, kConcrete, kSym };
+
+  [[maybe_unused]] ThreadId thread_ = 0;
+  const CpuState* cpu_ = nullptr;
+  const Memory* mem_ = nullptr;
+  Inner* inner_ = nullptr;
   ArchEffects fx_;
   std::vector<Loc> pending_;
   std::vector<WrittenLoc> written_;
+  CmpState cmp_state_ = CmpState::kInitial;
+  int32_t cmp_input_ = -1;
+  uint64_t cmp_delta_ = 0;
+  int64_t cmp_imm_ = 0;
+  bool initial_cmp_read_ = false;
 };
 
 }  // namespace whodunit::vm

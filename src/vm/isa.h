@@ -99,16 +99,19 @@ inline constexpr int64_t kEmulateCycles[kNumOpcodes] = {
 };
 
 // True for opcodes whose emulation delivers observer hooks (data
-// movement, reads, lock markers). Control flow, nops and halt report
-// nothing, which is what lets the interpreter batch their OnRetire
-// bookkeeping.
+// movement, reads, compares, conditional branches, lock markers).
+// Unconditional control flow, nops and halt report nothing, which is
+// what lets the interpreter batch their OnRetire bookkeeping.
+// Conditional jumps deliver OnBranch — the point where the flags value
+// is *consumed*, which effect recorders use to decide whether a
+// symbolic compare result must be pinned.
 inline constexpr bool kDeliversHooks[kNumOpcodes] = {
     /*kMovRR*/ true,  /*kMovRI*/ true,  /*kMovRM*/ true, /*kMovMR*/ true,
     /*kMovMI*/ true,  /*kMovMM*/ true,  /*kAddRR*/ true, /*kAddRI*/ true,
     /*kSubRI*/ true,  /*kMulRI*/ true,  /*kIncM*/ true,  /*kDecM*/ true,
     /*kAddMI*/ true,  /*kCmpRI*/ true,  /*kCmpRR*/ true, /*kCmpMI*/ true,
-    /*kJmp*/ false,   /*kJe*/ false,    /*kJne*/ false,  /*kJl*/ false,
-    /*kJge*/ false,   /*kLock*/ true,   /*kUnlock*/ true, /*kNop*/ false,
+    /*kJmp*/ false,   /*kJe*/ true,     /*kJne*/ true,   /*kJl*/ true,
+    /*kJge*/ true,    /*kLock*/ true,   /*kUnlock*/ true, /*kNop*/ false,
     /*kHalt*/ false,
 };
 

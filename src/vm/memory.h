@@ -24,6 +24,11 @@ class Memory {
 
   void Write(Addr a, uint64_t v) { words_.Upsert(a, v); }
 
+  // Hints the word's bucket line into cache. The section cache's
+  // fingerprint sweep prefetches every memory input before probing so
+  // the validation loop overlaps its misses.
+  void Prefetch(Addr a) const { words_.Prefetch(a); }
+
   size_t footprint_words() const { return words_.size(); }
 
   // Sorted copy of all written words; for test comparisons and dumps.

@@ -137,12 +137,16 @@ TEST(SectionCacheTest, DepthChangeRecordsNewVariant) {
 TEST(SectionCacheTest, ChurnGuardDemotesWalkingSection) {
   vm::Program push = ApQueuePush(kLock);
   Universe cached, plain;
-  SectionCache cache(NoShadow());
+  SectionCache::Config cfg = NoShadow();
+  cfg.max_variants = 8;
+  SectionCache cache(cfg);
   // A queue that only ever grows pins a fresh depth on every push:
-  // each run re-records, the ring churns, and recording costs several
-  // plain emulations. After churn_demote_records recordings with no
-  // hits the section must fall back to plain emulation for good.
-  for (int i = 0; i < 40; ++i) {
+  // each run re-records and the full ring evicts, and recording costs
+  // several plain emulations. After the ring has evicted
+  // churn_demote_records summaries with no replays to show for them,
+  // the (program, thread) ring must fall back to plain emulation for
+  // good. 48 runs = 1 translate + 8 ring fills + 32 evictions + tail.
+  for (int i = 0; i < 48; ++i) {
     for (Universe* u : {&cached, &plain}) {
       vm::CpuState& cpu = u->cpus[0];
       cpu.regs[0] = kQueue;
@@ -153,7 +157,7 @@ TEST(SectionCacheTest, ChurnGuardDemotesWalkingSection) {
     plain.interp.ExecuteWith(push, 0, plain.cpus[0], plain.mem, &plain.detector);
   }
   EXPECT_EQ(cache.hits(), 0u);
-  EXPECT_EQ(cache.misses(), 40u);
+  EXPECT_EQ(cache.misses(), 48u);
   EXPECT_EQ(cache.variants(), 0u);  // demoted: summaries dropped
   ExpectSame(cached, plain);
   // Demotion is sticky — later runs stop recording entirely.
@@ -164,6 +168,87 @@ TEST(SectionCacheTest, ChurnGuardDemotesWalkingSection) {
   EXPECT_EQ(cache.variants(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
   ExpectSame(cached, plain);
+}
+
+TEST(SectionCacheTest, PerThreadRingsSurviveMultiThreadThrash) {
+  // Two server threads walk the same 8 row indices of a shared table.
+  // With rings keyed per (program, thread) each thread's 8 variants
+  // fit its own ring even at max_variants = 8; a shared ring would
+  // thrash — 16 live fingerprints in 8 slots, near-zero hits.
+  constexpr uint64_t kTableBase = 0x9000;
+  vm::Program read = TableRead(kLock);
+  Universe cached, plain;
+  SectionCache::Config cfg = NoShadow();
+  cfg.max_variants = 8;
+  SectionCache cache(cfg);
+  for (Universe* u : {&cached, &plain}) {
+    for (uint64_t row = 0; row < 8; ++row) {
+      u->mem.Write(kTableBase + 8 * row, 1000 + row);
+    }
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (vm::ThreadId t : {vm::ThreadId{0}, vm::ThreadId{1}}) {
+      for (uint64_t row = 0; row < 8; ++row) {
+        for (Universe* u : {&cached, &plain}) {
+          vm::CpuState& cpu = u->cpus[t];
+          cpu.regs[0] = kTableBase;
+          cpu.regs[1] = row;
+        }
+        const vm::ExecResult c =
+            cache.Run(cached.interp, read, t, cached.cpus[t], cached.mem, &cached.detector);
+        const vm::ExecResult p =
+            plain.interp.ExecuteWith(read, t, plain.cpus[t], plain.mem, &plain.detector);
+        EXPECT_EQ(c.guest_cycles, p.guest_cycles);
+        EXPECT_EQ(c.instructions, p.instructions);
+      }
+    }
+  }
+  ExpectSame(cached, plain);
+  // 160 runs: 1 translation, 16 recordings, everything else replays.
+  EXPECT_GT(cache.hits(), 120u);
+  EXPECT_EQ(cache.variants(), 16u);
+}
+
+TEST(SectionCacheTest, WalkingRowIndexReplaysWithSymbolicPayload) {
+  // TableRead's fingerprint pins the walking row index (it feeds the
+  // address computation) but keeps the row payload symbolic: the value
+  // flows through a MOV chain into r3 and into the section's final
+  // compare. Revisiting a recorded index must replay even after the
+  // payload changed, and the replay must deliver the *live* payload —
+  // both in r3 and in the comparison flags.
+  constexpr uint64_t kTableBase = 0x9000;
+  vm::Program read = TableRead(kLock);
+  Universe u;
+  SectionCache cache(NoShadow());
+  vm::CpuState& cpu = u.cpus[0];
+  for (uint64_t row = 0; row < 16; ++row) {
+    u.mem.Write(kTableBase + 8 * row, 500 + row);
+  }
+  // Pass 1 warms: one translation plus one recording per index.
+  // Pass 2 replays every index.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t row = 0; row < 16; ++row) {
+      cpu.regs[0] = kTableBase;
+      cpu.regs[1] = row;
+      cache.Run(u.interp, read, 0, cpu, u.mem, &u.detector);
+      EXPECT_EQ(cpu.regs[3], 500 + row);
+    }
+  }
+  EXPECT_EQ(cache.hits(), 15u);  // pass 2, minus the re-record after translation
+  // Overwrite every payload; the fingerprints still match (the value
+  // was never pinned) and replay reproduces the new value and its sign.
+  for (uint64_t row = 0; row < 16; ++row) {
+    u.mem.Write(kTableBase + 8 * row, row == 0 ? 0 : 9000 + row);
+  }
+  const uint64_t hits_before = cache.hits();
+  for (uint64_t row = 0; row < 16; ++row) {
+    cpu.regs[0] = kTableBase;
+    cpu.regs[1] = row;
+    cache.Run(u.interp, read, 0, cpu, u.mem, &u.detector);
+    EXPECT_EQ(cpu.regs[3], row == 0 ? 0u : 9000 + row);
+    EXPECT_EQ(cpu.cmp, row == 0 ? 0 : 1);  // sign(payload - 0), recomputed live
+  }
+  EXPECT_EQ(cache.hits(), hits_before + 16);
 }
 
 TEST(SectionCacheTest, GuestCodeChangeMisses) {
