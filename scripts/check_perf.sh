@@ -22,6 +22,17 @@
 #     stay below 3.0. A within-run ratio — noise mostly cancels — but
 #     still wall-clock-derived, so CHECK_PERF_WARN_ONLY demotes it.
 #
+# The million-client DES gates ride on bench_scaling_clients (PR 8),
+# run here with a reduced 1k..100k sweep (BENCH_SCALING_MAX_CLIENTS):
+#   * the flat-memory assertion (per-client heap at the top scale
+#     <= 1.1x the 10k value) is checked inside the bench binary, so it
+#     gates hard — a non-zero exit fails run_benches.sh outright.
+#   * derived.scheduler_speedup (heap Step() cost over ladder Step()
+#     cost at 2^17 pending events) must stay >= 2.0. Within-run ratio,
+#     but wall-clock-derived, so CHECK_PERF_WARN_ONLY demotes it.
+#   * derived.events_per_sec must stay above an absolute floor; raw
+#     wall clock, so CHECK_PERF_WARN_ONLY demotes it.
+#
 # Usage: scripts/check_perf.sh [-B BUILD_DIR] [-n RUNS]
 set -u
 
@@ -46,6 +57,11 @@ BENCH_SHARDS=${BENCH_SHARDS:-1}
 BENCH_SAMPLE_RATE=${BENCH_SAMPLE_RATE:-1.0}
 export BENCH_THREADS BENCH_SHARDS BENCH_SAMPLE_RATE
 
+# The gate sweep stops at 100k clients; the full 1M point is for
+# recorded baselines (scripts/run_benches.sh with the default cap).
+BENCH_SCALING_MAX_CLIENTS=${BENCH_SCALING_MAX_CLIENTS:-100000}
+export BENCH_SCALING_MAX_CLIENTS
+
 baseline="$repo_root/bench/baselines/BENCH_table3_emulation.json"
 if [ ! -f "$baseline" ]; then
   echo "check_perf: no committed baseline at $baseline; run scripts/run_benches.sh first" >&2
@@ -59,8 +75,10 @@ trap 'rm -rf "$fresh_dir"' EXIT
 # how bench_ablation_sampling's simulated-time assertions gate the run.
 "$repo_root/scripts/run_benches.sh" -n "$runs" -B "$build_dir" -o "$fresh_dir" \
     bench_table3_emulation bench_ablation_sampling \
-    bench_ablation_section_cache bench_fig12_throughput || exit 1
+    bench_ablation_section_cache bench_fig12_throughput \
+    bench_scaling_clients || exit 1
 echo "check_perf: sampling ablation assertions passed (monotone overhead, 0.1% within 10% of off)"
+echo "check_perf: scaling flat-memory assertion passed (top-scale B/client <= 1.1x the 10k value)"
 
 # Hard floor: the section cache must actually hit under the app-level
 # workloads (fig12's bookstore mix) and its own ablation. A hit rate is
@@ -108,6 +126,54 @@ if ratio >= 3.0:
     else:
         print(f"FAIL: {msg}", file=sys.stderr)
         sys.exit(1)
+PYEOF
+[ $? -eq 0 ] || exit 1
+
+# Million-client DES gates (bench_scaling_clients). Both are wall-clock
+# derived, so CHECK_PERF_WARN_ONLY may demote a miss; the flat-memory
+# ratio already gated hard inside the bench binary above.
+python3 - "$fresh_dir/BENCH_scaling_clients.json" <<'PYEOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+derived = doc.get("derived", {})
+warn_only = os.environ.get("CHECK_PERF_WARN_ONLY") == "1"
+failed = False
+
+def miss(msg):
+    global failed
+    if warn_only:
+        print(f"WARNING (CHECK_PERF_WARN_ONLY=1): {msg}", file=sys.stderr)
+    else:
+        print(f"FAIL: {msg}", file=sys.stderr)
+        failed = True
+
+# Ladder-vs-heap hold model at 2^17 pending events: the tentpole's
+# acceptance headline is a >= 2x Step() speedup.
+speedup = derived.get("scheduler_speedup")
+if speedup is None:
+    print("check_perf: scheduler_speedup missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: scheduler_speedup {speedup:.2f}x at 131072 pending (floor 2.0x)")
+if speedup < 2.0:
+    miss(f"ladder-vs-heap speedup {speedup:.2f}x is below the 2x floor")
+
+# Engine throughput at the sweep's top scale. Absolute floor rather
+# than a baseline diff: the gate sweep tops out at 100k clients while
+# committed baselines record the 1M point, so the two are not
+# comparable run-to-run.
+eps = derived.get("events_per_sec")
+if eps is None:
+    print("check_perf: events_per_sec missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+floor = 100000
+print(f"check_perf: open-loop engine {eps} events/sec (floor {floor})")
+if eps < floor:
+    miss(f"open-loop engine ran {eps} events/sec, below the {floor} floor")
+
+if failed:
+    sys.exit(1)
 PYEOF
 [ $? -eq 0 ] || exit 1
 

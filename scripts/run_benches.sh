@@ -212,6 +212,23 @@ sc_misses = counters.get("shm.section_cache.misses", 0)
 if sc_hits + sc_misses > 0:
     derived["section_cache_hit_rate"] = round(sc_hits / (sc_hits + sc_misses), 6)
 
+# Million-client scaling headlines (bench_scaling_clients): open-loop
+# engine throughput, flat per-client memory, and the ladder-vs-heap
+# hold-model speedup at 2^17 pending events (docs/PERFORMANCE.md).
+gauges = out.get("metrics", {}).get("gauges", {})
+if "bench.scaling.events_per_sec" in gauges:
+    derived["events_per_sec"] = gauges["bench.scaling.events_per_sec"]
+    derived["bytes_per_client"] = gauges.get("bench.scaling.bytes_per_client_max", 0)
+    ten_k = gauges.get("bench.scaling.bytes_per_client_10k", 0)
+    if ten_k:
+        derived["bytes_per_client_10k"] = ten_k
+        derived["bytes_per_client_ratio"] = round(
+            derived["bytes_per_client"] / ten_k, 3)
+if "BM_LadderHold/131072" in gb and "BM_HeapHold/131072" in gb:
+    derived["scheduler_speedup"] = round(
+        gb["BM_HeapHold/131072"]["cpu_time_ns"]
+        / gb["BM_LadderHold/131072"]["cpu_time_ns"], 3)
+
 if derived:
     out["derived"] = derived
 

@@ -92,9 +92,9 @@ class Bookstore {
  public:
   explicit Bookstore(const BookstoreOptions& options)
       : options_(options),
-        proxy_cpu_(sched_, workload::kProxyCores, "squid_cpu"),
-        tomcat_cpu_(sched_, workload::kAppServerCores, "tomcat_cpu"),
-        db_cpu_(sched_, workload::kDbCores, "mysql_cpu"),
+        proxy_cpu_(sched_, options.proxy_cores, "squid_cpu"),
+        tomcat_cpu_(sched_, options.tomcat_cores, "tomcat_cpu"),
+        db_cpu_(sched_, options.db_cores, "mysql_cpu"),
         squid_(dep_.AddStage(
             std::make_unique<StageProfiler>(dep_, ProfOptions("squid", options.mode)))),
         tomcat_(dep_.AddStage(
@@ -325,6 +325,62 @@ class Bookstore {
     }
   }
 
+  // ---- Open-loop path (workload::ArrivalKind::kPoisson / kBursty) ----
+  //
+  // One generator coroutine stands in for ~10k logical clients: it
+  // draws aggregate interarrival gaps and spawns one short-lived
+  // request process per arrival. Reply channels are pooled (a freelist
+  // of indices into client_reply_), so steady state allocates nothing
+  // per request — frames and channels both recycle.
+
+  size_t AcquireReplyChannel() {
+    if (!reply_free_.empty()) {
+      const size_t idx = reply_free_.back();
+      reply_free_.pop_back();
+      return idx;
+    }
+    client_reply_.push_back(std::make_unique<sim::Channel<ProxyReply>>(
+        sched_, workload::kLanLatency));
+    return client_reply_.size() - 1;
+  }
+
+  sim::Process OpenLoopRequest(TpcwTransaction type, uint32_t cache_key) {
+    const size_t ch_idx = AcquireReplyChannel();
+    auto& reply_ch = *client_reply_[ch_idx];
+    ProxyRequest req;
+    req.type = type;
+    req.cache_key = cache_key;
+    req.reply = &reply_ch;
+    const sim::SimTime start = sched_.now();
+    proxy_ch_.Send(req);
+    auto rep = co_await reply_ch.Receive();
+    reply_free_.push_back(ch_idx);
+    if (!rep) {
+      co_return;  // drained at shutdown
+    }
+    const sim::SimTime end = sched_.now();
+    if (start >= options_.warmup && end <= options_.duration) {
+      ++interactions_;
+      response_ms_[static_cast<size_t>(type)].Add(sim::ToMillis(end - start));
+    }
+  }
+
+  sim::Process OpenLoopGenerator(double tps, uint64_t seed) {
+    util::Rng base(seed);
+    workload::ArrivalProcess arrivals(options_.arrivals, tps, base.NextU64());
+    util::Rng mix(base.NextU64());
+    for (;;) {
+      co_await sim::Delay{sched_, arrivals.NextInterarrival()};
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      const TpcwTransaction type = workload::SampleBrowsingMix(mix);
+      const auto cache_key = static_cast<uint32_t>(
+          mix.NextBelow(type == TpcwTransaction::kBestSellers ? 20 : 40));
+      sim::Spawn(sched_, OpenLoopRequest(type, cache_key));
+    }
+  }
+
   sim::Process Client(uint32_t index, uint64_t seed) {
     util::Rng rng(seed);
     auto& reply_ch = *client_reply_[index];
@@ -392,6 +448,7 @@ class Bookstore {
   std::vector<std::unique_ptr<sim::Channel<TomcatReply>>> proxy_reply_;
   std::vector<std::unique_ptr<sim::Channel<DbReply>>> tomcat_reply_;
   std::vector<std::unique_ptr<sim::Channel<ProxyReply>>> client_reply_;
+  std::vector<size_t> reply_free_;  // open-loop reply-channel pool
   std::vector<std::unique_ptr<util::Rng>> tomcat_rngs_;
 
   static constexpr uint64_t kDbBufferLockId = 0xDB0F;
@@ -446,9 +503,13 @@ BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
   for (int i = 0; i < options_.db_workers; ++i) {
     mysql_tps_.push_back(&mysql_.CreateThread("mysql_w" + std::to_string(i)));
   }
-  for (int c = 0; c < options_.clients; ++c) {
-    client_reply_.push_back(
-        std::make_unique<sim::Channel<ProxyReply>>(sched_, workload::kLanLatency));
+  const bool open_loop =
+      options_.arrivals.kind != workload::ArrivalKind::kClosed;
+  if (!open_loop) {
+    for (int c = 0; c < options_.clients; ++c) {
+      client_reply_.push_back(
+          std::make_unique<sim::Channel<ProxyReply>>(sched_, workload::kLanLatency));
+    }
   }
 
   for (int i = 0; i < options_.proxy_workers; ++i) {
@@ -460,8 +521,31 @@ BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
   for (int i = 0; i < options_.db_workers; ++i) {
     sim::Spawn(sched_, DbWorker(i));
   }
-  for (int c = 0; c < options_.clients; ++c) {
-    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  if (open_loop) {
+    // Poisson superposition: N clients at rate r == one process at
+    // rate N*r, so generators each carry an equal slice of the
+    // aggregate. Seeds derive from a dedicated stream so the closed-
+    // loop seeder draws stay untouched (and shard seeds keep the merge
+    // thread-count-invariant).
+    const auto clients = static_cast<uint64_t>(
+        options_.clients < 0 ? 0 : options_.clients);
+    const uint64_t per_gen =
+        options_.arrivals.clients_per_generator > 0
+            ? options_.arrivals.clients_per_generator
+            : 10000;
+    const uint64_t gens =
+        clients == 0 ? 0 : (clients + per_gen - 1) / per_gen;
+    const double tps = workload::EffectiveOfferedTps(
+        options_.arrivals, clients, workload::kTpcwThinkTimeMean);
+    util::Rng gen_seeder(options_.seed ^ 0x9E3779B97F4A7C15ULL);
+    for (uint64_t g = 0; g < gens; ++g) {
+      sim::Spawn(sched_, OpenLoopGenerator(tps / static_cast<double>(gens),
+                                           gen_seeder.NextU64()));
+    }
+  } else {
+    for (int c = 0; c < options_.clients; ++c) {
+      sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+    }
   }
   if (daemon_ != nullptr && options_.on_live_top) {
     sim::Spawn(sched_, LivePoller());
@@ -565,6 +649,8 @@ BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
     daemon_->Shutdown();
     sched_.Run();
   }
+  result.sim_events = sched_.events_executed();
+  result.peak_event_queue_depth = sched_.queue_stats().peak_depth;
   return result;
 }
 
@@ -586,6 +672,14 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
         // Fixed partition: sizes depend only on (clients, shards).
         shard_options.clients = options.clients / shards +
                                 (static_cast<int>(shard) < options.clients % shards ? 1 : 0);
+        // An explicit offered load splits proportionally to the shard's
+        // client share (a rate-0 config derives from clients anyway).
+        if (options.arrivals.offered_load_tps > 0.0 && options.clients > 0) {
+          shard_options.arrivals.offered_load_tps =
+              options.arrivals.offered_load_tps *
+              static_cast<double>(shard_options.clients) /
+              static_cast<double>(options.clients);
+        }
         shard_options.seed = options.seed + shard;
         // Shards draw independent decision streams; an explicit
         // sample_seed shifts per shard the same way `seed` does.
@@ -615,6 +709,8 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
     out.db_utilization += r.db_utilization;
     out.tomcat_utilization += r.tomcat_utilization;
     out.proxy_utilization += r.proxy_utilization;
+    out.sim_events += r.sim_events;
+    out.peak_event_queue_depth += r.peak_event_queue_depth;
     for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
       auto& row = out.per_type[static_cast<size_t>(t)];
       const auto& shard_row = r.per_type[static_cast<size_t>(t)];

@@ -25,6 +25,8 @@
 #include "src/callpath/profiler_mode.h"
 #include "src/db/database.h"
 #include "src/sim/time.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/calibration.h"
 #include "src/workload/tpcw.h"
 
 namespace whodunit::apps {
@@ -40,6 +42,23 @@ struct BookstoreOptions {
   int proxy_workers = 24;
   int tomcat_workers = 24;
   int db_workers = 24;
+
+  // Stage core counts. Defaults are the §8.4 calibration (one-socket
+  // 2007 boxes), which keeps every existing result byte-identical; the
+  // client-scaling bench raises them in proportion to offered load so
+  // the variable under test is population size, not modeled hardware.
+  int proxy_cores = workload::kProxyCores;
+  int tomcat_cores = workload::kAppServerCores;
+  int db_cores = workload::kDbCores;
+
+  // ---- Open-loop arrivals (src/workload/arrivals.h) -------------------
+  // kind == kClosed reproduces the seed behavior exactly: one
+  // think-send-wait coroutine per client. kPoisson / kBursty switch to
+  // open-loop generators (the --arrivals / --offered-load knobs): ~1
+  // generator coroutine per 10k logical clients injects requests on an
+  // arrival clock, and per-client memory goes flat — see
+  // docs/PRODUCTION.md.
+  workload::ArrivalConfig arrivals;
 
   // ---- Production sampling (docs/PRODUCTION.md) -----------------------
   // Fraction of top-level transactions that are profiled (the
@@ -126,6 +145,13 @@ struct BookstoreResult {
   std::string live_top_text;
   std::string live_query_json;
   std::string live_span_json;
+
+  // DES engine accounting (summed over shards): total events the
+  // scheduler executed and the calendar's high-water mark. The
+  // client-scaling bench derives events/sec and per-client memory
+  // curves from these.
+  uint64_t sim_events = 0;
+  uint64_t peak_event_queue_depth = 0;
 };
 
 // Runs the bookstore. With options.shards > 1 the run fans out over a

@@ -1,5 +1,6 @@
 #include "src/apps/minihttpd/minihttpd.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
 #include "src/vm/interpreter.h"
+#include "src/workload/arrivals.h"
 #include "src/workload/calibration.h"
 #include "src/workload/webtrace.h"
 
@@ -43,6 +45,10 @@ constexpr uint64_t kBlockStride = 64;
 constexpr int kPoolBlocks = 64;
 // Per-worker scratch addresses for ap_queue_pop's out parameters.
 constexpr uint64_t kScratchBase = 0x20000;
+
+// Connections injected by an open-loop generator carry this sentinel
+// client id: no closed-loop coroutine is waiting on client_done_.
+constexpr uint32_t kOpenLoopClient = 0xFFFFFFFFu;
 
 struct Connection {
   uint32_t client;
@@ -296,7 +302,9 @@ class Server {
       }
       ++connections_done_;
       prof_.LiveComplete(tp);
-      client_done_[conn.client]->Send(1);
+      if (conn.client != kOpenLoopClient) {
+        client_done_[conn.client]->Send(1);
+      }
     }
   }
 
@@ -311,6 +319,28 @@ class Server {
         RunGuest(prog, vm_thread, alloc_mutex_.id(), regs, prof_.IsSampled(tp));
     co_await cpu_.Consume(prof_.ChargeCpu(tp, cost));
     alloc_mutex_.Release(0);
+  }
+
+  // Open-loop load: one generator stands in for ~10k logical clients,
+  // injecting connections on an arrival clock instead of waiting for
+  // completions. See src/workload/arrivals.h for the determinism
+  // contract (per-generator seed stream, shard-split independent of
+  // thread count).
+  sim::Process OpenLoopGenerator(double tps, uint64_t seed) {
+    util::Rng base(seed);
+    workload::ArrivalProcess arrivals(options_.arrivals, tps, base.NextU64());
+    util::Rng draw(base.NextU64());
+    for (;;) {
+      co_await sim::Delay{sched_, arrivals.NextInterarrival()};
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      Connection conn;
+      conn.client = kOpenLoopClient;
+      conn.objects = trace_.DrawConnection(draw);
+      ++connections_;
+      accept_ch_.Send(std::move(conn));
+    }
   }
 
   sim::Process Client(uint32_t index, uint64_t seed) {
@@ -380,17 +410,37 @@ MinihttpdResult Server::Run(profiler::ShardProfile* out_profile) {
   for (int w = 0; w < options_.workers; ++w) {
     thread_profiles_.push_back(&prof_.CreateThread("worker_" + std::to_string(w)));
   }
-  for (int c = 0; c < options_.clients; ++c) {
-    client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+  const bool open_loop =
+      options_.arrivals.kind != workload::ArrivalKind::kClosed;
+  if (!open_loop) {
+    for (int c = 0; c < options_.clients; ++c) {
+      client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+    }
   }
 
   sim::Spawn(sched_, Listener());
   for (int w = 0; w < options_.workers; ++w) {
     sim::Spawn(sched_, Worker(w));
   }
-  util::Rng seeder(options_.seed);
-  for (int c = 0; c < options_.clients; ++c) {
-    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  if (open_loop) {
+    const auto clients = static_cast<uint64_t>(options_.clients);
+    const uint64_t per_gen =
+        std::max<uint64_t>(1, options_.arrivals.clients_per_generator);
+    const auto gens = static_cast<int>((clients + per_gen - 1) / per_gen);
+    // Minihttpd clients have no think time, so there is no natural
+    // per-client rate; the 0 mean falls back to 1 conn/client/sec
+    // unless --offered-load pins the aggregate.
+    const double tps = workload::EffectiveOfferedTps(
+        options_.arrivals, clients, /*per_client_think_mean=*/0);
+    util::Rng gen_seeder(options_.seed ^ 0x9E3779B97F4A7C15ULL);
+    for (int g = 0; g < gens; ++g) {
+      sim::Spawn(sched_, OpenLoopGenerator(tps / gens, gen_seeder.NextU64()));
+    }
+  } else {
+    util::Rng seeder(options_.seed);
+    for (int c = 0; c < options_.clients; ++c) {
+      sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+    }
   }
 
   // Warmup snapshot, then measure to the end of the run.

@@ -20,6 +20,7 @@
 
 #include "src/callpath/profiler_mode.h"
 #include "src/sim/time.h"
+#include "src/workload/arrivals.h"
 
 namespace whodunit::apps {
 
@@ -34,6 +35,14 @@ struct MinihttpdOptions {
   // Each client then opens exactly one connection for the whole run;
   // use workers >= clients in this mode.
   bool persistent_connections = false;
+  // ---- Open-loop arrivals (src/workload/arrivals.h) -------------------
+  // kind == kClosed reproduces the seed behavior exactly (one
+  // back-to-back coroutine per client). Open-loop kinds inject
+  // connections on an arrival clock via ~1 generator per 10k logical
+  // clients; with offered_load_tps == 0 the aggregate rate defaults to
+  // one connection per client per second. Ignores
+  // persistent_connections (open loop models connection churn).
+  workload::ArrivalConfig arrivals;
   // Attach a whodunitd live-observability daemon (src/obs/live): each
   // connection becomes a live transaction from accept to completion.
   bool live = false;

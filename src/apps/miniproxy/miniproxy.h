@@ -19,6 +19,7 @@
 
 #include "src/callpath/profiler_mode.h"
 #include "src/sim/time.h"
+#include "src/workload/arrivals.h"
 
 namespace whodunit::apps {
 
@@ -27,6 +28,13 @@ struct MiniproxyOptions {
   int clients = 48;
   sim::SimTime duration = sim::Seconds(20);
   uint64_t seed = 1;
+
+  // ---- Open-loop arrivals (src/workload/arrivals.h) -------------------
+  // kind == kClosed reproduces the seed behavior exactly. Open-loop
+  // kinds inject connections on an arrival clock via ~1 generator per
+  // 10k logical clients; with offered_load_tps == 0 the aggregate rate
+  // defaults to one connection per client per second.
+  workload::ArrivalConfig arrivals;
 
   // ---- Production sampling (docs/PRODUCTION.md) -----------------------
   // Fraction of client connections that are profiled (the

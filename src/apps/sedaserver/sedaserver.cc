@@ -20,6 +20,7 @@
 #include "src/sim/cpu.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
+#include "src/workload/arrivals.h"
 #include "src/workload/calibration.h"
 #include "src/workload/webtrace.h"
 
@@ -31,6 +32,10 @@ using profiler::StageProfiler;
 using profiler::ThreadProfile;
 using seda::StageGraph;
 using seda::StageId;
+
+// Requests injected by an open-loop generator carry this sentinel
+// client id: no closed-loop coroutine is waiting on client_done_.
+constexpr uint32_t kOpenLoopClient = 0xFFFFFFFFu;
 
 struct ReqState {
   uint32_t client;
@@ -205,7 +210,9 @@ class Haboob {
                                  wc.EnqueueTo(read_, wc.payload);
                                } else {
                                  const uint64_t txn = st.txn;
-                                 client_done_[st.client]->Send(1);
+                                 if (st.client != kOpenLoopClient) {
+                                   client_done_[st.client]->Send(1);
+                                 }
                                  requests_.erase(wc.payload);
                                  if (daemon_ != nullptr) {
                                    // Closes the write span too.
@@ -272,6 +279,29 @@ class Haboob {
     }
   }
 
+  // Open-loop load: one generator stands in for ~10k logical clients,
+  // injecting requests on an arrival clock instead of waiting for
+  // completions (src/workload/arrivals.h).
+  sim::Process OpenLoopGenerator(double tps, uint64_t seed) {
+    util::Rng base(seed);
+    workload::ArrivalProcess arrivals(options_.arrivals, tps, base.NextU64());
+    util::Rng draw(base.NextU64());
+    for (;;) {
+      co_await sim::Delay{sched_, arrivals.NextInterarrival()};
+      if (sched_.now() >= options_.duration) {
+        break;
+      }
+      const uint64_t handle = next_handle_++;
+      ReqState st;
+      st.client = kOpenLoopClient;
+      st.objects = trace_.DrawConnection(draw);
+      st.object = st.objects[0];
+      st.next_index = 1;
+      requests_.emplace(handle, std::move(st));
+      accept_ch_.Send(handle);
+    }
+  }
+
   SedaServerOptions options_;
   sim::Scheduler sched_;
   sim::CpuResource cpu_;
@@ -318,14 +348,33 @@ SedaServerResult Haboob::Run(profiler::ShardProfile* out_profile) {
                                                 : "handler:" + std::to_string(id);
   });
 
-  for (int c = 0; c < options_.clients; ++c) {
-    client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+  const bool open_loop =
+      options_.arrivals.kind != workload::ArrivalKind::kClosed;
+  if (!open_loop) {
+    for (int c = 0; c < options_.clients; ++c) {
+      client_done_.push_back(std::make_unique<sim::Channel<uint8_t>>(sched_));
+    }
   }
   graph_.Start();
   sim::Spawn(sched_, AcceptPump());
-  util::Rng seeder(options_.seed);
-  for (int c = 0; c < options_.clients; ++c) {
-    sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+  if (open_loop) {
+    const auto clients = static_cast<uint64_t>(options_.clients);
+    const uint64_t per_gen =
+        std::max<uint64_t>(1, options_.arrivals.clients_per_generator);
+    const auto gens = static_cast<int>((clients + per_gen - 1) / per_gen);
+    // Haboob clients have no think time; the 0 mean falls back to
+    // 1 req/client/sec unless --offered-load pins the aggregate.
+    const double tps = workload::EffectiveOfferedTps(
+        options_.arrivals, clients, /*per_client_think_mean=*/0);
+    util::Rng gen_seeder(options_.seed ^ 0x9E3779B97F4A7C15ULL);
+    for (int g = 0; g < gens; ++g) {
+      sim::Spawn(sched_, OpenLoopGenerator(tps / gens, gen_seeder.NextU64()));
+    }
+  } else {
+    util::Rng seeder(options_.seed);
+    for (int c = 0; c < options_.clients; ++c) {
+      sim::Spawn(sched_, Client(static_cast<uint32_t>(c), seeder.NextU64()));
+    }
   }
 
   const sim::SimTime warmup = options_.duration / 5;

@@ -19,6 +19,7 @@
 
 #include "src/callpath/profiler_mode.h"
 #include "src/sim/time.h"
+#include "src/workload/arrivals.h"
 
 namespace whodunit::apps {
 
@@ -28,6 +29,13 @@ struct SedaServerOptions {
   int workers_per_stage = 2;
   sim::SimTime duration = sim::Seconds(20);
   uint64_t seed = 1;
+
+  // ---- Open-loop arrivals (src/workload/arrivals.h) -------------------
+  // kind == kClosed reproduces the seed behavior exactly. Open-loop
+  // kinds inject requests on an arrival clock via ~1 generator per
+  // 10k logical clients; with offered_load_tps == 0 the aggregate rate
+  // defaults to one request per client per second.
+  workload::ArrivalConfig arrivals;
   // Attach a whodunitd live-observability daemon (src/obs/live): each
   // HTTP request becomes a live transaction with one span per SEDA
   // stage it passes through, re-typed cache_hit/cache_miss at the

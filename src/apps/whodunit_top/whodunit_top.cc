@@ -52,6 +52,7 @@ struct Flags {
   double sample_rate = 1.0;
   uint64_t sample_seed = 0;
   size_t history_bytes = 1 << 20;
+  whodunit::workload::ArrivalConfig arrivals;
 };
 
 void Usage(const char* argv0) {
@@ -60,7 +61,8 @@ void Usage(const char* argv0) {
                "          [--interval S] [--ring N] [--span-out FILE]\n"
                "          [--json-out FILE] [--no-clear] [--seed N]\n"
                "          [--shards S] [--threads T]\n"
-               "          [--sample-rate R] [--sample-seed N] [--history-bytes B]\n",
+               "          [--sample-rate R] [--sample-seed N] [--history-bytes B]\n"
+               "          [--arrivals closed|poisson|bursty] [--offered-load TPS]\n",
                argv0);
 }
 
@@ -95,6 +97,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sample_seed = static_cast<uint64_t>(v);
     } else if (arg == "--history-bytes" && next(&v)) {
       flags->history_bytes = static_cast<size_t>(v);
+    } else if (arg == "--arrivals" && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      if (!whodunit::workload::ParseArrivalKind(kind, &flags->arrivals.kind)) {
+        std::fprintf(stderr, "bad --arrivals value: %s\n", kind.c_str());
+        return false;
+      }
+    } else if (arg == "--offered-load" && i + 1 < argc) {
+      flags->arrivals.offered_load_tps = std::strtod(argv[++i], nullptr);
     } else if (arg == "--span-out" && i + 1 < argc) {
       flags->span_out = argv[++i];
     } else if (arg == "--json-out" && i + 1 < argc) {
@@ -144,6 +154,7 @@ int main(int argc, char** argv) {
   options.live_poll_interval = whodunit::sim::Seconds(flags.interval_s);
   options.shards = flags.shards;
   options.threads = flags.threads;
+  options.arrivals = flags.arrivals;
   if (flags.shards > 1) {
     // RunBookstore ignores on_live_top when sharded; say so up front
     // rather than silently never refreshing.

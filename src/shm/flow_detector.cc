@@ -57,7 +57,7 @@ void FlowDetector::ConsumeInWindow(vm::ThreadId t, ThreadState& ts, const vm::Lo
   // a value that carries a transaction context.
   LockRoles& roles = RolesOf(entry.lock_id);
   if (roles.consumers.insert(t)) {
-    MaybeDemote(entry.lock_id, roles);
+    MaybeDemote(entry.lock_id, roles, roles.producers, t);
   }
   if (entry.producer != t && !roles.demoted) {
     const auto key = std::make_pair(entry.lock_id, entry.ctxt);
@@ -221,23 +221,28 @@ void FlowDetector::RecOnRead(vm::ThreadId t, const vm::Loc& src) {
 
 void FlowDetector::RecordProducer(uint64_t lock_id, vm::ThreadId t) {
   LockRoles& roles = RolesOf(lock_id);
-  roles.producers.insert(t);
-  MaybeDemote(lock_id, roles);
+  if (roles.producers.insert(t)) {
+    MaybeDemote(lock_id, roles, roles.consumers, t);
+  }
 }
 
 void FlowDetector::RecordConsumer(uint64_t lock_id, vm::ThreadId t) {
   LockRoles& roles = RolesOf(lock_id);
-  roles.consumers.insert(t);
-  MaybeDemote(lock_id, roles);
+  if (roles.consumers.insert(t)) {
+    MaybeDemote(lock_id, roles, roles.producers, t);
+  }
 }
 
-void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles) {
+void FlowDetector::MaybeDemote(uint64_t lock_id, LockRoles& roles,
+                               const ThreadSet& other_role, vm::ThreadId t) {
   if (!config_.detect_demotion || roles.demoted) {
     return;
   }
   // A common member of the two lists => not transaction flow (the
-  // memory-allocator pattern, §3.4). One word AND in the dense case.
-  if (roles.producers.Intersects(roles.consumers)) {
+  // memory-allocator pattern, §3.4). Only the thread just added to one
+  // list can have created an overlap, so a single membership probe of
+  // the other list maintains the intersection invariant.
+  if (other_role.contains(t)) {
     roles.demoted = true;
     obs_demotions_->Add();
     if (on_demote_) {

@@ -74,6 +74,14 @@ struct FlowEvent {
 // A set of thread ids: one machine word for ids below 64 (the common
 // case by a wide margin — the simulator numbers threads densely from
 // zero) with a spill vector for larger ids.
+// Thread-role membership set. One inline word covers ids < 64 (the
+// paper's mysqld runs a few dozen threads); larger ids land in a
+// word-granular bitmap, keeping insert/contains O(1) and Intersects
+// O(words) even when an open-loop scaling run parks tens of thousands
+// of simulated worker threads on one lock. The previous linear
+// overflow list made every insert-then-intersect pair quadratic in
+// participants — at 1M clients the role bookkeeping, not the
+// simulation, dominated wall time.
 class ThreadSet {
  public:
   // Returns true if the thread was newly added.
@@ -86,12 +94,16 @@ class ThreadSet {
       bits_ |= bit;
       return true;
     }
-    for (vm::ThreadId o : overflow_) {
-      if (o == t) {
-        return false;
-      }
+    const size_t w = (static_cast<size_t>(t) - 64) >> 6;
+    const uint64_t bit = uint64_t{1} << ((static_cast<size_t>(t) - 64) & 63);
+    if (w >= words_.size()) {
+      words_.resize(w + 1, 0);
     }
-    overflow_.push_back(t);
+    if ((words_[w] & bit) != 0) {
+      return false;
+    }
+    words_[w] |= bit;
+    ++overflow_count_;
     return true;
   }
 
@@ -99,42 +111,40 @@ class ThreadSet {
     if (t < 64) {
       return (bits_ & (uint64_t{1} << t)) != 0;
     }
-    for (vm::ThreadId o : overflow_) {
-      if (o == t) {
-        return true;
-      }
-    }
-    return false;
+    const size_t w = (static_cast<size_t>(t) - 64) >> 6;
+    return w < words_.size() &&
+           (words_[w] &
+            (uint64_t{1} << ((static_cast<size_t>(t) - 64) & 63))) != 0;
   }
 
-  bool empty() const { return bits_ == 0 && overflow_.empty(); }
-  size_t size() const { return std::popcount(bits_) + overflow_.size(); }
+  bool empty() const { return bits_ == 0 && overflow_count_ == 0; }
+  size_t size() const {
+    return static_cast<size_t>(std::popcount(bits_)) + overflow_count_;
+  }
 
-  // Set equality (overflow order-insensitive; ids there are unique).
+  // Set equality. Equal counts plus an equal common prefix force any
+  // extra trailing words in the longer bitmap to be all-zero padding.
   friend bool operator==(const ThreadSet& a, const ThreadSet& b) {
-    if (a.bits_ != b.bits_ || a.overflow_.size() != b.overflow_.size()) {
+    if (a.bits_ != b.bits_ || a.overflow_count_ != b.overflow_count_) {
       return false;
     }
-    for (vm::ThreadId t : a.overflow_) {
-      if (!b.contains(t)) {
+    const size_t n = std::min(a.words_.size(), b.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a.words_[i] != b.words_[i]) {
         return false;
       }
     }
     return true;
   }
 
-  // Non-empty intersection test: one AND for the dense range.
+  // Non-empty intersection test: word-wise ANDs.
   bool Intersects(const ThreadSet& other) const {
     if ((bits_ & other.bits_) != 0) {
       return true;
     }
-    for (vm::ThreadId t : overflow_) {
-      if (other.contains(t)) {
-        return true;
-      }
-    }
-    for (vm::ThreadId t : other.overflow_) {
-      if (contains(t)) {
+    const size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) {
         return true;
       }
     }
@@ -143,7 +153,8 @@ class ThreadSet {
 
  private:
   uint64_t bits_ = 0;
-  std::vector<vm::ThreadId> overflow_;
+  size_t overflow_count_ = 0;
+  std::vector<uint64_t> words_;  // bit (t - 64) set <=> id t present
 };
 
 class FlowDetector final : public vm::InstructionObserver {
@@ -357,7 +368,13 @@ class FlowDetector final : public vm::InstructionObserver {
   void ClearThreadRegisters(vm::ThreadId t);
   void RecordProducer(uint64_t lock_id, vm::ThreadId t);
   void RecordConsumer(uint64_t lock_id, vm::ThreadId t);
-  void MaybeDemote(uint64_t lock_id, LockRoles& roles);
+  // Called right after `t` was newly inserted into one role list;
+  // `other_role` is the opposite list. A fresh insert is the only way
+  // the intersection can become non-empty, so one O(1) contains()
+  // maintains the full-intersection invariant that used to cost an
+  // Intersects() scan per insert.
+  void MaybeDemote(uint64_t lock_id, LockRoles& roles,
+                   const ThreadSet& other_role, vm::ThreadId t);
 
   // Role-list lookup with a one-entry cache. Valid while roles_ has
   // not inserted since the pointer was taken: roles_ never erases, so
@@ -616,7 +633,7 @@ inline void FlowDetector::OnMov(vm::ThreadId t, const vm::Loc& dst, const vm::Lo
     // Writing an un-contexted value into shared memory is production.
     LockRoles& roles = RolesOf(lock_id);
     if (roles.producers.insert(t)) {
-      MaybeDemote(lock_id, roles);
+      MaybeDemote(lock_id, roles, roles.consumers, t);
     }
   }
 }

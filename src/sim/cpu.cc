@@ -7,16 +7,36 @@ namespace whodunit::sim {
 
 CpuResource::CpuResource(Scheduler& sched, int cores, std::string name)
     : sched_(sched), name_(std::move(name)) {
+  // An all-equal array is already a valid min-heap; no make_heap needed.
   core_free_.assign(static_cast<size_t>(cores < 1 ? 1 : cores), 0);
-  std::make_heap(core_free_.begin(), core_free_.end(), std::greater<>());
 }
 
 SimTime CpuResource::Reserve(SimTime cost) {
-  std::pop_heap(core_free_.begin(), core_free_.end(), std::greater<>());
-  SimTime start = std::max(sched_.now(), core_free_.back());
+  // The soonest-free core sits at the heap root. Replace-top with a
+  // single sift-down restores the heap in one pass where the old
+  // pop_heap/push_heap pair paid two full sifts per reservation. Only
+  // the minimum value is ever observed, so results are identical.
+  SimTime start = std::max(sched_.now(), core_free_.front());
   SimTime finish = start + cost;
-  core_free_.back() = finish;
-  std::push_heap(core_free_.begin(), core_free_.end(), std::greater<>());
+  size_t i = 0;
+  const size_t n = core_free_.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    size_t child = left;
+    const size_t right = left + 1;
+    if (right < n && core_free_[right] < core_free_[left]) {
+      child = right;
+    }
+    if (core_free_[child] >= finish) {
+      break;
+    }
+    core_free_[i] = core_free_[child];
+    i = child;
+  }
+  core_free_[i] = finish;
   busy_ += cost;
   ++requests_;
   if (hook_) {

@@ -1,0 +1,182 @@
+#include "src/sim/ladder_queue.h"
+
+namespace whodunit::sim {
+
+void LadderQueue::Push(ScheduledEvent ev) {
+  ++size_;
+  if (size_ > stats_.peak_depth) {
+    stats_.peak_depth = size_;
+  }
+  if (ev.time < bottom_limit_) {
+    // Sorted insert. Every new event keys strictly greater than every
+    // already-consumed one (time >= now, fresh seq), so the position
+    // always lands at or after bottom_pos_.
+    auto it = std::upper_bound(
+        bottom_.begin() + static_cast<ptrdiff_t>(bottom_pos_), bottom_.end(),
+        ev, [](const ScheduledEvent& a, const ScheduledEvent& b) {
+          return EventBefore(a, b);
+        });
+    bottom_.insert(it, std::move(ev));
+    if (ActiveBottom() > kBottomMax) {
+      SpillBottomTail();
+    }
+    return;
+  }
+  PushToRungOrTop(std::move(ev));
+}
+
+void LadderQueue::PushToRungOrTop(ScheduledEvent&& ev) {
+  // Finest (earliest-range) rung first: tier regions are contiguous,
+  // so the first rung whose limit exceeds t owns it.
+  for (auto r = rungs_.rbegin(); r != rungs_.rend(); ++r) {
+    if (ev.time < r->limit) {
+      size_t idx = static_cast<size_t>((ev.time - r->origin) / r->width);
+      if (idx >= r->buckets.size()) {
+        idx = r->buckets.size() - 1;
+      }
+      if (idx < r->cur) {
+        idx = r->cur;  // defensive: never land in a drained bucket
+      }
+      r->buckets[idx].push_back(std::move(ev));
+      return;
+    }
+  }
+  if (top_.empty()) {
+    top_min_ = top_max_ = ev.time;
+  } else {
+    top_min_ = std::min(top_min_, ev.time);
+    top_max_ = std::max(top_max_, ev.time);
+  }
+  top_.push_back(std::move(ev));
+  ++stats_.spills;
+}
+
+void LadderQueue::SpawnRung(SimTime origin, SimTime limit,
+                            std::vector<ScheduledEvent> events) {
+  Rung r;
+  r.origin = origin;
+  r.limit = limit;
+  const SimTime span = limit - origin;  // >= 1 by construction
+  r.width = (span + static_cast<SimTime>(kRungBuckets) - 1) /
+            static_cast<SimTime>(kRungBuckets);
+  if (r.width < 1) {
+    r.width = 1;
+  }
+  const size_t nb = static_cast<size_t>((span + r.width - 1) / r.width);
+  r.buckets.resize(nb);
+  r.cur = 0;
+  for (ScheduledEvent& ev : events) {
+    size_t idx = static_cast<size_t>((ev.time - origin) / r.width);
+    if (idx >= nb) {
+      idx = nb - 1;
+    }
+    r.buckets[idx].push_back(std::move(ev));
+  }
+  rungs_.push_back(std::move(r));
+  // The new rung is the finest tier above bottom: bottom's region now
+  // ends where the rung begins.
+  bottom_limit_ = origin;
+  ++stats_.promotions;
+}
+
+void LadderQueue::SpillBottomTail() {
+  if (rungs_.size() >= kMaxRungs) {
+    return;  // graceful degradation: let bottom grow, stay correct
+  }
+  const size_t keep_end = bottom_pos_ + kBottomKeep;
+  const SimTime limit = bottom_[keep_end].time;
+  std::vector<ScheduledEvent> tail;
+  tail.reserve(bottom_.size() - keep_end);
+  for (size_t i = keep_end; i < bottom_.size(); ++i) {
+    tail.push_back(std::move(bottom_[i]));
+  }
+  bottom_.resize(keep_end);
+  const SimTime old_limit = bottom_limit_;
+  if (old_limit == kVirginLimit) {
+    // No structure above bottom yet: the shed tail becomes the top
+    // tier and bottom's responsibility shrinks to [0, limit).
+    bottom_limit_ = limit;
+    for (ScheduledEvent& ev : tail) {
+      if (top_.empty()) {
+        top_min_ = top_max_ = ev.time;
+      } else {
+        top_min_ = std::min(top_min_, ev.time);
+        top_max_ = std::max(top_max_, ev.time);
+      }
+      top_.push_back(std::move(ev));
+      ++stats_.spills;
+    }
+    return;
+  }
+  // A tier already bounds the range at old_limit; slot a rung covering
+  // exactly [limit, old_limit) between bottom and it. (Kept events at
+  // time == limit stay in bottom with smaller seqs; they drain before
+  // the rung is touched, so (time, seq) order is preserved.)
+  SpawnRung(limit, old_limit, std::move(tail));
+}
+
+void LadderQueue::EnsureBottom() {
+  while (bottom_pos_ == bottom_.size()) {
+    bottom_.clear();
+    bottom_pos_ = 0;
+    if (!rungs_.empty()) {
+      Rung& r = rungs_.back();
+      while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) {
+        ++r.cur;
+      }
+      if (r.cur == r.buckets.size()) {
+        rungs_.pop_back();
+        continue;
+      }
+      const size_t b = r.cur;
+      std::vector<ScheduledEvent> events = std::move(r.buckets[b]);
+      r.buckets[b].clear();
+      r.cur = b + 1;
+      const SimTime bs = r.origin + r.width * static_cast<SimTime>(b);
+      const SimTime be = std::min(bs + r.width, r.limit);
+      if (events.size() > kSortThreshold && r.width > 1 &&
+          rungs_.size() < kMaxRungs) {
+        // Over-full bucket: subdivide into a finer rung instead of
+        // paying a big sort. Terminates because child width strictly
+        // shrinks (width > 1).
+        SpawnRung(bs, be, std::move(events));
+        continue;
+      }
+      std::sort(events.begin(), events.end(),
+                [](const ScheduledEvent& a, const ScheduledEvent& b2) {
+                  return EventBefore(a, b2);
+                });
+      bottom_ = std::move(events);
+      bottom_limit_ = be;
+      ++stats_.refills;
+      continue;
+    }
+    if (!top_.empty()) {
+      SpawnRung(top_min_, top_max_ + 1, std::move(top_));
+      top_.clear();
+      continue;
+    }
+    // Fully drained: return to the virgin state where bottom owns the
+    // whole time axis again.
+    bottom_limit_ = kVirginLimit;
+    return;
+  }
+}
+
+const ScheduledEvent* LadderQueue::Peek() {
+  if (size_ == 0) {
+    return nullptr;
+  }
+  EnsureBottom();
+  return &bottom_[bottom_pos_];
+}
+
+ScheduledEvent LadderQueue::Pop() {
+  EnsureBottom();
+  ScheduledEvent ev = std::move(bottom_[bottom_pos_]);
+  ++bottom_pos_;
+  --size_;
+  return ev;
+}
+
+}  // namespace whodunit::sim

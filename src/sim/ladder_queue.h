@@ -1,0 +1,151 @@
+// Event-queue implementations for the discrete-event scheduler.
+//
+// LadderQueue is a two-tier calendar structure (Tang & Goh's ladder
+// queue, simplified): a sorted near-future "bottom" that Pop consumes
+// directly, a stack of rungs — each a dense wheel of FIFO buckets, a
+// finer rung subdividing one over-full bucket of the rung above — and
+// an unsorted far-future "top" that absorbs arbitrarily distant events
+// in O(1). Amortized O(1) push/pop versus the O(log n) binary heap,
+// and pops touch a small sorted vector instead of sifting a heap that
+// spans the whole calendar.
+//
+// Correctness does not depend on any of that structure: every event
+// carries a (time, seq) key that is a TOTAL order, so the only
+// contract a queue must meet is "Pop returns the minimum-key event".
+// LadderQueue and HeapQueue therefore produce byte-identical
+// simulations, which the randomized differential test in
+// tests/sim_scheduler_test.cc exercises and which keeps the shard
+// merge determinism contract intact.
+//
+// Tier responsibility regions are contiguous and exhaustive:
+//   [0, bottom_limit_)            -> bottom (sorted insert)
+//   [bottom_limit_, rung ends...) -> finest rung whose range covers t
+//   [last rung end, +inf)         -> top (unsorted append)
+#ifndef SRC_SIM_LADDER_QUEUE_H_
+#define SRC_SIM_LADDER_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/sim/time.h"
+
+namespace whodunit::sim {
+
+// Deterministic structural counters, exported by the scheduler as
+// sim.* metrics (docs/METRICS.md). Event times alone decide every
+// transition, so the counts are identical across thread counts.
+struct QueueStats {
+  uint64_t peak_depth = 0;   // max events resident at once
+  uint64_t spills = 0;       // events deferred to the unsorted top tier
+  uint64_t promotions = 0;   // rungs spawned (bucket subdivisions + top seeds)
+  uint64_t refills = 0;      // bottom refills (bucket sorts)
+};
+
+class LadderQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const QueueStats& stats() const { return stats_; }
+
+  void Push(ScheduledEvent ev);
+
+  // Earliest event, or nullptr when empty. May reorganize tiers to
+  // materialize the head; the pointer is invalidated by Push/Pop.
+  const ScheduledEvent* Peek();
+
+  // Requires !empty().
+  ScheduledEvent Pop();
+
+ private:
+  struct Rung {
+    SimTime origin = 0;  // start of covered range
+    SimTime limit = 0;   // exclusive end of covered range (routing key)
+    SimTime width = 1;   // bucket width (>= 1)
+    size_t cur = 0;      // first bucket not yet drained
+    std::vector<std::vector<ScheduledEvent>> buckets;
+  };
+
+  static constexpr SimTime kVirginLimit =
+      std::numeric_limits<SimTime>::max();
+  static constexpr size_t kRungBuckets = 512;   // wheel size per rung
+  static constexpr size_t kSortThreshold = 64;  // bucket -> bottom cutoff
+  static constexpr size_t kBottomMax = 1024;    // sorted-insert cost cap
+  static constexpr size_t kBottomKeep = 64;     // retained on bottom spill
+  static constexpr size_t kMaxRungs = 16;
+
+  size_t ActiveBottom() const { return bottom_.size() - bottom_pos_; }
+  // Ensures bottom_[bottom_pos_] is the global minimum (or the queue
+  // is empty), refilling/subdividing as needed.
+  void EnsureBottom();
+  // Moves events into a fresh finest rung covering [origin, limit).
+  void SpawnRung(SimTime origin, SimTime limit,
+                 std::vector<ScheduledEvent> events);
+  void PushToRungOrTop(ScheduledEvent&& ev);
+  // Sheds the tail of an over-full bottom into a finer structure so
+  // sorted inserts stay O(kBottomMax).
+  void SpillBottomTail();
+
+  std::vector<ScheduledEvent> bottom_;
+  size_t bottom_pos_ = 0;
+  // Exclusive upper bound of the region bottom is responsible for.
+  SimTime bottom_limit_ = kVirginLimit;
+
+  std::vector<Rung> rungs_;  // front = coarsest, back = finest
+
+  std::vector<ScheduledEvent> top_;
+  SimTime top_min_ = 0;
+  SimTime top_max_ = 0;
+
+  size_t size_ = 0;
+  QueueStats stats_;
+};
+
+// The pre-ladder implementation: a binary heap over the same event
+// records. Kept as the differential-test oracle and as the baseline
+// leg of BM_SchedulerThroughput in bench_scaling_clients.
+class HeapQueue {
+ public:
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  const QueueStats& stats() const { return stats_; }
+
+  void Push(ScheduledEvent ev) {
+    queue_.push(std::move(ev));
+    if (queue_.size() > stats_.peak_depth) {
+      stats_.peak_depth = queue_.size();
+    }
+  }
+
+  const ScheduledEvent* Peek() {
+    return queue_.empty() ? nullptr : &queue_.top();
+  }
+
+  ScheduledEvent Pop() {
+    // Move out before popping: the payload is move-only and pop()
+    // would destroy it in place.
+    ScheduledEvent ev = std::move(const_cast<ScheduledEvent&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
+      return EventBefore(b, a);
+    }
+  };
+
+  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>, Later>
+      queue_;
+  QueueStats stats_;
+};
+
+}  // namespace whodunit::sim
+
+#endif  // SRC_SIM_LADDER_QUEUE_H_

@@ -4,10 +4,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/sim/event.h"
+#include "src/sim/ladder_queue.h"
 #include "src/sim/time.h"
 
 namespace whodunit::sim {
@@ -18,55 +19,143 @@ namespace whodunit::sim {
 // deterministic when many events share a timestamp. The scheduler is
 // deliberately minimal: coroutine awaitables (Delay, locks, channels,
 // CPU) build on ScheduleAt/ScheduleAfter.
-class Scheduler {
+//
+// The calendar itself is pluggable: BasicScheduler is parameterized on
+// the queue type so the ladder queue (production) and the pre-existing
+// binary heap (differential-test oracle, bench baseline) run the exact
+// same scheduling logic. Because the (time, seq) key is a total order,
+// both produce identical executions — see src/sim/ladder_queue.h.
+//
+// Callbacks are stored as sim::Event records: coroutine resumes carry
+// no allocation at all, small lambdas live inline, and oversized ones
+// come from the per-thread arena pool instead of malloc.
+template <typename Queue>
+class BasicScheduler {
  public:
-  using Callback = std::function<void()>;
+  BasicScheduler() = default;
+  BasicScheduler(const BasicScheduler&) = delete;
+  BasicScheduler& operator=(const BasicScheduler&) = delete;
+  ~BasicScheduler() { PublishMetrics(); }
 
   SimTime now() const { return now_; }
 
   // Enqueues cb to run at absolute virtual time t (>= now).
-  void ScheduleAt(SimTime t, Callback cb);
+  template <typename F>
+  void ScheduleAt(SimTime t, F&& cb) {
+    PushEvent(t, Event::Of(std::forward<F>(cb)));
+  }
 
   // Enqueues cb to run dt nanoseconds from now (dt < 0 is clamped to 0).
-  void ScheduleAfter(SimTime dt, Callback cb);
+  template <typename F>
+  void ScheduleAfter(SimTime dt, F&& cb) {
+    ScheduleAt(now_ + (dt < 0 ? 0 : dt), std::forward<F>(cb));
+  }
 
-  // Convenience: resume a coroutine at/after a time.
-  void ResumeAt(SimTime t, std::coroutine_handle<> h);
-  void ResumeAfter(SimTime dt, std::coroutine_handle<> h);
+  // Convenience: resume a coroutine at/after a time. These take the
+  // allocation-free fast path through Event::Resume.
+  void ResumeAt(SimTime t, std::coroutine_handle<> h) {
+    PushEvent(t, Event::Resume(h));
+  }
+  void ResumeAfter(SimTime dt, std::coroutine_handle<> h) {
+    ResumeAt(now_ + (dt < 0 ? 0 : dt), h);
+  }
 
   // Runs events until the calendar is empty.
-  void Run();
+  void Run() {
+    while (Step()) {
+    }
+  }
 
   // Runs events with time <= t, then sets now to t. Events scheduled
   // beyond t stay queued.
-  void RunUntil(SimTime t);
+  void RunUntil(SimTime t) {
+    while (const ScheduledEvent* head = queue_.Peek()) {
+      if (head->time > t) {
+        break;
+      }
+      Step();
+    }
+    if (now_ < t) {
+      now_ = t;
+    }
+  }
 
   // Executes the single earliest event; returns false if none.
-  bool Step();
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    ScheduledEvent item = queue_.Pop();
+    now_ = item.time;
+    ++events_executed_;
+    item.ev.Fire();
+    return true;
+  }
 
   bool empty() const { return queue_.empty(); }
+  size_t queue_depth() const { return queue_.size(); }
   uint64_t events_executed() const { return events_executed_; }
+  uint64_t events_scheduled() const { return events_scheduled_; }
+  const QueueStats& queue_stats() const { return queue_.stats(); }
+
+  // Folds the scheduler's deterministic counters into the calling
+  // thread's metrics registry (docs/METRICS.md, sim.* family). Runs
+  // automatically on destruction — app schedulers are shard-locals, so
+  // the counts land in the shard registry and merge in shard order —
+  // but benches may call it earlier to snapshot mid-run. Publishes
+  // deltas since the previous call, so calling twice never
+  // double-counts.
+  void PublishMetrics() {
+    obs::MetricsRegistry& reg = obs::Registry();
+    const QueueStats& qs = queue_.stats();
+    reg.GetCounter("sim.events_scheduled")
+        .Add(events_scheduled_ - published_.scheduled);
+    reg.GetCounter("sim.events_executed")
+        .Add(events_executed_ - published_.executed);
+    reg.GetCounter("sim.ladder_promotions")
+        .Add(qs.promotions - published_.promotions);
+    reg.GetCounter("sim.ladder_spills").Add(qs.spills - published_.spills);
+    published_ = {events_scheduled_, events_executed_, qs.promotions,
+                  qs.spills};
+    // Peak depth is a high-water mark, not a flow: fold as a gauge
+    // (gauges add across shards, giving the sum of per-shard peaks).
+    obs::Gauge& peak = reg.GetGauge("sim.queue_peak_depth");
+    int64_t depth = static_cast<int64_t>(qs.peak_depth);
+    if (depth > last_peak_gauge_) {
+      peak.Add(depth - last_peak_gauge_);
+      last_peak_gauge_ = depth;
+    }
+  }
 
  private:
-  struct Item {
-    SimTime time;
-    uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
+  struct Published {
+    uint64_t scheduled = 0;
+    uint64_t executed = 0;
+    uint64_t promotions = 0;
+    uint64_t spills = 0;
   };
 
+  void PushEvent(SimTime t, Event ev) {
+    if (t < now_) {
+      t = now_;
+    }
+    queue_.Push(ScheduledEvent{t, next_seq_++, std::move(ev)});
+    ++events_scheduled_;
+  }
+
+  Queue queue_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  uint64_t events_scheduled_ = 0;
+  Published published_;
+  int64_t last_peak_gauge_ = 0;
 };
+
+using Scheduler = BasicScheduler<LadderQueue>;
+// The pre-ladder scheduler, kept for differential tests and the
+// BM_SchedulerThroughput baseline leg.
+using HeapScheduler = BasicScheduler<HeapQueue>;
 
 // Awaitable that suspends the current coroutine for dt virtual ns.
 // Usage: co_await Delay{sched, Micros(5)};

@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "src/sim/scheduler.h"
+#include "src/util/arena.h"
 
 namespace whodunit::sim {
 
@@ -31,6 +32,19 @@ template <typename T = void>
 class [[nodiscard]] Task;
 
 namespace internal {
+
+// Routes coroutine-frame allocation through the per-thread arena pool:
+// a simulated thread of control is created and destroyed on the same
+// host thread (its shard's), so frames recycle through the freelists
+// instead of hitting malloc once per simulated client/request.
+struct PooledFrame {
+  static void* operator new(size_t n) {
+    return util::ArenaPool::ThisThread().Allocate(n);
+  }
+  static void operator delete(void* p, size_t n) noexcept {
+    util::ArenaPool::ThisThread().Deallocate(p, n);
+  }
+};
 
 template <typename Promise>
 struct TaskFinalAwaiter {
@@ -42,7 +56,7 @@ struct TaskFinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct TaskPromiseBase {
+struct TaskPromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
@@ -147,7 +161,7 @@ class [[nodiscard]] Task<void> {
 // channels, locks, or plain counters in the enclosing harness.
 class Process {
  public:
-  struct promise_type {
+  struct promise_type : internal::PooledFrame {
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));
     }

@@ -1,0 +1,94 @@
+#include "src/util/arena.h"
+
+#include <new>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace whodunit::util {
+
+ArenaPool& ArenaPool::ThisThread() {
+  thread_local ArenaPool pool;
+  return pool;
+}
+
+size_t ArenaPool::ClassIndex(size_t bytes) {
+  if (bytes <= kStepClasses * 64) {
+    return (bytes + 63) / 64 - (bytes == 0 ? 0 : 1);
+  }
+  size_t cls = kStepClasses;
+  size_t cap = 2048;
+  while (cap < bytes && cls < kClassCount) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;  // kClassCount when bytes > kMaxPooledBytes
+}
+
+size_t ArenaPool::ClassBytes(size_t cls) {
+  if (cls < kStepClasses) return (cls + 1) * 64;
+  return size_t{2048} << (cls - kStepClasses);
+}
+
+void* ArenaPool::Allocate(size_t bytes) {
+  ++alloc_calls_;
+  const size_t cls = ClassIndex(bytes);
+  if (cls >= kClassCount) {
+    ++oversize_allocs_;
+    return ::operator new(bytes);
+  }
+  const size_t rounded = ClassBytes(cls);
+  outstanding_bytes_ += rounded;
+  if (outstanding_bytes_ > peak_outstanding_bytes_) {
+    peak_outstanding_bytes_ = outstanding_bytes_;
+  }
+  if (FreeBlock* head = free_[cls]) {
+    free_[cls] = head->next;
+    cached_bytes_ -= rounded;
+    ++reuse_hits_;
+    return head;
+  }
+  ++fresh_blocks_;
+  return ::operator new(rounded);
+}
+
+void ArenaPool::Deallocate(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  const size_t cls = ClassIndex(bytes);
+  if (cls >= kClassCount) {
+    ::operator delete(p);
+    return;
+  }
+  const size_t rounded = ClassBytes(cls);
+  outstanding_bytes_ -= rounded;
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = free_[cls];
+  free_[cls] = block;
+  cached_bytes_ += rounded;
+}
+
+void ArenaPool::Trim() {
+  for (size_t cls = 0; cls < kClassCount; ++cls) {
+    FreeBlock* head = free_[cls];
+    free_[cls] = nullptr;
+    while (head != nullptr) {
+      FreeBlock* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+  cached_bytes_ = 0;
+}
+
+uint64_t ApproxHeapBytes() {
+#if defined(__GLIBC__)
+  struct mallinfo2 info = mallinfo2();
+  return static_cast<uint64_t>(info.uordblks) +
+         static_cast<uint64_t>(info.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace whodunit::util

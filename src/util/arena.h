@@ -1,0 +1,92 @@
+// Size-class arena pool: recycled fixed-size blocks for the simulator's
+// per-event and per-coroutine allocations.
+//
+// The DES core allocates and frees small objects at enormous rates —
+// one coroutine frame per simulated thread of control, one overflow
+// block per large scheduled event. Going to malloc for each would
+// dominate the run at million-client scale, so a pool keeps freed
+// blocks on intrusive per-size-class freelists and hands them back on
+// the next allocation of the same class: steady-state simulation makes
+// no malloc calls at all.
+//
+// One pool per thread (ThisThread()). A shard of a ParallelRunner
+// fan-out runs entirely on one pool thread, so the thread-local pool
+// is the shard's arena: no locks, no false sharing, TSan-clean by
+// construction. Reuse is a pure memory optimization — block contents
+// are always reconstructed — so pooling cannot perturb simulation
+// results or the shard-merge byte-identity contract.
+#ifndef SRC_UTIL_ARENA_H_
+#define SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace whodunit::util {
+
+class ArenaPool {
+ public:
+  // 64-byte steps up to 1 KiB, then powers of two up to 64 KiB.
+  // Larger requests bypass the pool (direct operator new/delete).
+  static constexpr size_t kStepClasses = 16;   // 64, 128, ..., 1024
+  static constexpr size_t kPow2Classes = 6;    // 2048, ..., 65536
+  static constexpr size_t kClassCount = kStepClasses + kPow2Classes;
+  static constexpr size_t kMaxPooledBytes = 64 * 1024;
+
+  ArenaPool() = default;
+  ~ArenaPool() { Trim(); }
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  // The calling thread's pool. Coroutine frames and event-overflow
+  // blocks route here (src/sim/task.h, src/sim/event.h).
+  static ArenaPool& ThisThread();
+
+  void* Allocate(size_t bytes);
+  // `bytes` must be the size passed to Allocate (sized delete).
+  void Deallocate(void* p, size_t bytes);
+
+  // Releases every cached free block back to the system. Outstanding
+  // allocations are unaffected. Used between bench configurations so
+  // per-scale memory measurements start from a cold pool.
+  void Trim();
+
+  // ---- Accounting (not obs metrics: pool state is per host thread,
+  // so counts would vary with BENCH_THREADS; benches read these only
+  // from serial contexts) ----------------------------------------------
+  uint64_t alloc_calls() const { return alloc_calls_; }
+  uint64_t reuse_hits() const { return reuse_hits_; }
+  uint64_t fresh_blocks() const { return fresh_blocks_; }
+  uint64_t oversize_allocs() const { return oversize_allocs_; }
+  // Bytes currently handed out (pooled classes only, class-rounded).
+  uint64_t outstanding_bytes() const { return outstanding_bytes_; }
+  uint64_t peak_outstanding_bytes() const { return peak_outstanding_bytes_; }
+  uint64_t cached_bytes() const { return cached_bytes_; }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  // Index of the smallest class holding `bytes`; kClassCount if the
+  // request is too large to pool.
+  static size_t ClassIndex(size_t bytes);
+  static size_t ClassBytes(size_t cls);
+
+  FreeBlock* free_[kClassCount] = {};
+  uint64_t alloc_calls_ = 0;
+  uint64_t reuse_hits_ = 0;
+  uint64_t fresh_blocks_ = 0;
+  uint64_t oversize_allocs_ = 0;
+  uint64_t outstanding_bytes_ = 0;
+  uint64_t peak_outstanding_bytes_ = 0;
+  uint64_t cached_bytes_ = 0;
+};
+
+// Approximate bytes currently allocated from the heap by this process
+// (glibc mallinfo2), or 0 where unavailable. The client-scaling bench
+// uses deltas of this to compute bytes-per-client.
+uint64_t ApproxHeapBytes();
+
+}  // namespace whodunit::util
+
+#endif  // SRC_UTIL_ARENA_H_

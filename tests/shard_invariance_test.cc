@@ -105,6 +105,38 @@ TEST(ShardInvarianceTest, ShardCountSweepIsSelfDeterministic) {
   }
 }
 
+TEST(ShardInvarianceTest, OpenLoopPoissonIsByteIdenticalAcrossThreadCounts) {
+  // The open-loop golden: Poisson generators (several per shard) with
+  // 1% transaction sampling must keep the shard-merge byte-identity
+  // contract — each generator's seed derives from the shard seed and
+  // its spawn index, never from thread placement.
+  apps::BookstoreResult reference;
+  for (int threads : {1, 2, 4, 8}) {
+    apps::BookstoreOptions o = SmallRun(4, threads);
+    o.arrivals.kind = workload::ArrivalKind::kPoisson;
+    o.arrivals.clients_per_generator = 4;  // 2 generators per 8-client shard
+    o.sample_rate = 0.01;
+    o.sample_seed = 77;
+    const apps::BookstoreResult result = apps::RunBookstore(o);
+    if (threads == 1) {
+      reference = result;
+      ASSERT_FALSE(reference.db_profile_text.empty());
+      ASSERT_GT(reference.interactions, 0u);
+      continue;
+    }
+    EXPECT_EQ(result.db_profile_text, reference.db_profile_text)
+        << threads << " threads";
+    EXPECT_EQ(result.crosstalk_text, reference.crosstalk_text)
+        << threads << " threads";
+    EXPECT_EQ(result.stitched_text, reference.stitched_text)
+        << threads << " threads";
+    EXPECT_EQ(result.interactions, reference.interactions);
+    EXPECT_EQ(result.sim_events, reference.sim_events);
+    EXPECT_EQ(result.peak_event_queue_depth, reference.peak_event_queue_depth);
+    EXPECT_DOUBLE_EQ(result.throughput_tpm, reference.throughput_tpm);
+  }
+}
+
 TEST(ShardInvarianceTest, FoldedMetricsExportIsThreadCountInvariant) {
   // The full metrics JSON — the third artifact of the golden contract.
   // Each job runs a small bookstore inside its own ShardEnv; folding

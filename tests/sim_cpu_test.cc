@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/sim/task.h"
+#include "src/util/rng.h"
 
 namespace whodunit::sim {
 namespace {
@@ -90,6 +92,52 @@ TEST(CpuTest, FifoQueueingUnderBurst) {
   s.Run();
   EXPECT_EQ(done, (std::vector<SimTime>{10, 20, 30, 40, 50}));
   EXPECT_EQ(cpu.requests(), 5u);
+}
+
+Process OneJob(Scheduler& sched, CpuResource& cpu, SimTime cost, SimTime& done) {
+  co_await cpu.Consume(cost);
+  done = sched.now();
+}
+
+TEST(CpuTest, ReserveMatchesMinFreeCoreModel) {
+  // Regression test for the core free-time heap: random arrival/cost
+  // sequences must produce exactly the completion times of the obvious
+  // reference model (grab the minimum free-core time, no heap at all).
+  // A broken sift after replace-top shows up as a job charged to a
+  // core that is not the earliest-free one.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int cores = 1 + static_cast<int>(rng.NextBelow(6));
+    struct Job {
+      SimTime at;
+      SimTime cost;
+    };
+    std::vector<Job> jobs;
+    for (int i = 0; i < 300; ++i) {
+      jobs.push_back({static_cast<SimTime>(rng.NextBelow(5000)),
+                      1 + static_cast<SimTime>(rng.NextBelow(400))});
+    }
+    // Reservations happen in arrival order; ties keep spawn order.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const Job& a, const Job& b) { return a.at < b.at; });
+
+    Scheduler s;
+    CpuResource cpu(s, cores);
+    std::vector<SimTime> done(jobs.size(), -1);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      SpawnAfter(s, jobs[i].at, OneJob(s, cpu, jobs[i].cost, done[i]));
+    }
+    s.Run();
+
+    std::vector<SimTime> free_at(static_cast<size_t>(cores), 0);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      auto it = std::min_element(free_at.begin(), free_at.end());
+      const SimTime finish = std::max(jobs[i].at, *it) + jobs[i].cost;
+      *it = finish;
+      ASSERT_EQ(done[i], finish)
+          << "trial " << trial << " cores " << cores << " job " << i;
+    }
+  }
 }
 
 }  // namespace

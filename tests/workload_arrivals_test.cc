@@ -1,0 +1,113 @@
+#include "src/workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace whodunit::workload {
+namespace {
+
+TEST(ArrivalsTest, ParseKnownKinds) {
+  ArrivalKind kind = ArrivalKind::kBursty;
+  EXPECT_TRUE(ParseArrivalKind("closed", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kClosed);
+  EXPECT_TRUE(ParseArrivalKind("poisson", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kPoisson);
+  EXPECT_TRUE(ParseArrivalKind("bursty", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kBursty);
+  EXPECT_FALSE(ParseArrivalKind("open", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kBursty);  // untouched on failure
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kPoisson), "poisson");
+}
+
+TEST(ArrivalsTest, EffectiveOfferedTpsFallbacks) {
+  ArrivalConfig cfg;
+  // Explicit load wins.
+  cfg.offered_load_tps = 42.5;
+  EXPECT_DOUBLE_EQ(EffectiveOfferedTps(cfg, 70, sim::Millis(7000)), 42.5);
+  // Otherwise: population / mean think time.
+  cfg.offered_load_tps = 0.0;
+  EXPECT_DOUBLE_EQ(EffectiveOfferedTps(cfg, 70, sim::Millis(7000)), 10.0);
+  // No think time: one per client per second.
+  EXPECT_DOUBLE_EQ(EffectiveOfferedTps(cfg, 70, 0), 70.0);
+}
+
+TEST(ArrivalsTest, PoissonMeanInterarrivalMatchesRate) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kPoisson;
+  ArrivalProcess p(cfg, /*tps=*/200.0, /*seed=*/9);
+  constexpr int kDraws = 200000;
+  double sum_ns = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum_ns += static_cast<double>(p.NextInterarrival());
+  }
+  const double mean_s = sum_ns / kDraws / 1e9;
+  EXPECT_NEAR(mean_s, 1.0 / 200.0, 0.05 / 200.0);
+  EXPECT_EQ(p.arrivals_drawn(), static_cast<uint64_t>(kDraws));
+}
+
+TEST(ArrivalsTest, BurstyLongRunRateMatchesTarget) {
+  // The MMPP's OFF rate is solved so the long-run mean equals the
+  // target exactly; measure it over many ON/OFF cycles.
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  ArrivalProcess p(cfg, /*tps=*/100.0, /*seed=*/31);
+  constexpr int kDraws = 500000;
+  double sum_ns = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum_ns += static_cast<double>(p.NextInterarrival());
+  }
+  const double rate = kDraws / (sum_ns / 1e9);
+  EXPECT_NEAR(rate, 100.0, 15.0);
+}
+
+TEST(ArrivalsTest, BurstyIsActuallyBursty) {
+  // Short windows should see rates far above and far below the mean.
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  ArrivalProcess p(cfg, /*tps=*/100.0, /*seed=*/5);
+  const auto window = static_cast<double>(sim::Millis(500));
+  std::vector<int> per_window;
+  double in_window = 0.0;
+  int count = 0;
+  for (int i = 0; i < 200000; ++i) {
+    in_window += static_cast<double>(p.NextInterarrival());
+    ++count;
+    while (in_window >= window) {
+      per_window.push_back(count);
+      count = 0;
+      in_window -= window;
+    }
+  }
+  // Mean per 500 ms window is 50; an MMPP with burst_factor 4 must show
+  // both quiet and hot windows.
+  int hot = 0, quiet = 0;
+  for (int c : per_window) {
+    if (c >= 100) ++hot;
+    if (c <= 10) ++quiet;
+  }
+  EXPECT_GT(hot, 0);
+  EXPECT_GT(quiet, 0);
+}
+
+TEST(ArrivalsTest, SameSeedSameStream) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  ArrivalProcess a(cfg, 50.0, 77);
+  ArrivalProcess b(cfg, 50.0, 77);
+  ArrivalProcess c(cfg, 50.0, 78);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const sim::SimTime ga = a.NextInterarrival();
+    ASSERT_EQ(ga, b.NextInterarrival()) << i;
+    if (ga != c.NextInterarrival()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace whodunit::workload
