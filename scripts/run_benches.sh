@@ -229,6 +229,19 @@ if "BM_LadderHold/131072" in gb and "BM_HeapHold/131072" in gb:
         gb["BM_HeapHold/131072"]["cpu_time_ns"]
         / gb["BM_LadderHold/131072"]["cpu_time_ns"], 3)
 
+# Live-observability ablation headlines (bench_ablation_live_obs): the
+# daemon's publish cost per transaction and the added cost of the
+# critical-path attribution pass, as a percentage of the no-daemon
+# per-transaction baseline — the check_perf.sh <15% gate.
+if "bench.ablation_live_obs.base_ns_per_txn" in gauges:
+    base_ns = gauges["bench.ablation_live_obs.base_ns_per_txn"]
+    publish_ns = gauges.get("bench.ablation_live_obs.publish_ns_per_txn", 0)
+    attr_ns = gauges.get("bench.ablation_live_obs.attr_publish_ns_per_txn", 0)
+    derived["publish_ns_per_txn"] = publish_ns
+    derived["attr_publish_ns_per_txn"] = attr_ns
+    if base_ns > 0:
+        derived["attr_publish_overhead_pct"] = round(100.0 * attr_ns / base_ns, 2)
+
 if derived:
     out["derived"] = derived
 

@@ -1,5 +1,6 @@
 #include "src/apps/bookstore/bookstore.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -42,7 +43,8 @@ struct DbRequest {
   db::Query query;
   uint64_t rows_touched = 0;
   Synopsis syn;
-  uint64_t txn = 0;  // live-observability transaction id
+  uint64_t txn = 0;      // live-observability transaction id
+  int64_t sent_ns = 0;   // send stamp; receiver derives queue wait
   sim::Channel<DbReply>* reply = nullptr;
 };
 struct TomcatReply {
@@ -53,7 +55,8 @@ struct TomcatRequest {
   TpcwTransaction type;
   uint32_t cache_key = 0;
   Synopsis syn;
-  uint64_t txn = 0;  // live-observability transaction id
+  uint64_t txn = 0;      // live-observability transaction id
+  int64_t sent_ns = 0;   // send stamp; receiver derives queue wait
   sim::Channel<TomcatReply>* reply = nullptr;
 };
 struct ProxyReply {
@@ -114,6 +117,7 @@ class Bookstore {
       obs::live::LiveOptions lo;
       lo.span_ring = options.live_span_ring;
       lo.history_bytes = options.live_history_bytes;
+      lo.attribution = options.live_attribution;
       daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       crosstalk_.set_wait_sink([this](uint64_t waiter, uint64_t holder, uint64_t wait_ns) {
@@ -164,6 +168,7 @@ class Bookstore {
           treq.reply = &reply_ch;
           treq.syn = squid_.PrepareSend(tp);
           squid_.AccountMessage(kRequestBytes, treq.syn.WireBytes());
+          treq.sent_ns = sched_.now();
           tomcat_ch_.Send(treq);
           auto rep = co_await reply_ch.Receive();
           if (!rep) {
@@ -189,7 +194,11 @@ class Bookstore {
         break;
       }
       tomcat_.OnReceive(tp, req->syn);
-      tomcat_.LiveJoin(tp, req->txn);
+      // Queue residency: time since the send stamp beyond the wire
+      // latency is time the request sat waiting for a free worker.
+      tomcat_.LiveJoin(tp, req->txn,
+                       std::max<int64_t>(0, sched_.now() - req->sent_ns -
+                                                workload::kLanLatency));
       {
         auto f0 = tomcat_.EnterFrame(tp, service_fn_);
         auto f1 = tomcat_.EnterFrame(tp, servlet_fns_[static_cast<size_t>(req->type)]);
@@ -213,6 +222,7 @@ class Bookstore {
             dreq.reply = &reply_ch;
             dreq.syn = tomcat_.PrepareSend(tp);
             tomcat_.AccountMessage(kRequestBytes, dreq.syn.WireBytes());
+            dreq.sent_ns = sched_.now();
             db_ch_.Send(dreq);
             auto drep = co_await reply_ch.Receive();
             if (!drep) {
@@ -277,7 +287,9 @@ class Bookstore {
         break;
       }
       mysql_.OnReceive(tp, req->syn);
-      mysql_.LiveJoin(tp, req->txn);
+      mysql_.LiveJoin(tp, req->txn,
+                      std::max<int64_t>(0, sched_.now() - req->sent_ns -
+                                               workload::kLanLatency));
       {
         auto f0 = mysql_.EnterFrame(tp, do_command_fn_);
         auto f1 = mysql_.EnterFrame(tp, execute_fn_);
@@ -312,7 +324,8 @@ class Bookstore {
               auto frame =
                   mysql_.EnterFrame(tp, step_fns_[static_cast<size_t>(step.kind)]);
               return mysql_.ChargeCpu(tp, c);
-            });
+            },
+            [&](sim::SimTime wait_ns) { mysql_.LiveLockWait(tp, wait_ns); });
         if (sched_.now() >= options_.warmup && sched_.now() <= options_.duration) {
           db_cpu_ground_[static_cast<size_t>(req->type)] += raw;
         }
@@ -648,6 +661,10 @@ BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
     // frame is reclaimed before the scheduler goes away.
     daemon_->Shutdown();
     sched_.Run();
+    // Tail diagnosis over the fully-drained history and attribution
+    // tables (Shutdown flushed the history's pending batch).
+    result.live_why_tail_text = daemon_->RenderWhyTail();
+    result.live_attr_folded = daemon_->ExportAttrFolded();
   }
   result.sim_events = sched_.events_executed();
   result.peak_event_queue_depth = sched_.queue_stats().peak_depth;
@@ -696,7 +713,7 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
   // Canonical merge, shard order, on the calling thread.
   profiler::MergedProfile merged;
   BookstoreResult out;
-  std::ostringstream stitched, live_top, live_query, live_spans;
+  std::ostringstream stitched, live_top, live_query, live_spans, live_why, live_attr;
   for (size_t i = 0; i < runs.size(); ++i) {
     const BookstoreResult& r = runs[i].result.result;
     merged.Fold(runs[i].result.profile);
@@ -724,6 +741,8 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
       live_top << "=== shard " << i << " ===\n" << r.live_top_text;
       live_query << "=== shard " << i << " ===\n" << r.live_query_json << "\n";
       live_spans << "=== shard " << i << " ===\n" << r.live_span_json << "\n";
+      live_why << "=== shard " << i << " ===\n" << r.live_why_tail_text;
+      live_attr << "=== shard " << i << " ===\n" << r.live_attr_folded;
     }
   }
   // Shard machines are replicas, so merged utilization is their mean.
@@ -764,6 +783,8 @@ BookstoreResult RunShardedBookstore(const BookstoreOptions& options) {
     out.live_top_text = live_top.str();
     out.live_query_json = live_query.str();
     out.live_span_json = live_spans.str();
+    out.live_why_tail_text = live_why.str();
+    out.live_attr_folded = live_attr.str();
   }
   // Shard metrics fold into the caller's registry in shard order so
   // WHODUNIT_METRICS_DIR dumps cover the sharded work deterministically.

@@ -95,6 +95,10 @@ struct BookstoreOptions {
   // refresh loop).
   sim::SimTime live_poll_interval = sim::Seconds(30);
   std::function<void(const std::string&)> on_live_top;
+  // Critical-path wait-state attribution of every published
+  // transaction (docs/OBSERVABILITY.md; the --no-attribution knob
+  // turns it off for ablation).
+  bool live_attribution = true;
 };
 
 struct BookstorePerType {
@@ -145,6 +149,11 @@ struct BookstoreResult {
   std::string live_top_text;
   std::string live_query_json;
   std::string live_span_json;
+  // Tail diagnosis (empty unless options.live): the rendered
+  // --why-tail report and the whodunit-attr-v1 folded-stack export,
+  // both taken after the daemon drained at end of run.
+  std::string live_why_tail_text;
+  std::string live_attr_folded;
 
   // DES engine accounting (summed over shards): total events the
   // scheduler executed and the calendar's high-water mark. The

@@ -57,6 +57,9 @@ struct Connection {
   // The listener's per-connection sampling decision, carried to the
   // worker beside the payload (the queue itself carries no synopsis).
   bool sampled = true;
+  // When the listener queued the connection: the worker's span reports
+  // now() - enqueued_ns as its kQueueWait component.
+  int64_t enqueued_ns = 0;
 };
 
 class Server {
@@ -214,6 +217,7 @@ class Server {
   uint64_t StashConnection(const Connection& conn) {
     const uint64_t handle = next_handle_++;
     in_flight_[handle] = conn;
+    in_flight_[handle].enqueued_ns = sched_.now();
     return handle;
   }
 
@@ -262,7 +266,8 @@ class Server {
       // Adopt the connection's sampling decision for all the work done
       // on its behalf (the queue carried the bit, not a synopsis).
       prof_.SetSampled(tp, conn.sampled);
-      prof_.LiveJoin(tp, conn.txn);
+      prof_.LiveJoin(tp, conn.txn,
+                     std::max<int64_t>(0, sched_.now() - conn.enqueued_ns));
 
       {
         auto f = prof_.EnterFrame(tp, process_fn);

@@ -111,7 +111,7 @@ class Haboob {
   void LiveJoinStage(const StageGraph::WorkerContext& wc) {
     if (daemon_ != nullptr) {
       daemon_->JoinSpan(TxnOf(wc.payload), graph_.StageName(wc.stage), /*link=*/0,
-                        daemon_->now());
+                        daemon_->now(), wc.queue_wait_ns);
     }
   }
   void LiveLeaveStage(const StageGraph::WorkerContext& wc) {

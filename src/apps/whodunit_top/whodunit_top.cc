@@ -15,11 +15,19 @@
 //                [--json-out FILE] [--no-clear] [--seed N]
 //                [--shards S] [--threads T]
 //                [--sample-rate R] [--sample-seed N] [--history-bytes B]
+//                [--why-tail] [--attr-out FILE] [--no-attribution]
 //
 // --sample-rate R profiles a fraction R of transactions (the
 // production-sampling knob, docs/PRODUCTION.md); the header then shows
 // the sampled/total ratio. --history-bytes B bounds the daemon's
 // retained-transaction store (oldest evicted first; 0 disables).
+//
+// --why-tail prints the p99-vs-p50 wait-state differential per
+// transaction type (docs/OBSERVABILITY.md §tail diagnosis); --attr-out
+// writes the whodunit-attr-v1 folded-stack attribution profile
+// (docs/PROFILE_FORMAT.md) for flamegraph tooling; --no-attribution
+// turns the critical-path attribution pass off entirely (the ablation
+// knob measured by bench_ablation_live_obs).
 //
 // --shards S > 1 partitions the clients into S independent
 // deployments run on --threads workers (sim::ParallelRunner) and
@@ -52,6 +60,9 @@ struct Flags {
   double sample_rate = 1.0;
   uint64_t sample_seed = 0;
   size_t history_bytes = 1 << 20;
+  bool why_tail = false;
+  std::string attr_out;
+  bool attribution = true;
   whodunit::workload::ArrivalConfig arrivals;
 };
 
@@ -62,6 +73,7 @@ void Usage(const char* argv0) {
                "          [--json-out FILE] [--no-clear] [--seed N]\n"
                "          [--shards S] [--threads T]\n"
                "          [--sample-rate R] [--sample-seed N] [--history-bytes B]\n"
+               "          [--why-tail] [--attr-out FILE] [--no-attribution]\n"
                "          [--arrivals closed|poisson|bursty] [--offered-load TPS]\n",
                argv0);
 }
@@ -97,6 +109,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sample_seed = static_cast<uint64_t>(v);
     } else if (arg == "--history-bytes" && next(&v)) {
       flags->history_bytes = static_cast<size_t>(v);
+    } else if (arg == "--why-tail") {
+      flags->why_tail = true;
+    } else if (arg == "--attr-out" && i + 1 < argc) {
+      flags->attr_out = argv[++i];
+    } else if (arg == "--no-attribution") {
+      flags->attribution = false;
     } else if (arg == "--arrivals" && i + 1 < argc) {
       const std::string kind = argv[++i];
       if (!whodunit::workload::ParseArrivalKind(kind, &flags->arrivals.kind)) {
@@ -151,6 +169,7 @@ int main(int argc, char** argv) {
   options.sample_seed = flags.sample_seed;
   options.live_history_bytes = flags.history_bytes;
   options.live_span_ring = flags.ring;
+  options.live_attribution = flags.attribution;
   options.live_poll_interval = whodunit::sim::Seconds(flags.interval_s);
   options.shards = flags.shards;
   options.threads = flags.threads;
@@ -175,11 +194,22 @@ int main(int argc, char** argv) {
 
   if (flags.clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
   std::fputs(result.live_top_text.c_str(), stdout);
+  if (flags.why_tail) {
+    std::fputs(result.live_why_tail_text.c_str(), stdout);
+  }
   std::printf("\n[run complete: %.0f interactions/min, %llu interactions]\n",
               result.throughput_tpm,
               static_cast<unsigned long long>(result.interactions));
 
   int rc = 0;
+  if (!flags.attr_out.empty()) {
+    if (WriteFile(flags.attr_out, result.live_attr_folded)) {
+      std::printf("attribution profile written to %s (whodunit-attr-v1)\n",
+                  flags.attr_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
   if (!flags.span_out.empty()) {
     if (WriteFile(flags.span_out, result.live_span_json)) {
       std::printf("spans written to %s (load in chrome://tracing)\n",

@@ -94,7 +94,8 @@ sim::SimTime Database::EstimateDiskTime(const Query& query) const {
 
 sim::Task<sim::SimTime> Database::Execute(const Query& query, uint64_t tag,
                                           const ChargeHook& charge,
-                                          const StepHook& step_hook) {
+                                          const StepHook& step_hook,
+                                          const LockWaitHook& lock_wait) {
   ++queries_executed_;
 
   // Work out the lock set: per table, the strongest access the plan
@@ -115,7 +116,9 @@ sim::Task<sim::SimTime> Database::Execute(const Query& query, uint64_t tag,
     }
   }
 
-  // Acquire.
+  // Acquire. The virtual time this loop blocks is the query's lock
+  // wait, reported through `lock_wait` for latency attribution.
+  const sim::SimTime acquire_start = sched_.now();
   std::vector<std::pair<sim::SimMutex*, uint64_t>> held;
   for (auto& [table_name, need] : needs) {
     Table& t = table(table_name);
@@ -138,6 +141,11 @@ sim::Task<sim::SimTime> Database::Execute(const Query& query, uint64_t tag,
         held.emplace_back(stripe, tag);
       }
     }
+  }
+
+  const sim::SimTime lock_wait_ns = sched_.now() - acquire_start;
+  if (lock_wait && lock_wait_ns > 0) {
+    lock_wait(lock_wait_ns);
   }
 
   // Execute: disk waits and the whole plan's CPU happen while holding

@@ -106,6 +106,10 @@ class Database {
   // CPU to per-step call-path frames (row_scan, sort_records, ...) —
   // the paper's §1 example of blaming the database sort routine.
   using StepHook = std::function<sim::SimTime(const QueryStep&, sim::SimTime)>;
+  // Invoked with the virtual time the plan spent blocked acquiring its
+  // lock set (only when > 0) — the kLockWait attribution feed
+  // (docs/OBSERVABILITY.md).
+  using LockWaitHook = std::function<void(sim::SimTime)>;
 
   Database(sim::Scheduler& sched, sim::CpuResource& cpu, CostModel costs);
 
@@ -123,7 +127,8 @@ class Database {
   // cost consumed.
   sim::Task<sim::SimTime> Execute(const Query& query, uint64_t tag,
                                   const ChargeHook& charge = nullptr,
-                                  const StepHook& step_hook = nullptr);
+                                  const StepHook& step_hook = nullptr,
+                                  const LockWaitHook& lock_wait = nullptr);
 
   // Raw CPU cost of one plan step.
   sim::SimTime StepCost(const QueryStep& step) const;

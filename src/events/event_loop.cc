@@ -1,5 +1,6 @@
 #include "src/events/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace whodunit::events {
@@ -13,6 +14,8 @@ EventLoop::EventLoop(sim::Scheduler& sched, std::string name)
       obs_queue_depth_(&obs::Registry().GetHistogram("events.queue_depth",
                                                      obs::DefaultDepthBounds())),
       obs_handler_ns_(&obs::Registry().GetHistogram("events.handler_ns",
+                                                    obs::DefaultLatencyBoundsNs())),
+      obs_queue_wait_(&obs::Registry().GetHistogram("events.queue_wait_ns",
                                                     obs::DefaultLatencyBoundsNs())) {}
 
 HandlerId EventLoop::RegisterHandler(std::string_view name, Handler handler) {
@@ -29,12 +32,13 @@ void EventLoop::AddEvent(HandlerId handler, uint64_t payload) {
   if (tracking_ && curr_sampled_) {
     ev.tran_ctxt = curr_node_;  // Figure 4, line 12
   }
+  ev.posted_ns = sched_.now();
   queue_.Send(std::move(ev));
 }
 
 void EventLoop::AddExternalEvent(HandlerId handler, uint64_t payload, bool sampled) {
   obs_external_->Add();
-  queue_.Send(Event{handler, payload, context::kEmptyContext, sampled});
+  queue_.Send(Event{handler, payload, context::kEmptyContext, sampled, sched_.now()});
 }
 
 sim::Process EventLoop::Run() {
@@ -44,6 +48,8 @@ sim::Process EventLoop::Run() {
       break;  // Stop() was called
     }
     obs_queue_depth_->Observe(queue_.pending());
+    curr_queue_wait_ns_ = std::max<int64_t>(0, sched_.now() - ev->posted_ns);
+    obs_queue_wait_->Observe(static_cast<uint64_t>(curr_queue_wait_ns_));
     if (tracking_) {
       curr_sampled_ = ev->sampled;
       if (ev->sampled) {

@@ -41,6 +41,10 @@ struct Event {
   // sampling decision rides beside the context handle; unsampled
   // events are dispatched without any context-tree work.
   bool sampled = true;
+  // Virtual time the event was queued (stamped by AddEvent/Post); the
+  // loop's queue residency is dispatch time minus this, the
+  // kQueueWait attribution feed.
+  int64_t posted_ns = 0;
 };
 
 class EventLoop {
@@ -84,7 +88,10 @@ class EventLoop {
     }
     return ev;
   }
-  void Post(Event ev) { queue_.Send(std::move(ev)); }
+  void Post(Event ev) {
+    ev.posted_ns = sched_.now();
+    queue_.Send(std::move(ev));
+  }
 
   void set_context_listener(ContextListener listener) { listener_ = std::move(listener); }
 
@@ -100,6 +107,9 @@ class EventLoop {
   }
   // The sampling decision of the event being dispatched.
   bool current_sampled() const { return curr_sampled_; }
+  // Queue residency of the event being dispatched (dispatch time
+  // minus its AddEvent/Post stamp) — the kQueueWait feed.
+  int64_t current_queue_wait_ns() const { return curr_queue_wait_ns_; }
   uint64_t events_dispatched() const { return events_dispatched_; }
 
   // Whether context tracking is enabled (profiling on). When off, the
@@ -126,6 +136,7 @@ class EventLoop {
   sim::Channel<Event> queue_;
   context::NodeId curr_node_ = context::kEmptyContext;
   bool curr_sampled_ = true;
+  int64_t curr_queue_wait_ns_ = 0;
   ContextListener listener_;
   bool tracking_ = true;
   bool pruning_ = true;
@@ -136,6 +147,7 @@ class EventLoop {
   obs::Counter* obs_external_;
   obs::Histogram* obs_queue_depth_;
   obs::Histogram* obs_handler_ns_;
+  obs::Histogram* obs_queue_wait_;
 };
 
 }  // namespace whodunit::events

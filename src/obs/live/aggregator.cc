@@ -5,20 +5,30 @@
 #include "src/obs/metrics.h"
 
 namespace whodunit::obs::live {
+namespace {
+
+// Shared fallback name so the ingest fast path never builds a
+// temporary string per event (this runs once per published txn).
+const std::string kUntypedName("(untyped)");
+
+}  // namespace
 
 void LiveAggregator::Ingest(const TxnEvent& event) {
   obs_txns_->Add();
   obs_spans_->Add(event.spans.size());
 
   ++txns_;
-  TypeState& type = by_type_[event.type.empty() ? std::string("(untyped)") : event.type];
+  const std::string& tname = event.type.empty() ? kUntypedName : event.type;
+  // try_emplace: the key string is only copied the first time a type
+  // or stage is seen, not on every event.
+  TypeState& type = by_type_.try_emplace(tname).first->second;
   type.latency_ns.Add(static_cast<uint64_t>(std::max<int64_t>(event.end_ns - event.start_ns, 0)));
   if (event.error) {
     ++type.errors;
     ++errors_;
   }
   for (const StageSpan& span : event.spans) {
-    StageState& stage = by_stage_[span.stage];
+    StageState& stage = by_stage_.try_emplace(span.stage).first->second;
     ++stage.spans;
     stage.busy_ns += static_cast<uint64_t>(std::max<int64_t>(span.duration_ns, 0));
   }
@@ -27,6 +37,24 @@ void LiveAggregator::Ingest(const TxnEvent& event) {
     // origin context so a type with little CPU but long waits still
     // surfaces; CPU-level attribution arrives separately via AddCost.
     cost_by_ctxt_.GetOrInsert(event.root_ctxt) += 0;
+  }
+  if (!event.attr.empty()) {
+    obs_attr_txns_->Add();
+    obs_attr_slices_->Add(event.attr.size());
+    const uint32_t type_id = InternAttrName(tname);
+    // Slices arrive sorted by stage (attribution.h), so memoizing the
+    // previous stage's id makes interning one lookup per distinct
+    // stage, not per slice.
+    const std::string* last_stage = nullptr;
+    uint32_t stage_id = 0;
+    for (const AttrSlice& slice : event.attr) {
+      if (last_stage == nullptr || *last_stage != slice.stage) {
+        stage_id = InternAttrName(slice.stage);
+        last_stage = &slice.stage;
+      }
+      attr_[{type_id, stage_id, slice.ctxt,
+             static_cast<uint8_t>(slice.state)}] += slice.ns;
+    }
   }
 }
 
@@ -57,6 +85,13 @@ void LiveAggregator::MergeFrom(const LiveAggregator& other,
     StageState& mine = by_stage_[name];
     mine.spans += state.spans;
     mine.busy_ns += state.busy_ns;
+  }
+  for (const auto& [key, ns] : other.attr_) {
+    const context::NodeId ctxt = std::get<2>(key);
+    const context::NodeId here = ctxt < ctxt_remap.size() ? ctxt_remap[ctxt] : ctxt;
+    attr_[{InternAttrName(other.attr_names_[std::get<0>(key)]),
+           InternAttrName(other.attr_names_[std::get<1>(key)]), here,
+           std::get<3>(key)}] += ns;
   }
   // Re-base the other side's tags above everything already present so
   // contexts from different shards never alias. std::map iteration is
@@ -102,6 +137,7 @@ std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {
     row.p50_ms = state.latency_ns.Quantile(0.50) / 1e6;
     row.p95_ms = state.latency_ns.Quantile(0.95) / 1e6;
     row.p99_ms = state.latency_ns.Quantile(0.99) / 1e6;
+    row.p999_ms = state.latency_ns.Quantile(0.999) / 1e6;
     rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(), [](const TypeRow& a, const TypeRow& b) {
@@ -161,6 +197,59 @@ std::vector<LiveAggregator::CtxtRow> LiveAggregator::TopContexts(size_t n) const
     rows.resize(n);
   }
   return rows;
+}
+
+uint32_t LiveAggregator::InternAttrName(std::string_view name) {
+  const auto it = attr_name_ids_.find(name);
+  if (it != attr_name_ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(attr_names_.size());
+  attr_names_.emplace_back(name);
+  attr_name_ids_.emplace(attr_names_.back(), id);
+  return id;
+}
+
+std::vector<LiveAggregator::AttrRow> LiveAggregator::AttrRows() const {
+  std::vector<AttrRow> rows;
+  rows.reserve(attr_.size());
+  for (const auto& [key, ns] : attr_) {
+    rows.push_back(AttrRow{attr_names_[std::get<0>(key)],
+                           attr_names_[std::get<1>(key)], std::get<2>(key),
+                           static_cast<WaitState>(std::get<3>(key)), ns});
+  }
+  // attr_ is ordered by interned ids (first-seen order); re-sort by
+  // name so the rows are deterministic regardless of ingest or merge
+  // order. Interning is injective, so no two rows tie on all four.
+  std::sort(rows.begin(), rows.end(), [](const AttrRow& a, const AttrRow& b) {
+    if (const int c = a.type.compare(b.type)) return c < 0;
+    if (const int c = a.stage.compare(b.stage)) return c < 0;
+    if (a.ctxt != b.ctxt) return a.ctxt < b.ctxt;
+    return a.state < b.state;
+  });
+  return rows;
+}
+
+std::string LiveAggregator::ExportAttrFolded() const {
+  // Fold contexts out, re-keying by name through an ordered map so the
+  // output is deterministic no matter the intern order.
+  std::map<std::tuple<std::string, std::string, uint8_t>, int64_t> folded;
+  for (const auto& [key, ns] : attr_) {
+    folded[{attr_names_[std::get<0>(key)], attr_names_[std::get<1>(key)],
+            std::get<3>(key)}] += ns;
+  }
+  std::string out;
+  for (const auto& [key, ns] : folded) {
+    out += std::get<0>(key);
+    out += ';';
+    out += std::get<1>(key);
+    out += ';';
+    out += WaitStateName(static_cast<WaitState>(std::get<2>(key)));
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
 }
 
 const util::LogHistogram* LiveAggregator::HistogramFor(std::string_view type) const {

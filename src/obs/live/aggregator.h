@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/context/context_tree.h"
@@ -51,6 +52,7 @@ class LiveAggregator {
     double p50_ms = 0;
     double p95_ms = 0;
     double p99_ms = 0;
+    double p999_ms = 0;
   };
   // Per-type latency rows, highest count first.
   std::vector<TypeRow> TypeRows() const;
@@ -78,6 +80,22 @@ class LiveAggregator {
   // The n most expensive transaction contexts by cumulative cost.
   std::vector<CtxtRow> TopContexts(size_t n) const;
 
+  // Cumulative critical-path wait-state cost per (txn-type, stage,
+  // context, state), from the attribution slices riding each ingested
+  // event (attribution.h). Deterministically ordered.
+  struct AttrRow {
+    std::string type;
+    std::string stage;
+    context::NodeId ctxt = context::kEmptyContext;
+    WaitState state = WaitState::kSchedOther;
+    int64_t ns = 0;
+  };
+  std::vector<AttrRow> AttrRows() const;
+  // Folded-stack flamegraph lines (whodunit-attr-v1,
+  // docs/PROFILE_FORMAT.md): "type;stage;state <ns>\n", contexts
+  // folded out, deterministic order.
+  std::string ExportAttrFolded() const;
+
   const util::LogHistogram* HistogramFor(std::string_view type) const;
   uint64_t txns() const { return txns_; }
   uint64_t errors() const { return errors_; }
@@ -104,8 +122,22 @@ class LiveAggregator {
 
   std::string TagName(uint64_t tag) const;
 
+  // Interns a type/stage name into attr_names_, returning its id.
+  uint32_t InternAttrName(std::string_view name);
+
   std::map<std::string, TypeState, std::less<>> by_type_;
   std::map<std::string, StageState, std::less<>> by_stage_;
+  // (type_id, stage_id, ctxt, state) -> cumulative critical-path ns.
+  // Names are interned (attr_names_) so the per-event fold — one map
+  // probe per slice on the daemon's ingest path — compares PODs, not
+  // strings; bench_ablation_live_obs gates this cost. Ids are
+  // first-seen order, so every user-facing view (AttrRows,
+  // ExportAttrFolded) re-sorts by name to stay deterministic across
+  // ingest interleavings and shard merge orders.
+  std::vector<std::string> attr_names_;
+  std::map<std::string, uint32_t, std::less<>> attr_name_ids_;
+  std::map<std::tuple<uint32_t, uint32_t, context::NodeId, uint8_t>, int64_t>
+      attr_;
   std::map<std::pair<uint64_t, uint64_t>, util::RunningStat> waits_;
   std::map<uint64_t, std::string> tag_names_;
   util::RobinHoodMap<context::NodeId, uint64_t> cost_by_ctxt_;
@@ -116,6 +148,8 @@ class LiveAggregator {
   Counter* obs_txns_ = &Registry().GetCounter("live.txns_ingested");
   Counter* obs_spans_ = &Registry().GetCounter("live.spans_ingested");
   Counter* obs_waits_ = &Registry().GetCounter("live.crosstalk_waits");
+  Counter* obs_attr_txns_ = &Registry().GetCounter("live.attr.txns_attributed");
+  Counter* obs_attr_slices_ = &Registry().GetCounter("live.attr.slices");
 };
 
 }  // namespace whodunit::obs::live

@@ -1,0 +1,59 @@
+// Critical-path latency attribution for a completed transaction
+// (docs/OBSERVABILITY.md "Wait-state taxonomy").
+//
+// AttributeTxn walks the span DAG of one TxnEvent (parent links ride
+// the synopsis, daemon.h) and splits the end-to-end latency into
+// wait-state slices along the critical path: every nanosecond between
+// event.start_ns and event.end_ns lands in exactly one
+// (stage, context, state) bucket, so the slices always sum to the
+// end-to-end latency exactly. The extraction is deterministic —
+// same event, same slices — which is what keeps merged attribution
+// profiles byte-identical across shard/thread counts.
+#ifndef SRC_OBS_LIVE_ATTRIBUTION_H_
+#define SRC_OBS_LIVE_ATTRIBUTION_H_
+
+#include <vector>
+
+#include "src/obs/live/txn_event.h"
+
+namespace whodunit::obs::live {
+
+// Reusable working buffers for AttributeTxn. The walk runs once per
+// published transaction on the daemon's ingest path; a caller that
+// attributes a stream of events keeps one scratch alive so the
+// per-event cost is the walk, not six vector allocations
+// (bench_ablation_live_obs gates the per-txn overhead).
+struct AttrScratch {
+  std::vector<uint32_t> child_off;
+  std::vector<uint32_t> child_idx;
+  std::vector<uint32_t> cursor;
+  std::vector<int64_t> subtree_end;
+  // Per-event stage table: unique stage names in sorted order, and
+  // each span's rank in it. Slices then sort and fold on integer
+  // ranks instead of re-comparing strings.
+  std::vector<const std::string*> stages;
+  std::vector<uint32_t> span_rank;
+  struct RawSlice {
+    uint32_t rank;
+    context::NodeId ctxt;
+    uint8_t state;
+    int64_t ns;
+  };
+  std::vector<RawSlice> raw;
+};
+
+// Extracts the critical path of `event` and returns its wait-state
+// slices, folded by (stage, ctxt, state) and deterministically
+// ordered. Empty when the event has no spans.
+std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
+                                    AttrScratch& scratch);
+
+// One-shot convenience overload (tests, ad-hoc callers).
+inline std::vector<AttrSlice> AttributeTxn(const TxnEvent& event) {
+  AttrScratch scratch;
+  return AttributeTxn(event, scratch);
+}
+
+}  // namespace whodunit::obs::live
+
+#endif  // SRC_OBS_LIVE_ATTRIBUTION_H_

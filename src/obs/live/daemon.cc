@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
+#include "src/obs/live/attribution.h"
 #include "src/obs/live/span_export.h"
 
 namespace whodunit::obs::live {
@@ -50,6 +53,9 @@ sim::Process Whodunitd::Pump() {
     if (!event) {
       break;
     }
+    if (options_.attribution) {
+      event->attr = AttributeTxn(*event, attr_scratch_);
+    }
     agg_.Ingest(*event);
     history_.Ingest(*event, sched_.now());
     recent_.push_back(std::move(*event));
@@ -57,6 +63,10 @@ sim::Process Whodunitd::Pump() {
       recent_.pop_front();
     }
   }
+  // The channel only closes at Shutdown, whose own flush ran before
+  // this drain delivered its last batch: settle the stragglers so the
+  // final snapshot (and the why-tail report) sees every ingested event.
+  history_.Flush(sched_.now());
 }
 
 uint64_t Whodunitd::BeginTxn(std::string_view origin_stage, int64_t now) {
@@ -90,7 +100,8 @@ void Whodunitd::SetTxnCtxt(uint64_t txn, context::NodeId ctxt) {
   }
 }
 
-void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now) {
+void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now,
+                         int64_t queue_ns, context::NodeId ctxt) {
   auto* found = builders_.Find(txn);
   if (found == nullptr) {
     return;
@@ -109,8 +120,40 @@ void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, in
     }
   }
   const auto index = static_cast<int32_t>(b.event.spans.size());
-  b.event.spans.push_back(StageSpan{std::string(stage), now, 0, parent, link});
+  b.event.spans.push_back(
+      StageSpan{std::string(stage), now, 0, parent, link, queue_ns, 0, 0, ctxt});
   b.open.push_back({index, 0});
+}
+
+void Whodunitd::AddSpanWait(uint64_t txn, std::string_view stage, WaitState state,
+                            int64_t ns) {
+  if (ns <= 0) {
+    return;
+  }
+  auto* found = builders_.Find(txn);
+  if (found == nullptr) {
+    return;
+  }
+  Builder& b = *found;
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(it->first)];
+    if (span.stage == stage) {
+      switch (state) {
+        case WaitState::kQueueWait:
+          span.queue_ns += ns;
+          break;
+        case WaitState::kService:
+          span.service_ns += ns;
+          break;
+        case WaitState::kLockWait:
+          span.lock_ns += ns;
+          break;
+        default:
+          break;
+      }
+      return;
+    }
+  }
 }
 
 void Whodunitd::NoteSend(uint64_t txn, std::string_view stage, uint32_t link) {
@@ -206,14 +249,15 @@ std::string Whodunitd::RenderTop(const TopSnapshot& snap) const {
   }
   out << "\n";
   char line[256];
-  std::snprintf(line, sizeof line, "  %-26s %8s %5s %10s %10s %10s %10s\n", "TYPE", "COUNT",
-                "ERR", "MEAN(ms)", "P50(ms)", "P95(ms)", "P99(ms)");
+  std::snprintf(line, sizeof line, "  %-26s %8s %5s %10s %10s %10s %10s %10s\n", "TYPE",
+                "COUNT", "ERR", "MEAN(ms)", "P50(ms)", "P95(ms)", "P99(ms)", "P99.9(ms)");
   out << line;
   for (const auto& row : snap.types) {
-    std::snprintf(line, sizeof line, "  %-26s %8llu %5llu %10.2f %10.2f %10.2f %10.2f\n",
+    std::snprintf(line, sizeof line,
+                  "  %-26s %8llu %5llu %10.2f %10.2f %10.2f %10.2f %10.2f\n",
                   row.type.c_str(), static_cast<unsigned long long>(row.count),
                   static_cast<unsigned long long>(row.errors), row.mean_ms, row.p50_ms,
-                  row.p95_ms, row.p99_ms);
+                  row.p95_ms, row.p99_ms, row.p999_ms);
     out << line;
   }
   out << "\n";
@@ -262,7 +306,7 @@ std::string Whodunitd::QueryJson(size_t max_types, size_t max_contexts) const {
     out << "\",\"count\":" << row.count << ",\"errors\":" << row.errors
         << ",\"mean_ms\":" << Fixed(row.mean_ms, 3) << ",\"p50_ms\":" << Fixed(row.p50_ms, 3)
         << ",\"p95_ms\":" << Fixed(row.p95_ms, 3) << ",\"p99_ms\":" << Fixed(row.p99_ms, 3)
-        << "}";
+        << ",\"p999_ms\":" << Fixed(row.p999_ms, 3) << "}";
   }
   out << "],\"stages\":[";
   for (size_t i = 0; i < snap.stages.size(); ++i) {
@@ -289,7 +333,162 @@ std::string Whodunitd::QueryJson(size_t max_types, size_t max_contexts) const {
     JsonEscapeInto(out, ctxt_namer_ ? ctxt_namer_(row.ctxt) : "ctxt_" + std::to_string(row.ctxt));
     out << "\"}";
   }
-  out << "]}\n";
+  out << "],\"attr\":{\"schema\":\"whodunit-attr-v1\",\"rows\":[";
+  const auto attr_rows = agg_.AttrRows();
+  for (size_t i = 0; i < attr_rows.size(); ++i) {
+    const auto& row = attr_rows[i];
+    out << (i ? "," : "") << "\n{\"type\":\"";
+    JsonEscapeInto(out, row.type);
+    out << "\",\"stage\":\"";
+    JsonEscapeInto(out, row.stage);
+    out << "\",\"ctxt\":" << row.ctxt << ",\"state\":\"" << WaitStateName(row.state)
+        << "\",\"ns\":" << row.ns << "}";
+  }
+  out << "]},\"why_tail\":{\"fast_q\":0.5,\"tail_q\":0.99,\"types\":[";
+  const auto tail_types = WhyTail();
+  for (size_t i = 0; i < tail_types.size(); ++i) {
+    const auto& type = tail_types[i];
+    out << (i ? "," : "") << "\n{\"type\":\"";
+    JsonEscapeInto(out, type.type);
+    out << "\",\"fast_txns\":" << type.fast_txns << ",\"tail_txns\":" << type.tail_txns
+        << ",\"fast_ms\":" << Fixed(type.fast_ms, 3)
+        << ",\"tail_ms\":" << Fixed(type.tail_ms, 3) << ",\"deltas\":[";
+    for (size_t j = 0; j < type.deltas.size(); ++j) {
+      const auto& delta = type.deltas[j];
+      out << (j ? "," : "") << "{\"stage\":\"";
+      JsonEscapeInto(out, delta.stage);
+      out << "\",\"state\":\"" << WaitStateName(delta.state)
+          << "\",\"fast_ms\":" << Fixed(delta.fast_ms, 3)
+          << ",\"tail_ms\":" << Fixed(delta.tail_ms, 3)
+          << ",\"delta_ms\":" << Fixed(delta.delta_ms, 3) << "}";
+    }
+    out << "]}";
+  }
+  out << "]}}\n";
+  return out.str();
+}
+
+std::vector<Whodunitd::WhyTailType> Whodunitd::WhyTail(double fast_q,
+                                                       double tail_q) const {
+  // Group the retained history by transaction type, split each type's
+  // population at its own p50/p99 latency (nearest-rank over the
+  // retained sample), and compare the mean per-(stage, state)
+  // critical-path cost of the two groups.
+  std::map<std::string, std::vector<const TxnEvent*>, std::less<>> by_type;
+  for (const TxnEvent* event : history_.Scan()) {
+    if (event->attr.empty()) {
+      continue;
+    }
+    by_type[event->type.empty() ? std::string("(untyped)") : event->type].push_back(event);
+  }
+  std::vector<WhyTailType> out;
+  for (const auto& [type, events] : by_type) {
+    std::vector<int64_t> latencies;
+    latencies.reserve(events.size());
+    for (const TxnEvent* event : events) {
+      latencies.push_back(event->end_ns - event->start_ns);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto rank = [&](double q) {
+      const size_t n = latencies.size();
+      size_t idx = static_cast<size_t>(q * static_cast<double>(n));
+      return latencies[std::min(idx, n - 1)];
+    };
+    const int64_t fast_cut = rank(fast_q);
+    const int64_t tail_cut = rank(tail_q);
+
+    WhyTailType row;
+    row.type = type;
+    // Mean per-(stage, state) attribution of each group; every bucket
+    // is normalized by the group's txn count, so a state absent from
+    // one group still yields a delta.
+    std::map<std::pair<std::string, uint8_t>, std::pair<int64_t, int64_t>> buckets;
+    int64_t fast_total = 0;
+    int64_t tail_total = 0;
+    for (const TxnEvent* event : events) {
+      const int64_t latency = event->end_ns - event->start_ns;
+      const bool fast = latency <= fast_cut;
+      const bool tail = latency >= tail_cut;
+      if (!fast && !tail) {
+        continue;
+      }
+      if (fast) {
+        ++row.fast_txns;
+        fast_total += latency;
+      }
+      if (tail) {
+        ++row.tail_txns;
+        tail_total += latency;
+      }
+      for (const AttrSlice& slice : event->attr) {
+        auto& bucket = buckets[{slice.stage, static_cast<uint8_t>(slice.state)}];
+        if (fast) {
+          bucket.first += slice.ns;
+        }
+        if (tail) {
+          bucket.second += slice.ns;
+        }
+      }
+    }
+    if (row.fast_txns == 0 || row.tail_txns == 0) {
+      continue;
+    }
+    row.fast_ms = static_cast<double>(fast_total) / static_cast<double>(row.fast_txns) / 1e6;
+    row.tail_ms = static_cast<double>(tail_total) / static_cast<double>(row.tail_txns) / 1e6;
+    for (const auto& [key, sums] : buckets) {
+      WhyTailDelta delta;
+      delta.stage = key.first;
+      delta.state = static_cast<WaitState>(key.second);
+      delta.fast_ms =
+          static_cast<double>(sums.first) / static_cast<double>(row.fast_txns) / 1e6;
+      delta.tail_ms =
+          static_cast<double>(sums.second) / static_cast<double>(row.tail_txns) / 1e6;
+      delta.delta_ms = delta.tail_ms - delta.fast_ms;
+      row.deltas.push_back(std::move(delta));
+    }
+    std::stable_sort(row.deltas.begin(), row.deltas.end(),
+                     [](const WhyTailDelta& a, const WhyTailDelta& b) {
+                       return a.delta_ms > b.delta_ms;
+                     });
+    out.push_back(std::move(row));
+  }
+  // Heaviest tails first; name tiebreak keeps the report deterministic.
+  std::stable_sort(out.begin(), out.end(), [](const WhyTailType& a, const WhyTailType& b) {
+    const double ga = a.tail_ms - a.fast_ms;
+    const double gb = b.tail_ms - b.fast_ms;
+    if (ga != gb) {
+      return ga > gb;
+    }
+    return a.type < b.type;
+  });
+  return out;
+}
+
+std::string Whodunitd::RenderWhyTail() const {
+  const auto types = WhyTail();
+  std::ostringstream out;
+  out << "whodunitd — why-tail: p99 vs p50 critical-path attribution ("
+      << history_.retained_txns() << " txns retained)\n";
+  if (types.empty()) {
+    out << "  (no attributed history: enable --history-bytes and attribution)\n";
+    return out.str();
+  }
+  char line[256];
+  for (const auto& type : types) {
+    out << "\n  " << type.type << ": p50 cohort " << type.fast_txns << " txns @ "
+        << Fixed(type.fast_ms, 2) << " ms, p99 cohort " << type.tail_txns << " txns @ "
+        << Fixed(type.tail_ms, 2) << " ms (gap " << Fixed(type.tail_ms - type.fast_ms, 2)
+        << " ms)\n";
+    std::snprintf(line, sizeof line, "    %-22s %-16s %10s %10s %10s\n", "STAGE", "STATE",
+                  "P50(ms)", "P99(ms)", "DELTA(ms)");
+    out << line;
+    for (const auto& delta : type.deltas) {
+      std::snprintf(line, sizeof line, "    %-22s %-16s %10.2f %10.2f %+10.2f\n",
+                    delta.stage.c_str(), WaitStateName(delta.state), delta.fast_ms,
+                    delta.tail_ms, delta.delta_ms);
+      out << line;
+    }
+  }
   return out.str();
 }
 

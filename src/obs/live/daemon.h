@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/obs/live/aggregator.h"
+#include "src/obs/live/attribution.h"
 #include "src/obs/live/history.h"
 #include "src/obs/live/txn_event.h"
 #include "src/obs/metrics.h"
@@ -56,6 +57,10 @@ struct LiveOptions {
   size_t history_bytes = 1 << 20;
   // Virtual-time flush interval of the history store.
   int64_t history_flush_interval_ns = 30'000'000'000;
+  // Critical-path wait-state attribution (attribution.h) of every
+  // published event; feeds the attr tables, --why-tail, and the
+  // whodunit-attr-v1 folded export.
+  bool attribution = true;
 };
 
 class Whodunitd {
@@ -75,8 +80,16 @@ class Whodunitd {
   void SetTxnType(uint64_t txn, std::string_view type);
   void SetTxnCtxt(uint64_t txn, context::NodeId ctxt);
   // Opens one stage's span for `txn`; `link` is the synopsis part on
-  // the message that carried the work here (0 = none).
-  void JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now);
+  // the message that carried the work here (0 = none). `queue_ns` is
+  // the measured queue residency of that message before this span
+  // started, and `ctxt` the interned context the span runs under —
+  // both feed the wait-state attribution (attribution.h).
+  void JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now,
+                int64_t queue_ns = 0, context::NodeId ctxt = context::kEmptyContext);
+  // Accumulates a measured wait-state component (kService or
+  // kLockWait) onto the most recent open span of `stage` for `txn`.
+  void AddSpanWait(uint64_t txn, std::string_view stage, WaitState state,
+                   int64_t ns);
   // Records that the stage's open span sent a request carrying
   // synopsis part `link` (joins link arrows at the receiver).
   void NoteSend(uint64_t txn, std::string_view stage, uint32_t link);
@@ -135,6 +148,36 @@ class Whodunitd {
   // Chrome trace JSON of the retained completed transactions.
   std::string ExportSpansJson() const;
   std::vector<TxnEvent> RecentEvents() const;
+
+  // ---- Tail diagnosis (docs/OBSERVABILITY.md "--why-tail") -----------
+  // Where the tail spends its extra time: per (stage, wait-state) mean
+  // critical-path cost in the fast (<= fast_q latency) vs. tail
+  // (>= tail_q latency) transactions of one type, from the retained
+  // history.
+  struct WhyTailDelta {
+    std::string stage;
+    WaitState state = WaitState::kSchedOther;
+    double fast_ms = 0;
+    double tail_ms = 0;
+    double delta_ms = 0;  // tail_ms - fast_ms
+  };
+  struct WhyTailType {
+    std::string type;
+    uint64_t fast_txns = 0;
+    uint64_t tail_txns = 0;
+    double fast_ms = 0;   // mean end-to-end latency of the fast group
+    double tail_ms = 0;   // mean end-to-end latency of the tail group
+    std::vector<WhyTailDelta> deltas;  // delta-descending
+  };
+  // Computes the p99-vs-p50 differential report over the retained
+  // history (empty when history is off or not yet flushed).
+  std::vector<WhyTailType> WhyTail(double fast_q = 0.5,
+                                   double tail_q = 0.99) const;
+  // Human-readable rendering of WhyTail() for whodunit_top --why-tail.
+  std::string RenderWhyTail() const;
+  // Folded-stack flamegraph export (whodunit-attr-v1,
+  // docs/PROFILE_FORMAT.md): "type;stage;state <ns>" per line.
+  std::string ExportAttrFolded() const { return agg_.ExportAttrFolded(); }
   // Dump of the retention-bounded history (whodunit-history-v1).
   std::string ExportHistoryJson() const { return history_.ExportJson(); }
 
@@ -161,6 +204,8 @@ class Whodunitd {
   LiveOptions options_;
   sim::Channel<TxnEvent> ch_;
   LiveAggregator agg_;
+  // Reused across every published event the pump attributes.
+  AttrScratch attr_scratch_;
   TxnHistory history_;
   util::RobinHoodMap<uint64_t, Builder> builders_;
   std::deque<TxnEvent> recent_;

@@ -32,6 +32,10 @@ size_t TxnHistory::ApproxBytes(const TxnEvent& event) {
   for (const auto& span : event.spans) {
     bytes += span.stage.size();
   }
+  bytes += event.attr.capacity() * sizeof(AttrSlice);
+  for (const auto& slice : event.attr) {
+    bytes += slice.stage.size();
+  }
   return bytes;
 }
 

@@ -24,6 +24,24 @@ void EscapeInto(std::ostringstream& out, const std::string& s) {
   }
 }
 
+// Chrome trace reserved color name for a span, keyed by its dominant
+// measured wait-state component (docs/OBSERVABILITY.md): lock wait
+// paints red, queue wait light green, service dark green. A span with
+// no measurements (attribution off, or a stage with no feeds) stays
+// grey.
+const char* SpanColor(const StageSpan& span) {
+  if (span.lock_ns <= 0 && span.queue_ns <= 0 && span.service_ns <= 0) {
+    return "grey";
+  }
+  if (span.lock_ns >= span.queue_ns && span.lock_ns >= span.service_ns) {
+    return "terrible";  // lock wait: red
+  }
+  if (span.queue_ns >= span.service_ns) {
+    return "thread_state_runnable";  // queue wait: light green
+  }
+  return "thread_state_running";  // service: dark green
+}
+
 }  // namespace
 
 std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
@@ -72,7 +90,8 @@ std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
       emit([&] {
         out << "\"name\":\"";
         EscapeInto(out, ev.type.empty() ? std::string("txn") : ev.type);
-        out << "\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+        out << "\",\"cat\":\"txn\",\"ph\":\"X\",\"cname\":\"" << SpanColor(span)
+            << "\",\"pid\":1,\"tid\":" << tid
             << ",\"ts\":" << Micros(span.start_ns) << ",\"dur\":" << Micros(span.duration_ns)
             << ",\"args\":{\"txn\":" << ev.txn_id << ",\"stage\":\"";
         EscapeInto(out, span.stage);

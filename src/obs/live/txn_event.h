@@ -20,6 +20,45 @@
 
 namespace whodunit::obs::live {
 
+// Wait-state taxonomy (docs/OBSERVABILITY.md): every nanosecond of a
+// transaction's end-to-end latency is attributed to exactly one of
+// these states along its critical path.
+enum class WaitState : uint8_t {
+  kQueueWait = 0,    // SEDA/event-queue residency before a span ran
+  kService,          // CPU the span actually consumed (ChargeCpu)
+  kLockWait,         // blocked on a lock (crosstalk wait sink)
+  kDownstreamWait,   // waiting on a child span that had not started yet
+  kSchedOther,       // remainder: disk, CPU-queueing, unmeasured time
+};
+inline constexpr size_t kWaitStateCount = 5;
+
+constexpr const char* WaitStateName(WaitState s) {
+  switch (s) {
+    case WaitState::kQueueWait:
+      return "queue_wait";
+    case WaitState::kService:
+      return "service";
+    case WaitState::kLockWait:
+      return "lock_wait";
+    case WaitState::kDownstreamWait:
+      return "downstream_wait";
+    case WaitState::kSchedOther:
+      return "sched_other";
+  }
+  return "unknown";
+}
+
+// One critical-path interval of a transaction, already folded by
+// (stage, context, state): the output unit of AttributeTxn
+// (attribution.h). The slices of one event sum exactly to its
+// end-to-end latency.
+struct AttrSlice {
+  std::string stage;
+  context::NodeId ctxt = context::kEmptyContext;
+  WaitState state = WaitState::kSchedOther;
+  int64_t ns = 0;
+};
+
 // One stage's contiguous stretch of work for a transaction. A stage
 // that is visited repeatedly (a SEDA stage once per object) produces
 // one span per visit.
@@ -34,6 +73,15 @@ struct StageSpan {
   // Synopsis part piggy-backed on the message that started this span
   // (0 = none): the send/receive link the arrows are labeled with.
   uint32_t link = 0;
+  // Measured wait-state components of this span (attribution feeds,
+  // all 0 when the publisher does not measure them): queue residency
+  // before the span started, CPU it consumed, lock wait it incurred.
+  int64_t queue_ns = 0;
+  int64_t service_ns = 0;
+  int64_t lock_ns = 0;
+  // Interned context the span's work ran under (kEmptyContext = fall
+  // back to the event's root_ctxt at attribution time).
+  context::NodeId ctxt = context::kEmptyContext;
 };
 
 struct TxnEvent {
@@ -47,6 +95,10 @@ struct TxnEvent {
   int64_t end_ns = 0;
   bool error = false;
   std::vector<StageSpan> spans;
+  // Critical-path attribution (attribution.h), computed by the daemon
+  // pump when LiveOptions.attribution is on; slices sum to
+  // end_ns - start_ns exactly.
+  std::vector<AttrSlice> attr;
 };
 
 }  // namespace whodunit::obs::live

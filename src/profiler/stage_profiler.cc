@@ -69,9 +69,14 @@ sim::SimTime StageProfiler::ChargeCpu(ThreadProfile& tp, sim::SimTime app_cost) 
     total += static_cast<sim::SimTime>(fired) * options_.costs.per_sample;
   }
   // Live observability: batch the app cost against the thread's current
-  // context node; UpdateCct / FlushLive publish the batch.
+  // context node; UpdateCct / FlushLive publish the batch. Within a
+  // live span the same cost also accumulates as the span's kService
+  // wait-state measurement (flushed as the span closes).
   if (live_ != nullptr && tp.sampled_) {
     tp.live_cost_acc_ += app_cost;
+    if (tp.live_txn_ != 0) {
+      tp.live_span_service_ += app_cost;
+    }
   }
   return total;
 }
@@ -196,24 +201,28 @@ uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
   }
   FlushLiveCost(tp);
   tp.live_txn_ = live_->BeginTxn(options_.name, live_->now());
+  tp.live_span_service_ = 0;
+  tp.live_span_lock_ = 0;
   if (tp.live_txn_ != 0 && !type.empty()) {
     live_->SetTxnType(tp.live_txn_, type);
   }
   return tp.live_txn_;
 }
 
-void StageProfiler::LiveJoin(ThreadProfile& tp, uint64_t txn) {
+void StageProfiler::LiveJoin(ThreadProfile& tp, uint64_t txn, sim::SimTime queue_ns) {
   if (live_ == nullptr) {
     return;
   }
   FlushLiveCost(tp);
   tp.live_txn_ = txn;
   tp.live_ctxt_node_ = LiveCtxtNode(tp);
+  tp.live_span_service_ = 0;
+  tp.live_span_lock_ = 0;
   if (txn == 0) {
     return;
   }
   const uint32_t link = tp.incoming_.parts.empty() ? 0 : tp.incoming_.parts.back();
-  live_->JoinSpan(txn, options_.name, link, live_->now());
+  live_->JoinSpan(txn, options_.name, link, live_->now(), queue_ns, tp.live_ctxt_node_);
 }
 
 void StageProfiler::LiveLeave(ThreadProfile& tp) {
@@ -221,6 +230,7 @@ void StageProfiler::LiveLeave(ThreadProfile& tp) {
     return;
   }
   FlushLiveCost(tp);
+  FlushSpanMeasurements(tp);
   if (tp.live_txn_ != 0) {
     live_->EndSpan(tp.live_txn_, options_.name, live_->now());
   }
@@ -232,6 +242,7 @@ void StageProfiler::LiveComplete(ThreadProfile& tp, bool error) {
     return;
   }
   FlushLiveCost(tp);
+  FlushSpanMeasurements(tp);
   if (tp.live_txn_ != 0) {
     if (error) {
       live_->ErrorTxn(tp.live_txn_);
@@ -240,6 +251,12 @@ void StageProfiler::LiveComplete(ThreadProfile& tp, bool error) {
     live_->CompleteTxn(tp.live_txn_, live_->now());
   }
   tp.live_txn_ = 0;
+}
+
+void StageProfiler::LiveLockWait(ThreadProfile& tp, sim::SimTime wait_ns) {
+  if (live_ != nullptr && tp.live_txn_ != 0 && wait_ns > 0) {
+    tp.live_span_lock_ += wait_ns;
+  }
 }
 
 void StageProfiler::LiveType(ThreadProfile& tp, std::string_view type) {
@@ -272,6 +289,24 @@ void StageProfiler::FlushLiveCost(ThreadProfile& tp) {
   }
   live_->AddCost(tp.live_ctxt_node_, static_cast<uint64_t>(tp.live_cost_acc_));
   tp.live_cost_acc_ = 0;
+}
+
+void StageProfiler::FlushSpanMeasurements(ThreadProfile& tp) {
+  if (live_ == nullptr || tp.live_txn_ == 0) {
+    tp.live_span_service_ = 0;
+    tp.live_span_lock_ = 0;
+    return;
+  }
+  if (tp.live_span_service_ > 0) {
+    live_->AddSpanWait(tp.live_txn_, options_.name, obs::live::WaitState::kService,
+                       static_cast<int64_t>(tp.live_span_service_));
+    tp.live_span_service_ = 0;
+  }
+  if (tp.live_span_lock_ > 0) {
+    live_->AddSpanWait(tp.live_txn_, options_.name, obs::live::WaitState::kLockWait,
+                       static_cast<int64_t>(tp.live_span_lock_));
+    tp.live_span_lock_ = 0;
+  }
 }
 
 void StageProfiler::AccountMessage(size_t payload_bytes, size_t context_bytes) {

@@ -92,6 +92,12 @@ class ThreadProfile {
   uint64_t live_txn_ = 0;
   context::NodeId live_ctxt_node_ = context::kEmptyContext;
   sim::SimTime live_cost_acc_ = 0;
+  // Wait-state measurements of the thread's current live span
+  // (docs/OBSERVABILITY.md taxonomy): CPU charged and lock wait
+  // incurred since the span opened, flushed to the daemon as the span
+  // closes.
+  sim::SimTime live_span_service_ = 0;
+  sim::SimTime live_span_lock_ = 0;
 };
 
 class StageProfiler {
@@ -213,8 +219,10 @@ class StageProfiler {
   uint64_t LiveBegin(ThreadProfile& tp, std::string_view type);
   // Non-origin stage: joins the thread to a transaction carried here
   // by a message (call after OnReceive; the innermost incoming synopsis
-  // part becomes the span's link).
-  void LiveJoin(ThreadProfile& tp, uint64_t txn);
+  // part becomes the span's link). `queue_ns` is the measured queue
+  // residency of the message that carried the work here — it becomes
+  // the span's kQueueWait attribution.
+  void LiveJoin(ThreadProfile& tp, uint64_t txn, sim::SimTime queue_ns = 0);
   // Closes this stage's span (the thread is done with the txn here).
   void LiveLeave(ThreadProfile& tp);
   // Origin stage, transaction finished end-to-end: publishes it.
@@ -222,6 +230,9 @@ class StageProfiler {
   // Re-labels the thread's current live transaction (e.g. once a cache
   // stage knows hit vs. miss).
   void LiveType(ThreadProfile& tp, std::string_view type);
+  // Accumulates measured lock wait onto the thread's current live span
+  // (fed by resource acquire paths, e.g. Database::Execute).
+  void LiveLockWait(ThreadProfile& tp, sim::SimTime wait_ns);
   uint64_t live_txn(const ThreadProfile& tp) const { return tp.live_txn_; }
   // Publishes every thread's batched CPU cost to the daemon; the
   // daemon invokes this (via Deployment's flush hook) before answering
@@ -262,6 +273,9 @@ class StageProfiler {
   // thread's live CPU costs are attributed to.
   context::NodeId LiveCtxtNode(const ThreadProfile& tp) const;
   void FlushLiveCost(ThreadProfile& tp);
+  // Publishes the span's accumulated service/lock-wait measurements to
+  // the daemon and resets them; called as the span closes.
+  void FlushSpanMeasurements(ThreadProfile& tp);
   // The thread's full context including its current call path.
   context::Synopsis FullSynopsis(ThreadProfile& tp);
   uint32_t InternCtxt(const context::Synopsis& synopsis);

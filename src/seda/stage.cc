@@ -1,5 +1,6 @@
 #include "src/seda/stage.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace whodunit::seda {
@@ -50,6 +51,8 @@ Stage::Stage(StageGraph& graph, StageId id, std::string name, int workers,
       obs_queue_depth_(&obs::Registry().GetHistogram("seda.queue_depth",
                                                      obs::DefaultDepthBounds())),
       obs_element_ns_(&obs::Registry().GetHistogram("seda.element_ns",
+                                                    obs::DefaultLatencyBoundsNs())),
+      obs_queue_wait_(&obs::Registry().GetHistogram("seda.queue_wait_ns",
                                                     obs::DefaultLatencyBoundsNs())) {}
 
 void Stage::Start() {
@@ -67,6 +70,9 @@ sim::Process Stage::WorkerLoop(int worker) {
     obs_queue_depth_->Observe(queue_.pending());
     StageGraph::WorkerContext wc{graph_, id_, worker, elem->payload,
                                  context::kEmptyContext, elem->sampled};
+    wc.queue_wait_ns =
+        std::max<int64_t>(0, graph_.scheduler().now() - elem->enqueued_ns);
+    obs_queue_wait_->Observe(static_cast<uint64_t>(wc.queue_wait_ns));
     if (graph_.tracking()) {
       if (elem->sampled) {
         // Figure 5, lines 5-6: current context = element's context

@@ -36,6 +36,10 @@ struct QueueElem {
   // sampling decision rides beside the context handle; unsampled
   // elements skip context concatenation entirely.
   bool sampled = true;
+  // Virtual time the element entered its queue (stamped by
+  // Stage::Enqueue); the dequeueing worker's queue residency is
+  // now - enqueued_ns, the kQueueWait attribution feed.
+  int64_t enqueued_ns = 0;
 };
 
 class Stage;
@@ -103,6 +107,9 @@ class StageGraph {
     // The element's sampling decision, propagated to every element
     // this worker enqueues downstream.
     bool sampled = true;
+    // Queue residency of the element this worker is executing
+    // (dequeue time minus Stage::Enqueue stamp).
+    int64_t queue_wait_ns = 0;
   };
 
  private:
@@ -119,7 +126,10 @@ class Stage {
  public:
   Stage(StageGraph& graph, StageId id, std::string name, int workers, StageGraph::Body body);
 
-  void Enqueue(QueueElem elem) { queue_.Send(std::move(elem)); }
+  void Enqueue(QueueElem elem) {
+    elem.enqueued_ns = graph_.scheduler().now();
+    queue_.Send(std::move(elem));
+  }
   void Close() { queue_.Close(); }
 
   const std::string& name() const { return name_; }
@@ -145,6 +155,7 @@ class Stage {
   obs::Counter* obs_concats_;
   obs::Histogram* obs_queue_depth_;
   obs::Histogram* obs_element_ns_;
+  obs::Histogram* obs_queue_wait_;
 };
 
 }  // namespace whodunit::seda

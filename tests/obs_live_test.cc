@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <sstream>
 #include <string>
 
 #include "src/apps/bookstore/bookstore.h"
@@ -341,9 +342,11 @@ TEST(SpanExportTest, GoldenChromeTrace) {
       "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"db\"}},\n"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"frontend\"}},\n"
-      "{\"name\":\"checkout\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,"
+      "{\"name\":\"checkout\",\"cat\":\"txn\",\"ph\":\"X\",\"cname\":\"grey\",\"pid\":1,"
+      "\"tid\":0,\"ts\":1.000,"
       "\"dur\":4.000,\"args\":{\"txn\":7,\"stage\":\"frontend\",\"ctxt\":3}},\n"
-      "{\"name\":\"checkout\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":2.000,"
+      "{\"name\":\"checkout\",\"cat\":\"txn\",\"ph\":\"X\",\"cname\":\"grey\",\"pid\":1,"
+      "\"tid\":1,\"ts\":2.000,"
       "\"dur\":1.500,\"args\":{\"txn\":7,\"stage\":\"db\",\"ctxt\":3}},\n"
       "{\"name\":\"synopsis_42\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":1,\"tid\":0,"
       "\"ts\":2.000,\"id\":1},\n"
@@ -352,6 +355,35 @@ TEST(SpanExportTest, GoldenChromeTrace) {
       "]}\n";
   EXPECT_EQ(ExportChromeTrace({ev}), expected);
   EXPECT_TRUE(JsonChecker(expected).Valid());
+}
+
+// Spans with wait-state measurements are color-coded by dominant
+// component: lock wait red ("terrible"), queue wait light green
+// ("thread_state_runnable"), service dark green
+// ("thread_state_running"); unmeasured spans stay grey.
+TEST(SpanExportTest, ColorCodesSpansByDominantWaitState) {
+  TxnEvent ev;
+  ev.txn_id = 9;
+  ev.type = "checkout";
+  ev.start_ns = 0;
+  ev.end_ns = 10000;
+  // {stage, start, dur, parent, link, queue, service, lock, ctxt}
+  ev.spans.push_back({"proxy", 0, 10000, -1, 0, 0, 4000, 0, 0});      // service-heavy
+  ev.spans.push_back({"httpd", 1000, 8000, 0, 1, 5000, 2000, 0, 0});  // queue-heavy
+  ev.spans.push_back({"db", 2000, 6000, 1, 2, 100, 200, 4000, 0});    // lock-heavy
+  ev.spans.push_back({"cache", 3000, 1000, 2, 3});                    // unmeasured
+
+  const std::string out = ExportChromeTrace({ev});
+  EXPECT_TRUE(JsonChecker(out).Valid()) << out;
+  EXPECT_NE(out.find("\"cname\":\"thread_state_running\",\"pid\":1,\"tid\":0"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"cname\":\"thread_state_runnable\",\"pid\":1,\"tid\":1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"cname\":\"terrible\",\"pid\":1,\"tid\":2"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"cname\":\"grey\",\"pid\":1,\"tid\":3"), std::string::npos) << out;
 }
 
 TEST(SpanExportTest, EmptyAndEscaping) {
@@ -388,6 +420,52 @@ TEST(LiveEndToEndTest, BookstorePublishesLiveProfile) {
   EXPECT_NE(result.live_span_json.find("synopsis_"), std::string::npos);
   // The live path must not disturb the measured run.
   EXPECT_GT(result.interactions, 0u);
+}
+
+TEST(LiveEndToEndTest, BookstoreWhyTailBlamesDbLockWait) {
+  // The acceptance scenario for the attribution work: on a contended
+  // bookstore, the p99-vs-p50 differential must attribute the tail
+  // gap to lock waiting on the DB stage — the writes serialize on
+  // row locks, so tail transactions spend their extra time in
+  // mysql/lock_wait, not in more service.
+  apps::BookstoreOptions options;
+  options.clients = 50;
+  options.duration = sim::Seconds(120);
+  options.warmup = sim::Seconds(10);
+  options.live = true;
+  const auto result = apps::RunBookstore(options);
+
+  ASSERT_FALSE(result.live_why_tail_text.empty());
+  ASSERT_FALSE(result.live_attr_folded.empty());
+  EXPECT_NE(result.live_why_tail_text.find("why-tail: p99 vs p50"),
+            std::string::npos);
+  // The folded whodunit-attr-v1 export carries DB lock-wait frames.
+  EXPECT_NE(result.live_attr_folded.find(";mysql;lock_wait "),
+            std::string::npos)
+      << result.live_attr_folded;
+
+  // Per type the delta rows are sorted largest-gap-first: for at least
+  // one transaction type the dominant tail contributor must be
+  // mysql/lock_wait (the row right after the STAGE/STATE header).
+  bool lock_wait_dominates = false;
+  std::istringstream lines(result.live_why_tail_text);
+  std::string line;
+  bool next_is_top_row = false;
+  while (std::getline(lines, line)) {
+    if (next_is_top_row) {
+      next_is_top_row = false;
+      if (line.find("mysql") != std::string::npos &&
+          line.find("lock_wait") != std::string::npos) {
+        lock_wait_dominates = true;
+        break;
+      }
+    }
+    if (line.find("STAGE") != std::string::npos &&
+        line.find("STATE") != std::string::npos) {
+      next_is_top_row = true;
+    }
+  }
+  EXPECT_TRUE(lock_wait_dominates) << result.live_why_tail_text;
 }
 
 TEST(LiveEndToEndTest, MinihttpdTracksConnections) {

@@ -137,6 +137,37 @@ TEST(ShardInvarianceTest, OpenLoopPoissonIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ShardInvarianceTest, AttributionArtifactsAreByteIdenticalAcrossThreadCounts) {
+  // PR-9 extension of the golden contract: the wait-state attribution
+  // artifacts — the whodunit-attr-v1 folded export and the rendered
+  // --why-tail report, both per-shard sections in shard order — must
+  // also be byte-identical at any thread count. Attribution is pure
+  // per-event arithmetic plus an ordered-map fold, so nothing about
+  // thread placement may leak into a single byte.
+  apps::BookstoreResult reference;
+  for (int threads : {1, 2, 4, 8}) {
+    apps::BookstoreOptions o = SmallRun(4, threads);
+    o.live = true;
+    const apps::BookstoreResult result = apps::RunBookstore(o);
+    if (threads == 1) {
+      reference = result;
+      ASSERT_FALSE(reference.live_attr_folded.empty());
+      ASSERT_FALSE(reference.live_why_tail_text.empty());
+      // Sanity: the folded export carries real wait-state frames.
+      EXPECT_NE(reference.live_attr_folded.find(";service "), std::string::npos);
+      EXPECT_NE(reference.live_why_tail_text.find("why-tail: p99 vs p50"),
+                std::string::npos);
+      continue;
+    }
+    EXPECT_EQ(result.live_attr_folded, reference.live_attr_folded)
+        << threads << " threads";
+    EXPECT_EQ(result.live_why_tail_text, reference.live_why_tail_text)
+        << threads << " threads";
+    EXPECT_EQ(result.live_query_json, reference.live_query_json)
+        << threads << " threads";
+  }
+}
+
 TEST(ShardInvarianceTest, FoldedMetricsExportIsThreadCountInvariant) {
   // The full metrics JSON — the third artifact of the golden contract.
   // Each job runs a small bookstore inside its own ShardEnv; folding

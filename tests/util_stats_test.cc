@@ -140,7 +140,7 @@ TEST(LogHistogramTest, QuantileErrorIsBounded) {
     h.Add(v);
     exact.Add(static_cast<double>(v));
   }
-  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
     const double want = exact.Quantile(q);
     const double got = h.Quantile(q);
     EXPECT_NEAR(got, want, want * 0.15) << "q=" << q;
@@ -161,6 +161,22 @@ TEST(LogHistogramTest, MergeOfHalvesMatchesWhole) {
   EXPECT_EQ(a.buckets(), whole.buckets());
   EXPECT_DOUBLE_EQ(a.Quantile(0.5), whole.Quantile(0.5));
   EXPECT_DOUBLE_EQ(a.Quantile(0.99), whole.Quantile(0.99));
+  // The p99.9 the live top table reports must survive shard merging
+  // the same way: merge-then-quantile equals whole-population quantile.
+  EXPECT_DOUBLE_EQ(a.Quantile(0.999), whole.Quantile(0.999));
+}
+
+TEST(LogHistogramTest, TailQuantileSeparatesOutliers) {
+  // 995 fast samples and five 100x outliers: p99.9 must land in the
+  // outlier bucket while p50/p99 stay at the bulk — the property the
+  // --why-tail cohort split depends on.
+  LogHistogram h;
+  for (int i = 0; i < 995; ++i) {
+    h.Add(1000);
+  }
+  h.Add(100000, 5);
+  EXPECT_LT(h.Quantile(0.99), 2000.0);
+  EXPECT_GT(h.Quantile(0.999), 50000.0);
 }
 
 TEST(LogHistogramTest, WeightedAdd) {
