@@ -139,27 +139,88 @@ if ratio >= 3.0:
 PYEOF
 [ $? -eq 0 ] || exit 1
 
-# Attribution publish cost (bench_ablation_live_obs): the added
-# per-transaction cost of the critical-path attribution pass must stay
-# under 15% of the no-daemon baseline. Wall-clock derived, so WARN_ONLY
-# may demote a miss.
+# Live publish pipeline gates (bench_ablation_live_obs, PR 10):
+#   * derived.steady_allocs == 0: the direct pipeline loop must not
+#     heap-allocate once warm. A deterministic allocation count, not a
+#     timing — no CHECK_PERF_WARN_ONLY escape.
+#   * derived.publish_ns_per_txn <= 800: the full publish->pump->
+#     aggregate cost per transaction, measured directly against a real
+#     daemon. Wall-clock timed, so WARN_ONLY may demote a miss.
+#   * derived.live_publish_pct_of_base < 15: that direct cost as a
+#     share of the no-daemon per-transaction baseline — the "publish
+#     plus attribution under 15% of baseline wall" acceptance number.
+#     The denominator is wall-clock, so WARN_ONLY may demote a miss.
+#   * derived.live_publish_overhead_pct < 24.5: end-to-end wall
+#     overhead of the daemon-attached TPC-W arm. A difference of whole
+#     arm times — it cannot resolve finer than a few points through
+#     container scheduling jitter — so its ceiling is the PR 10
+#     acceptance target of a >=2x cut from the ~49% PR 9 delta, not
+#     the 15% figure the direct share gates. Wall-clock,
+#     WARN_ONLY-demotable.
+#   * derived.attr_publish_overhead_pct < 15 (PR 9): the attribution
+#     pass's added per-transaction cost over the no-daemon baseline.
+#     The baseline denominator is wall-clock, so WARN_ONLY demotes it.
+# The bench's sim-identity assertion (the daemon must not perturb the
+# run) gates hard inside the binary.
 python3 - "$fresh_dir/BENCH_ablation_live_obs.json" <<'PYEOF'
 import json, os, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-pct = doc.get("derived", {}).get("attr_publish_overhead_pct")
-if pct is None:
-    print("check_perf: attr_publish_overhead_pct missing from bench JSON", file=sys.stderr)
-    sys.exit(1)
-print(f"check_perf: attribution publish overhead {pct:+.2f}% of baseline (limit 15%)")
-if pct >= 15.0:
-    msg = f"attribution publish overhead {pct:.2f}% breaches the 15% budget"
-    if os.environ.get("CHECK_PERF_WARN_ONLY") == "1":
+derived = doc.get("derived", {})
+warn_only = os.environ.get("CHECK_PERF_WARN_ONLY") == "1"
+failed = False
+
+def miss(msg, demotable):
+    global failed
+    if demotable and warn_only:
         print(f"WARNING (CHECK_PERF_WARN_ONLY=1): {msg}", file=sys.stderr)
     else:
         print(f"FAIL: {msg}", file=sys.stderr)
-        sys.exit(1)
+        failed = True
+
+allocs = derived.get("steady_allocs")
+if allocs is None:
+    print("check_perf: steady_allocs missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: live publish steady-state allocations {allocs} (must be 0)")
+if allocs != 0:
+    miss(f"live publish path allocated {allocs} times in steady state", demotable=False)
+
+publish_ns = derived.get("publish_ns_per_txn")
+if publish_ns is None:
+    print("check_perf: publish_ns_per_txn missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: live publish pipeline {publish_ns} ns/txn (limit 800)")
+if publish_ns > 800:
+    miss(f"publish pipeline {publish_ns} ns/txn breaches the 800ns budget", demotable=True)
+
+share_pct = derived.get("live_publish_pct_of_base")
+if share_pct is None:
+    print("check_perf: live_publish_pct_of_base missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: live publish direct cost {share_pct:+.2f}% of baseline (limit 15%)")
+if share_pct >= 15.0:
+    miss(f"live publish direct cost {share_pct:.2f}% of baseline breaches the 15% budget", demotable=True)
+
+live_pct = derived.get("live_publish_overhead_pct")
+if live_pct is None:
+    print("check_perf: live_publish_overhead_pct missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: live publish wall overhead {live_pct:+.2f}% (limit 24.5% = half the PR 9 delta)")
+if live_pct >= 24.5:
+    miss(f"live publish wall overhead {live_pct:.2f}% is not a 2x cut of the 49% PR 9 delta", demotable=True)
+
+attr_pct = derived.get("attr_publish_overhead_pct")
+if attr_pct is None:
+    print("check_perf: attr_publish_overhead_pct missing from bench JSON", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: attribution publish overhead {attr_pct:+.2f}% of baseline (limit 15%)")
+if attr_pct >= 15.0:
+    miss(f"attribution publish overhead {attr_pct:.2f}% breaches the 15% budget", demotable=True)
+
+if failed:
+    sys.exit(1)
 PYEOF
 [ $? -eq 0 ] || exit 1
 

@@ -229,10 +229,24 @@ if "BM_LadderHold/131072" in gb and "BM_HeapHold/131072" in gb:
         gb["BM_HeapHold/131072"]["cpu_time_ns"]
         / gb["BM_LadderHold/131072"]["cpu_time_ns"], 3)
 
-# Live-observability ablation headlines (bench_ablation_live_obs): the
-# daemon's publish cost per transaction and the added cost of the
-# critical-path attribution pass, as a percentage of the no-daemon
-# per-transaction baseline — the check_perf.sh <15% gate.
+# Live-observability ablation headlines (bench_ablation_live_obs):
+#   * publish_ns_per_txn — the full publish->pump->aggregate pipeline
+#     cost per transaction, measured directly against a real daemon
+#     (check_perf.sh <=800ns gate);
+#   * live_publish_pct_of_base — that direct cost as a percentage of
+#     the no-daemon per-transaction baseline (<15% gate: the "publish
+#     plus attribution under 15% of baseline wall" acceptance number,
+#     computed from the tight direct measurement);
+#   * live_publish_overhead_pct — the wall-clock overhead of the
+#     daemon-attached arm over the detached arm. A difference of whole
+#     arm times, so it carries this container's scheduling jitter;
+#     gated only against the PR 10 >=2x-cut ceiling (<24.5%, half the
+#     ~49% PR 9 wall delta);
+#   * attr_publish_overhead_pct — the attribution pass's added cost as
+#     a percentage of the no-daemon per-transaction baseline (<15%);
+#   * steady_allocs — heap allocations in the steady-state windows of
+#     the direct pipeline loop (==0 hard gate: the publish path must
+#     never touch the allocator once warm).
 if "bench.ablation_live_obs.base_ns_per_txn" in gauges:
     base_ns = gauges["bench.ablation_live_obs.base_ns_per_txn"]
     publish_ns = gauges.get("bench.ablation_live_obs.publish_ns_per_txn", 0)
@@ -241,6 +255,13 @@ if "bench.ablation_live_obs.base_ns_per_txn" in gauges:
     derived["attr_publish_ns_per_txn"] = attr_ns
     if base_ns > 0:
         derived["attr_publish_overhead_pct"] = round(100.0 * attr_ns / base_ns, 2)
+        derived["live_publish_pct_of_base"] = round(
+            100.0 * publish_ns / base_ns, 2)
+    if "bench.ablation_live_obs.live_overhead_pct_x100" in gauges:
+        derived["live_publish_overhead_pct"] = round(
+            gauges["bench.ablation_live_obs.live_overhead_pct_x100"] / 100.0, 2)
+    if "bench.ablation_live_obs.steady_allocs" in gauges:
+        derived["steady_allocs"] = gauges["bench.ablation_live_obs.steady_allocs"]
 
 if derived:
     out["derived"] = derived

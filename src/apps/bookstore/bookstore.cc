@@ -118,8 +118,15 @@ class Bookstore {
       lo.span_ring = options.live_span_ring;
       lo.history_bytes = options.live_history_bytes;
       lo.attribution = options.live_attribution;
+      lo.publish_batch = options.live_publish_batch;
       daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
+      // Intern the fourteen interaction names once at wiring time so
+      // the per-request publish path is pure integer work.
+      for (int t = 0; t < workload::kTpcwTransactionCount; ++t) {
+        tpcw_syms_[static_cast<size_t>(t)] = daemon_->symbols().Intern(
+            workload::TpcwName(static_cast<TpcwTransaction>(t)));
+      }
       crosstalk_.set_wait_sink([this](uint64_t waiter, uint64_t holder, uint64_t wait_ns) {
         daemon_->IngestWait(waiter, holder, wait_ns);
       });
@@ -151,7 +158,8 @@ class Bookstore {
         break;
       }
       squid_.ResetTransaction(tp);
-      const uint64_t live_txn = squid_.LiveBegin(tp, workload::TpcwName(req->type));
+      const uint64_t live_txn =
+          squid_.LiveBegin(tp, tpcw_syms_[static_cast<size_t>(req->type)]);
       uint64_t bytes = 0;
       {
         auto f0 = squid_.EnterFrame(tp, client_side_fn);
@@ -427,12 +435,17 @@ class Bookstore {
   // whodunit_top's refresh loop: query + render + hand to the callback
   // at every poll interval while the workload runs.
   sim::Process LivePoller() {
+    // Snapshot rows and the rendered string are members so every
+    // refresh after the first reuses their capacity (no per-poll
+    // allocation once row counts stabilize).
     for (;;) {
       co_await sim::Delay{sched_, options_.live_poll_interval};
       if (sched_.now() >= options_.duration) {
         break;
       }
-      options_.on_live_top(daemon_->RenderTop());
+      daemon_->Top(top_snap_);
+      daemon_->RenderTop(top_snap_, top_text_);
+      options_.on_live_top(top_text_);
     }
   }
 
@@ -448,6 +461,12 @@ class Bookstore {
   db::Database database_;
   crosstalk::CrosstalkRecorder crosstalk_;
   std::unique_ptr<obs::live::Whodunitd> daemon_;
+  // Interaction names pre-interned against the daemon's symbol table
+  // (filled in the ctor when options.live); index by TpcwTransaction.
+  std::array<obs::live::SymId, workload::kTpcwTransactionCount> tpcw_syms_{};
+  // LivePoller's reused snapshot + render buffer.
+  obs::live::Whodunitd::TopSnapshot top_snap_;
+  std::string top_text_;
 
   sim::Channel<ProxyRequest> proxy_ch_;
   sim::Channel<TomcatRequest> tomcat_ch_;
@@ -654,15 +673,15 @@ BookstoreResult Bookstore::Run(profiler::ShardProfile* out_profile) {
     *out_profile = profiler::ExtractShardProfile(dep_, &crosstalk_, tag_namer);
   }
   if (daemon_ != nullptr) {
+    // Close the publish channel (flushing the partial publish batch)
+    // and drain, so every export below reflects every published event
+    // regardless of --publish-batch — then snapshot. This ordering is
+    // what makes the end-of-run exports batch-size invariant.
+    daemon_->Shutdown();
+    sched_.Run();
     result.live_top_text = daemon_->RenderTop();
     result.live_query_json = daemon_->QueryJson();
     result.live_span_json = daemon_->ExportSpansJson();
-    // Close the publish channel so the pump coroutine drains and its
-    // frame is reclaimed before the scheduler goes away.
-    daemon_->Shutdown();
-    sched_.Run();
-    // Tail diagnosis over the fully-drained history and attribution
-    // tables (Shutdown flushed the history's pending batch).
     result.live_why_tail_text = daemon_->RenderWhyTail();
     result.live_attr_folded = daemon_->ExportAttrFolded();
   }

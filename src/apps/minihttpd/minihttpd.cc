@@ -105,12 +105,17 @@ class Server {
     if (options.live) {
       obs::live::LiveOptions lo;
       lo.history_bytes = options.live_history_bytes;
+      lo.publish_batch = options.live_publish_batch;
       daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       // The server's stage lives outside the deployment's registry, so
       // attach it and route the daemon's pre-query flush to it directly.
       prof_.AttachLive(daemon_.get());
       daemon_->set_flush_hook([this] { prof_.FlushLive(); });
+      // Intern the two connection-type names once so the per-accept
+      // publish path is pure integer work.
+      conn_small_sym_ = daemon_->symbols().Intern("conn_small");
+      conn_large_sym_ = daemon_->symbols().Intern("conn_large");
     }
   }
 
@@ -186,7 +191,8 @@ class Server {
         for (uint32_t object : conn->objects) {
           total_bytes += trace_.ObjectBytes(object);
         }
-        prof_.LiveBegin(tp, total_bytes >= 64 * 1024 ? "conn_large" : "conn_small");
+        prof_.LiveBegin(tp, total_bytes >= 64 * 1024 ? conn_large_sym_
+                                                     : conn_small_sym_);
         conn->txn = prof_.live_txn(tp);
       }
       {
@@ -391,6 +397,10 @@ class Server {
   workload::WebTrace trace_;
   util::Rng rng_;
   std::unique_ptr<obs::live::Whodunitd> daemon_;
+  // Connection-type names pre-interned against the daemon's symbol
+  // table (set in the ctor when options.live).
+  obs::live::SymId conn_small_sym_ = 0;
+  obs::live::SymId conn_large_sym_ = 0;
 
   vm::Program push_prog_, pop_prog_, alloc_prog_, free_prog_, counter_prog_;
   std::map<vm::ThreadId, vm::CpuState> guest_cpus_;
@@ -494,10 +504,13 @@ MinihttpdResult Server::Run(profiler::ShardProfile* out_profile) {
     profiler::AppendStageCcts(dep_, prof_, out_profile);
   }
   if (daemon_ != nullptr) {
-    result.live_top_text = daemon_->RenderTop();
-    result.live_span_json = daemon_->ExportSpansJson();
+    // Flush the partial publish batch and drain before snapshotting,
+    // so the exports reflect every published event regardless of
+    // --publish-batch (batch-size invariance).
     daemon_->Shutdown();
     sched_.Run();
+    result.live_top_text = daemon_->RenderTop();
+    result.live_span_json = daemon_->ExportSpansJson();
   }
   return result;
 }

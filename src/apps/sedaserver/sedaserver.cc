@@ -59,12 +59,18 @@ class Haboob {
     if (options.live) {
       obs::live::LiveOptions lo;
       lo.history_bytes = options.live_history_bytes;
+      lo.publish_batch = options.live_publish_batch;
       daemon_ = std::make_unique<obs::live::Whodunitd>(sched_, lo);
       dep_.AttachLive(daemon_.get());
       // The server's stage lives outside the deployment's registry, so
       // attach it and route the daemon's pre-query flush to it directly.
       prof_.AttachLive(daemon_.get());
       daemon_->set_flush_hook([this] { prof_.FlushLive(); });
+      // Type names interned once; per-stage span names are interned in
+      // Run() after the stage graph is built.
+      http_request_sym_ = daemon_->symbols().Intern("http_request");
+      cache_hit_sym_ = daemon_->symbols().Intern("cache_hit");
+      cache_miss_sym_ = daemon_->symbols().Intern("cache_miss");
     }
   }
 
@@ -110,13 +116,13 @@ class Haboob {
   }
   void LiveJoinStage(const StageGraph::WorkerContext& wc) {
     if (daemon_ != nullptr) {
-      daemon_->JoinSpan(TxnOf(wc.payload), graph_.StageName(wc.stage), /*link=*/0,
+      daemon_->JoinSpan(TxnOf(wc.payload), stage_syms_[wc.stage], /*link=*/0,
                         daemon_->now(), wc.queue_wait_ns);
     }
   }
   void LiveLeaveStage(const StageGraph::WorkerContext& wc) {
     if (daemon_ != nullptr) {
-      daemon_->EndSpan(TxnOf(wc.payload), graph_.StageName(wc.stage), daemon_->now());
+      daemon_->EndSpan(TxnOf(wc.payload), stage_syms_[wc.stage], daemon_->now());
     }
   }
 
@@ -124,8 +130,8 @@ class Haboob {
     listen_ = graph_.AddStage("ListenStage", 1, [this](auto& wc) -> sim::Task<void> {
       if (daemon_ != nullptr && wc.sampled) {
         ReqState& st = requests_.at(wc.payload);
-        st.txn = daemon_->BeginTxn("ListenStage", daemon_->now());
-        daemon_->SetTxnType(st.txn, "http_request");
+        st.txn = daemon_->BeginTxn(stage_syms_[listen_], daemon_->now());
+        daemon_->SetTxnType(st.txn, http_request_sym_);
       }
       co_await Charge(wc, workload::kAcceptCost);
       LiveLeaveStage(wc);
@@ -161,8 +167,8 @@ class Haboob {
                                if (daemon_ != nullptr) {
                                  // The cache outcome is this request's real
                                  // type; re-label the live transaction.
-                                 daemon_->SetTxnType(st.txn,
-                                                     hit ? "cache_hit" : "cache_miss");
+                                 daemon_->SetTxnType(
+                                     st.txn, hit ? cache_hit_sym_ : cache_miss_sym_);
                                }
                                LiveLeaveStage(wc);
                                if (hit) {
@@ -314,6 +320,13 @@ class Haboob {
 
   StageId listen_ = 0, http_server_ = 0, read_ = 0, http_recv_ = 0, cache_ = 0, miss_ = 0,
           file_io_ = 0, write_ = 0;
+  // Stage/type names pre-interned against the daemon's symbol table:
+  // stage_syms_ is indexed by StageId (filled in Run() once the stage
+  // graph exists), the type syms in the ctor.
+  std::vector<obs::live::SymId> stage_syms_;
+  obs::live::SymId http_request_sym_ = 0;
+  obs::live::SymId cache_hit_sym_ = 0;
+  obs::live::SymId cache_miss_sym_ = 0;
   std::map<StageId, std::vector<ThreadProfile*>> worker_tps_;
   std::map<uint64_t, ReqState> requests_;
   std::vector<std::unique_ptr<sim::Channel<uint8_t>>> client_done_;
@@ -329,6 +342,11 @@ class Haboob {
 
 SedaServerResult Haboob::Run(profiler::ShardProfile* out_profile) {
   BuildStages();
+  if (daemon_ != nullptr) {
+    for (StageId s = 0; s < graph_.stage_count(); ++s) {
+      stage_syms_.push_back(daemon_->symbols().Intern(graph_.StageName(s)));
+    }
+  }
   graph_.set_tracking(TracksTransactions(options_.mode));
   for (StageId s = 0; s < graph_.stage_count(); ++s) {
     const int workers = graph_.stage(s).workers();
@@ -432,10 +450,13 @@ SedaServerResult Haboob::Run(profiler::ShardProfile* out_profile) {
     profiler::AppendStageCcts(dep_, prof_, out_profile);
   }
   if (daemon_ != nullptr) {
-    result.live_top_text = daemon_->RenderTop();
-    result.live_span_json = daemon_->ExportSpansJson();
+    // Flush the partial publish batch and drain before snapshotting,
+    // so the exports reflect every published event regardless of
+    // --publish-batch (batch-size invariance).
     daemon_->Shutdown();
     sched_.Run();
+    result.live_top_text = daemon_->RenderTop();
+    result.live_span_json = daemon_->ExportSpansJson();
   }
   return result;
 }

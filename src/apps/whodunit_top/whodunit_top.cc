@@ -15,6 +15,7 @@
 //                [--json-out FILE] [--no-clear] [--seed N]
 //                [--shards S] [--threads T]
 //                [--sample-rate R] [--sample-seed N] [--history-bytes B]
+//                [--publish-batch N]
 //                [--why-tail] [--attr-out FILE] [--no-attribution]
 //
 // --sample-rate R profiles a fraction R of transactions (the
@@ -60,6 +61,7 @@ struct Flags {
   double sample_rate = 1.0;
   uint64_t sample_seed = 0;
   size_t history_bytes = 1 << 20;
+  size_t publish_batch = 64;
   bool why_tail = false;
   std::string attr_out;
   bool attribution = true;
@@ -73,6 +75,7 @@ void Usage(const char* argv0) {
                "          [--json-out FILE] [--no-clear] [--seed N]\n"
                "          [--shards S] [--threads T]\n"
                "          [--sample-rate R] [--sample-seed N] [--history-bytes B]\n"
+               "          [--publish-batch N]\n"
                "          [--why-tail] [--attr-out FILE] [--no-attribution]\n"
                "          [--arrivals closed|poisson|bursty] [--offered-load TPS]\n",
                argv0);
@@ -109,6 +112,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sample_seed = static_cast<uint64_t>(v);
     } else if (arg == "--history-bytes" && next(&v)) {
       flags->history_bytes = static_cast<size_t>(v);
+    } else if (arg == "--publish-batch" && next(&v)) {
+      flags->publish_batch = static_cast<size_t>(v);
     } else if (arg == "--why-tail") {
       flags->why_tail = true;
     } else if (arg == "--attr-out" && i + 1 < argc) {
@@ -168,6 +173,7 @@ int main(int argc, char** argv) {
   options.sample_rate = flags.sample_rate;
   options.sample_seed = flags.sample_seed;
   options.live_history_bytes = flags.history_bytes;
+  options.live_publish_batch = flags.publish_batch;
   options.live_span_ring = flags.ring;
   options.live_attribution = flags.attribution;
   options.live_poll_interval = whodunit::sim::Seconds(flags.interval_s);

@@ -7,28 +7,31 @@
 namespace whodunit::obs::live {
 namespace {
 
-// Shared fallback name so the ingest fast path never builds a
-// temporary string per event (this runs once per published txn).
+// Shared fallback name for type SymId 0 (no SetTxnType ever arrived),
+// resolved only at render time.
 const std::string kUntypedName("(untyped)");
 
 }  // namespace
+
+const std::string& LiveAggregator::TypeName(SymId id) const {
+  return id == 0 ? kUntypedName : syms_->Name(id);
+}
 
 void LiveAggregator::Ingest(const TxnEvent& event) {
   obs_txns_->Add();
   obs_spans_->Add(event.spans.size());
 
   ++txns_;
-  const std::string& tname = event.type.empty() ? kUntypedName : event.type;
-  // try_emplace: the key string is only copied the first time a type
-  // or stage is seen, not on every event.
-  TypeState& type = by_type_.try_emplace(tname).first->second;
+  // Integer-keyed probe; the tree node is only allocated the first
+  // time a type or stage id is seen, never per event.
+  TypeState& type = by_type_[event.type];
   type.latency_ns.Add(static_cast<uint64_t>(std::max<int64_t>(event.end_ns - event.start_ns, 0)));
   if (event.error) {
     ++type.errors;
     ++errors_;
   }
   for (const StageSpan& span : event.spans) {
-    StageState& stage = by_stage_.try_emplace(span.stage).first->second;
+    StageState& stage = by_stage_[span.stage];
     ++stage.spans;
     stage.busy_ns += static_cast<uint64_t>(std::max<int64_t>(span.duration_ns, 0));
   }
@@ -41,18 +44,8 @@ void LiveAggregator::Ingest(const TxnEvent& event) {
   if (!event.attr.empty()) {
     obs_attr_txns_->Add();
     obs_attr_slices_->Add(event.attr.size());
-    const uint32_t type_id = InternAttrName(tname);
-    // Slices arrive sorted by stage (attribution.h), so memoizing the
-    // previous stage's id makes interning one lookup per distinct
-    // stage, not per slice.
-    const std::string* last_stage = nullptr;
-    uint32_t stage_id = 0;
     for (const AttrSlice& slice : event.attr) {
-      if (last_stage == nullptr || *last_stage != slice.stage) {
-        stage_id = InternAttrName(slice.stage);
-        last_stage = &slice.stage;
-      }
-      attr_[{type_id, stage_id, slice.ctxt,
+      attr_[{event.type, slice.stage, slice.ctxt,
              static_cast<uint8_t>(slice.state)}] += slice.ns;
     }
   }
@@ -76,21 +69,28 @@ void LiveAggregator::IngestWait(uint64_t waiter_tag, uint64_t holder_tag, uint64
 
 void LiveAggregator::MergeFrom(const LiveAggregator& other,
                                const std::vector<context::NodeId>& ctxt_remap) {
-  for (const auto& [name, state] : other.by_type_) {
-    TypeState& mine = by_type_[name];
+  // Translate the other shard's symbol ids into this table. When both
+  // aggregators share one table (serial runs, tests) the remap is the
+  // identity and interning is a no-op lookup.
+  const std::vector<SymId> sym_remap =
+      syms_ == other.syms_ ? std::vector<SymId>() : syms_->MergeFrom(*other.syms_);
+  const auto remap_sym = [&](SymId id) {
+    return id < sym_remap.size() ? sym_remap[id] : id;
+  };
+  for (const auto& [id, state] : other.by_type_) {
+    TypeState& mine = by_type_[remap_sym(id)];
     mine.latency_ns.Merge(state.latency_ns);
     mine.errors += state.errors;
   }
-  for (const auto& [name, state] : other.by_stage_) {
-    StageState& mine = by_stage_[name];
+  for (const auto& [id, state] : other.by_stage_) {
+    StageState& mine = by_stage_[remap_sym(id)];
     mine.spans += state.spans;
     mine.busy_ns += state.busy_ns;
   }
   for (const auto& [key, ns] : other.attr_) {
     const context::NodeId ctxt = std::get<2>(key);
     const context::NodeId here = ctxt < ctxt_remap.size() ? ctxt_remap[ctxt] : ctxt;
-    attr_[{InternAttrName(other.attr_names_[std::get<0>(key)]),
-           InternAttrName(other.attr_names_[std::get<1>(key)]), here,
+    attr_[{remap_sym(std::get<0>(key)), remap_sym(std::get<1>(key)), here,
            std::get<3>(key)}] += ns;
   }
   // Re-base the other side's tags above everything already present so
@@ -125,12 +125,12 @@ void LiveAggregator::MergeFrom(const LiveAggregator& other,
   errors_ += other.errors_;
 }
 
-std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {
-  std::vector<TypeRow> rows;
-  rows.reserve(by_type_.size());
-  for (const auto& [name, state] : by_type_) {
-    TypeRow row;
-    row.type = name;
+void LiveAggregator::TypeRowsInto(std::vector<TypeRow>& rows) const {
+  rows.resize(by_type_.size());
+  size_t i = 0;
+  for (const auto& [id, state] : by_type_) {
+    TypeRow& row = rows[i++];
+    row.type.assign(TypeName(id));
     row.count = state.latency_ns.count();
     row.errors = state.errors;
     row.mean_ms = state.latency_ns.mean() / 1e6;
@@ -138,7 +138,6 @@ std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {
     row.p95_ms = state.latency_ns.Quantile(0.95) / 1e6;
     row.p99_ms = state.latency_ns.Quantile(0.99) / 1e6;
     row.p999_ms = state.latency_ns.Quantile(0.999) / 1e6;
-    rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(), [](const TypeRow& a, const TypeRow& b) {
     if (a.count != b.count) {
@@ -146,18 +145,26 @@ std::vector<LiveAggregator::TypeRow> LiveAggregator::TypeRows() const {
     }
     return a.type < b.type;
   });
-  return rows;
 }
 
-std::vector<LiveAggregator::StageRow> LiveAggregator::StageRows() const {
-  std::vector<StageRow> rows;
-  rows.reserve(by_stage_.size());
-  for (const auto& [name, state] : by_stage_) {
-    rows.push_back(StageRow{name, state.spans, static_cast<double>(state.busy_ns) / 1e6});
+void LiveAggregator::StageRowsInto(std::vector<StageRow>& rows) const {
+  rows.resize(by_stage_.size());
+  size_t i = 0;
+  for (const auto& [id, state] : by_stage_) {
+    StageRow& row = rows[i++];
+    row.stage.assign(syms_->Name(id));
+    row.spans = state.spans;
+    row.busy_ms = static_cast<double>(state.busy_ns) / 1e6;
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const StageRow& a, const StageRow& b) { return a.busy_ms > b.busy_ms; });
-  return rows;
+  // Busy-descending with a name tiebreak: iteration order above is
+  // intern order, which differs across shards, so the tiebreak keeps
+  // the view deterministic.
+  std::sort(rows.begin(), rows.end(), [](const StageRow& a, const StageRow& b) {
+    if (a.busy_ms != b.busy_ms) {
+      return a.busy_ms > b.busy_ms;
+    }
+    return a.stage < b.stage;
+  });
 }
 
 std::string LiveAggregator::TagName(uint64_t tag) const {
@@ -165,25 +172,35 @@ std::string LiveAggregator::TagName(uint64_t tag) const {
   return it != tag_names_.end() ? it->second : "tag_" + std::to_string(tag);
 }
 
-std::vector<LiveAggregator::PairRow> LiveAggregator::CrosstalkRows() const {
+void LiveAggregator::CrosstalkRowsInto(std::vector<PairRow>& rows) const {
   // Fold tag pairs into named-type pairs: many tags (one per context
   // snapshot) map to one transaction type.
   std::map<std::pair<std::string, std::string>, util::RunningStat> folded;
   for (const auto& [pair, stat] : waits_) {
     folded[{TagName(pair.first), TagName(pair.second)}].Merge(stat);
   }
-  std::vector<PairRow> rows;
-  rows.reserve(folded.size());
+  rows.resize(folded.size());
+  size_t i = 0;
   for (const auto& [names, stat] : folded) {
-    rows.push_back(PairRow{names.first, names.second, stat.count(), stat.mean() / 1e6});
+    PairRow& row = rows[i++];
+    row.waiter.assign(names.first);
+    row.holder.assign(names.second);
+    row.count = stat.count();
+    row.mean_wait_ms = stat.mean() / 1e6;
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const PairRow& a, const PairRow& b) { return a.mean_wait_ms > b.mean_wait_ms; });
-  return rows;
+  std::sort(rows.begin(), rows.end(), [](const PairRow& a, const PairRow& b) {
+    if (a.mean_wait_ms != b.mean_wait_ms) {
+      return a.mean_wait_ms > b.mean_wait_ms;
+    }
+    if (a.waiter != b.waiter) {
+      return a.waiter < b.waiter;
+    }
+    return a.holder < b.holder;
+  });
 }
 
-std::vector<LiveAggregator::CtxtRow> LiveAggregator::TopContexts(size_t n) const {
-  std::vector<CtxtRow> rows;
+void LiveAggregator::TopContextsInto(size_t n, std::vector<CtxtRow>& rows) const {
+  rows.clear();
   cost_by_ctxt_.ForEach([&](const context::NodeId& ctxt, const uint64_t& cost) {
     rows.push_back(CtxtRow{ctxt, cost});
   });
@@ -196,27 +213,15 @@ std::vector<LiveAggregator::CtxtRow> LiveAggregator::TopContexts(size_t n) const
   if (rows.size() > n) {
     rows.resize(n);
   }
-  return rows;
-}
-
-uint32_t LiveAggregator::InternAttrName(std::string_view name) {
-  const auto it = attr_name_ids_.find(name);
-  if (it != attr_name_ids_.end()) {
-    return it->second;
-  }
-  const uint32_t id = static_cast<uint32_t>(attr_names_.size());
-  attr_names_.emplace_back(name);
-  attr_name_ids_.emplace(attr_names_.back(), id);
-  return id;
 }
 
 std::vector<LiveAggregator::AttrRow> LiveAggregator::AttrRows() const {
   std::vector<AttrRow> rows;
   rows.reserve(attr_.size());
   for (const auto& [key, ns] : attr_) {
-    rows.push_back(AttrRow{attr_names_[std::get<0>(key)],
-                           attr_names_[std::get<1>(key)], std::get<2>(key),
-                           static_cast<WaitState>(std::get<3>(key)), ns});
+    rows.push_back(AttrRow{TypeName(std::get<0>(key)), syms_->Name(std::get<1>(key)),
+                           std::get<2>(key), static_cast<WaitState>(std::get<3>(key)),
+                           ns});
   }
   // attr_ is ordered by interned ids (first-seen order); re-sort by
   // name so the rows are deterministic regardless of ingest or merge
@@ -235,7 +240,7 @@ std::string LiveAggregator::ExportAttrFolded() const {
   // output is deterministic no matter the intern order.
   std::map<std::tuple<std::string, std::string, uint8_t>, int64_t> folded;
   for (const auto& [key, ns] : attr_) {
-    folded[{attr_names_[std::get<0>(key)], attr_names_[std::get<1>(key)],
+    folded[{TypeName(std::get<0>(key)), syms_->Name(std::get<1>(key)),
             std::get<3>(key)}] += ns;
   }
   std::string out;
@@ -253,8 +258,12 @@ std::string LiveAggregator::ExportAttrFolded() const {
 }
 
 const util::LogHistogram* LiveAggregator::HistogramFor(std::string_view type) const {
-  auto it = by_type_.find(type);
-  return it == by_type_.end() ? nullptr : &it->second.latency_ns;
+  for (const auto& [id, state] : by_type_) {
+    if (TypeName(id) == type) {
+      return &state.latency_ns;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace whodunit::obs::live

@@ -13,6 +13,13 @@
 //     interned ContextTree NodeIds (flushed in batches from the
 //     stage profilers' charge path);
 //   * per-stage throughput / busy-time / error counters.
+//
+// All internal state is keyed by interned SymIds (symbol_table.h), so
+// the per-event ingest fold is pure integer probes — no string hashing
+// and no steady-state allocation. Ids are per-shard first-intern
+// order, so every user-facing view (TypeRows, AttrRows,
+// ExportAttrFolded) re-sorts by resolved name to stay deterministic
+// across ingest interleavings and shard merge orders.
 #ifndef SRC_OBS_LIVE_AGGREGATOR_H_
 #define SRC_OBS_LIVE_AGGREGATOR_H_
 
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "src/context/context_tree.h"
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/live/txn_event.h"
 #include "src/obs/metrics.h"
 #include "src/util/robin_hood.h"
@@ -44,6 +52,9 @@ class LiveAggregator {
   void IngestWait(uint64_t waiter_tag, uint64_t holder_tag, uint64_t wait_ns);
 
   // ---- Queries -------------------------------------------------------
+  // The *Into variants refill caller-owned rows in place (string and
+  // vector capacity is reused) so a refreshing poller — whodunit_top —
+  // is allocation-quiet once warm.
   struct TypeRow {
     std::string type;
     uint64_t count = 0;
@@ -55,14 +66,24 @@ class LiveAggregator {
     double p999_ms = 0;
   };
   // Per-type latency rows, highest count first.
-  std::vector<TypeRow> TypeRows() const;
+  void TypeRowsInto(std::vector<TypeRow>& rows) const;
+  std::vector<TypeRow> TypeRows() const {
+    std::vector<TypeRow> rows;
+    TypeRowsInto(rows);
+    return rows;
+  }
 
   struct StageRow {
     std::string stage;
     uint64_t spans = 0;
     double busy_ms = 0;
   };
-  std::vector<StageRow> StageRows() const;
+  void StageRowsInto(std::vector<StageRow>& rows) const;
+  std::vector<StageRow> StageRows() const {
+    std::vector<StageRow> rows;
+    StageRowsInto(rows);
+    return rows;
+  }
 
   struct PairRow {
     std::string waiter;
@@ -71,14 +92,24 @@ class LiveAggregator {
     double mean_wait_ms = 0;
   };
   // Live crosstalk matrix, heaviest mean wait first.
-  std::vector<PairRow> CrosstalkRows() const;
+  void CrosstalkRowsInto(std::vector<PairRow>& rows) const;
+  std::vector<PairRow> CrosstalkRows() const {
+    std::vector<PairRow> rows;
+    CrosstalkRowsInto(rows);
+    return rows;
+  }
 
   struct CtxtRow {
     context::NodeId ctxt = context::kEmptyContext;
     uint64_t cost_ns = 0;
   };
   // The n most expensive transaction contexts by cumulative cost.
-  std::vector<CtxtRow> TopContexts(size_t n) const;
+  void TopContextsInto(size_t n, std::vector<CtxtRow>& rows) const;
+  std::vector<CtxtRow> TopContexts(size_t n) const {
+    std::vector<CtxtRow> rows;
+    TopContextsInto(n, rows);
+    return rows;
+  }
 
   // Cumulative critical-path wait-state cost per (txn-type, stage,
   // context, state), from the attribution slices riding each ingested
@@ -100,11 +131,16 @@ class LiveAggregator {
   uint64_t txns() const { return txns_; }
   uint64_t errors() const { return errors_; }
 
+  // The symbol table this aggregator's SymIds resolve through (the
+  // thread-current table at construction).
+  const SymbolTable& syms() const { return *syms_; }
+
   // Folds another aggregator (a shard's) into this one. `ctxt_remap`
   // translates the other aggregator's ContextTree NodeIds into this
-  // side's tree (the vector ContextTree::MergeFrom returns). The
-  // other side's crosstalk tags — arbitrary per-shard ids — are
-  // re-based onto fresh ids here so distinct shard contexts never
+  // side's tree (the vector ContextTree::MergeFrom returns); the other
+  // side's SymIds are remapped through SymbolTable::MergeFrom the same
+  // way. The other side's crosstalk tags — arbitrary per-shard ids —
+  // are re-based onto fresh ids here so distinct shard contexts never
   // collide; their names carry over, so name-folded views (the
   // crosstalk matrix) merge exactly. Deterministic given a fixed
   // merge order.
@@ -121,30 +157,25 @@ class LiveAggregator {
   };
 
   std::string TagName(uint64_t tag) const;
+  // Resolves a type SymId for display: id 0 renders as "(untyped)".
+  const std::string& TypeName(SymId id) const;
 
-  // Interns a type/stage name into attr_names_, returning its id.
-  uint32_t InternAttrName(std::string_view name);
-
-  std::map<std::string, TypeState, std::less<>> by_type_;
-  std::map<std::string, StageState, std::less<>> by_stage_;
-  // (type_id, stage_id, ctxt, state) -> cumulative critical-path ns.
-  // Names are interned (attr_names_) so the per-event fold — one map
-  // probe per slice on the daemon's ingest path — compares PODs, not
-  // strings; bench_ablation_live_obs gates this cost. Ids are
-  // first-seen order, so every user-facing view (AttrRows,
-  // ExportAttrFolded) re-sorts by name to stay deterministic across
-  // ingest interleavings and shard merge orders.
-  std::vector<std::string> attr_names_;
-  std::map<std::string, uint32_t, std::less<>> attr_name_ids_;
-  std::map<std::tuple<uint32_t, uint32_t, context::NodeId, uint8_t>, int64_t>
-      attr_;
+  // Keyed by interned SymId; probes on the per-event ingest path are
+  // integer compares, and a tree node is only allocated the first time
+  // a key is seen — steady-state ingest never allocates.
+  std::map<SymId, TypeState> by_type_;
+  std::map<SymId, StageState> by_stage_;
+  // (type, stage, ctxt, state) -> cumulative critical-path ns.
+  std::map<std::tuple<SymId, SymId, context::NodeId, uint8_t>, int64_t> attr_;
   std::map<std::pair<uint64_t, uint64_t>, util::RunningStat> waits_;
   std::map<uint64_t, std::string> tag_names_;
   util::RobinHoodMap<context::NodeId, uint64_t> cost_by_ctxt_;
   uint64_t txns_ = 0;
   uint64_t errors_ = 0;
-  // Bound at construction so an aggregator built inside a shard
-  // isolate reports into that shard's metrics registry.
+  // Bound at construction (shard-registry rule): an aggregator built
+  // inside a shard isolate reports into that shard's metrics registry
+  // and resolves names through that shard's symbol table.
+  SymbolTable* syms_ = &Syms();
   Counter* obs_txns_ = &Registry().GetCounter("live.txns_ingested");
   Counter* obs_spans_ = &Registry().GetCounter("live.spans_ingested");
   Counter* obs_waits_ = &Registry().GetCounter("live.crosstalk_waits");

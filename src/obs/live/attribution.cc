@@ -7,10 +7,10 @@
 
 namespace whodunit::obs::live {
 
-std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
-                                    AttrScratch& scratch) {
-  std::vector<AttrSlice> out;
-  if (event.spans.empty() || event.end_ns <= event.start_ns) return out;
+void AttributeTxn(const TxnEvent& event, const SymbolTable& syms,
+                  AttrScratch& scratch, AttrVec& out) {
+  out.clear();
+  if (event.spans.empty() || event.end_ns <= event.start_ns) return;
   const size_t n = event.spans.size();
 
   // Children grouped by parent in one flat array (counting sort on the
@@ -65,33 +65,27 @@ std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
     subtree_end[i] = end;
   }
 
-  // Rank every span's stage name once so slice ordering below is pure
-  // integer work: `stages` ends up sorted-unique, span_rank[i] is span
-  // i's index into it.
-  std::vector<const std::string*>& stages = scratch.stages;
+  // Rank every span's stage once so slice ordering below is pure
+  // integer work: `stages` ends up unique and sorted by NAME (rank
+  // order IS name order — the determinism contract the exports rely
+  // on), span_rank[i] is span i's index into it.
+  std::vector<SymId>& stages = scratch.stages;
   stages.clear();
   for (const StageSpan& s : event.spans) {
-    stages.push_back(&s.stage);
+    stages.push_back(s.stage);
   }
-  std::sort(stages.begin(), stages.end(),
-            [](const std::string* a, const std::string* b) { return *a < *b; });
-  stages.erase(std::unique(stages.begin(), stages.end(),
-                           [](const std::string* a, const std::string* b) {
-                             return *a == *b;
-                           }),
-               stages.end());
+  const auto by_name = [&syms](SymId a, SymId b) { return syms.Name(a) < syms.Name(b); };
+  std::sort(stages.begin(), stages.end(), by_name);
+  stages.erase(std::unique(stages.begin(), stages.end()), stages.end());
   std::vector<uint32_t>& span_rank = scratch.span_rank;
   span_rank.resize(n);
   for (size_t i = 0; i < n; ++i) {
     span_rank[i] = static_cast<uint32_t>(
-        std::lower_bound(stages.begin(), stages.end(), &event.spans[i].stage,
-                         [](const std::string* a, const std::string* b) {
-                           return *a < *b;
-                         }) -
+        std::lower_bound(stages.begin(), stages.end(), event.spans[i].stage, by_name) -
         stages.begin());
   }
 
-  // Unfolded slices carry stage ranks — strings are only copied once
+  // Unfolded slices carry stage ranks; symbols are resolved back once
   // per output bucket at the end.
   std::vector<AttrScratch::RawSlice>& raw = scratch.raw;
   raw.clear();
@@ -146,9 +140,9 @@ std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
   attribute(attribute, 0, event.start_ns, event.end_ns);
 
   // Fold to deterministically-ordered (stage, ctxt, state) buckets —
-  // rank order IS name order, so this matches a string sort. The sort
-  // need not be stable: equal-key slices are summed, so their relative
-  // order cannot show in the output.
+  // rank order IS name order, so this matches the pre-interning string
+  // sort. The sort need not be stable: equal-key slices are summed, so
+  // their relative order cannot show in the output.
   std::sort(raw.begin(), raw.end(),
             [](const AttrScratch::RawSlice& a, const AttrScratch::RawSlice& b) {
               if (a.rank != b.rank) return a.rank < b.rank;
@@ -162,12 +156,11 @@ std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
         out.back().state == static_cast<WaitState>(r.state)) {
       out.back().ns += r.ns;
     } else {
-      out.push_back(AttrSlice{*stages[r.rank], r.ctxt,
+      out.push_back(AttrSlice{stages[r.rank], r.ctxt,
                               static_cast<WaitState>(r.state), r.ns});
       last_rank = r.rank;
     }
   }
-  return out;
 }
 
 }  // namespace whodunit::obs::live

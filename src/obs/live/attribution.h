@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/live/txn_event.h"
 
 namespace whodunit::obs::live {
@@ -21,17 +22,19 @@ namespace whodunit::obs::live {
 // Reusable working buffers for AttributeTxn. The walk runs once per
 // published transaction on the daemon's ingest path; a caller that
 // attributes a stream of events keeps one scratch alive so the
-// per-event cost is the walk, not six vector allocations
-// (bench_ablation_live_obs gates the per-txn overhead).
+// per-event cost is the walk alone — after warmup neither the scratch
+// nor the pooled output block touches the allocator
+// (bench_ablation_live_obs gates the per-txn overhead and asserts the
+// zero-allocation steady state).
 struct AttrScratch {
   std::vector<uint32_t> child_off;
   std::vector<uint32_t> child_idx;
   std::vector<uint32_t> cursor;
   std::vector<int64_t> subtree_end;
-  // Per-event stage table: unique stage names in sorted order, and
-  // each span's rank in it. Slices then sort and fold on integer
-  // ranks instead of re-comparing strings.
-  std::vector<const std::string*> stages;
+  // Per-event stage table: unique stage symbols sorted by NAME (so
+  // slice ordering matches the pre-interning string sort), and each
+  // span's rank in it. Slices then sort and fold on integer ranks.
+  std::vector<SymId> stages;
   std::vector<uint32_t> span_rank;
   struct RawSlice {
     uint32_t rank;
@@ -42,16 +45,21 @@ struct AttrScratch {
   std::vector<RawSlice> raw;
 };
 
-// Extracts the critical path of `event` and returns its wait-state
-// slices, folded by (stage, ctxt, state) and deterministically
-// ordered. Empty when the event has no spans.
-std::vector<AttrSlice> AttributeTxn(const TxnEvent& event,
-                                    AttrScratch& scratch);
+// Extracts the critical path of `event` and fills `out` with its
+// wait-state slices, folded by (stage, ctxt, state) and ordered by
+// stage name (resolved through `syms`), then ctxt, then state. `out`
+// is cleared first; it may be event.attr itself (the daemon attributes
+// in place). Empty when the event has no spans.
+void AttributeTxn(const TxnEvent& event, const SymbolTable& syms,
+                  AttrScratch& scratch, AttrVec& out);
 
-// One-shot convenience overload (tests, ad-hoc callers).
-inline std::vector<AttrSlice> AttributeTxn(const TxnEvent& event) {
+// One-shot convenience overload (tests, ad-hoc callers): resolves
+// names through the calling thread's Syms().
+inline AttrVec AttributeTxn(const TxnEvent& event) {
   AttrScratch scratch;
-  return AttributeTxn(event, scratch);
+  AttrVec out;
+  AttributeTxn(event, Syms(), scratch, out);
+  return out;
 }
 
 }  // namespace whodunit::obs::live

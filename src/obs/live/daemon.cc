@@ -39,9 +39,13 @@ Whodunitd::Whodunitd(sim::Scheduler& sched, LiveOptions options)
       obs_dropped_(&Registry().GetCounter("live.txns_dropped")),
       obs_abandoned_(&Registry().GetCounter("live.txns_abandoned")),
       obs_published_(&Registry().GetCounter("live.txns_published")),
+      obs_batches_(&Registry().GetCounter("live.batches_published")),
       obs_inflight_(&Registry().GetGauge("live.inflight_txns")),
       obs_sampling_total_(&Registry().GetCounter("sampling.txns_total")),
       obs_sampling_sampled_(&Registry().GetCounter("sampling.txns_sampled")) {
+  if (options_.publish_batch == 0) {
+    options_.publish_batch = 1;
+  }
   sim::Spawn(sched_, Pump());
 }
 
@@ -49,19 +53,48 @@ Whodunitd::~Whodunitd() { Shutdown(); }
 
 sim::Process Whodunitd::Pump() {
   for (;;) {
-    auto event = co_await ch_.Receive();
-    if (!event) {
+    auto batch = co_await ch_.Receive();
+    if (!batch) {
       break;
     }
-    if (options_.attribution) {
-      event->attr = AttributeTxn(*event, attr_scratch_);
+    // The batch preserves completion order, so iterating it here is
+    // exactly the per-event ingest order an unbatched channel gave.
+    for (TxnEvent& event : *batch) {
+      if (options_.attribution) {
+        // Pre-size to the session high-water so every record's attr
+        // block lands in the same arena size class. The history's
+        // byte-budgeted eviction makes its retained MIX of records
+        // drift slowly; with per-shape block sizes that drift can
+        // demand one more block of some class than any earlier
+        // moment supplied, forcing a fresh allocation long after
+        // warmup. Uniform blocks make pool demand depend only on
+        // record COUNT, which is strictly periodic — this is what
+        // holds the steady-state allocation count at exactly zero
+        // (bench_ablation_live_obs gates it).
+        event.attr.reserve(attr_cap_highwater_);
+        AttributeTxn(event, *syms_, attr_scratch_, event.attr);
+        attr_cap_highwater_ =
+            std::max(attr_cap_highwater_, event.attr.capacity());
+      }
+      agg_.Ingest(event);
+      // Ownership split: the recent ring takes the copy, the
+      // byte-budgeted history takes the move (it is the last consumer,
+      // so retention reuses the event's own blocks and never draws a
+      // fresh one). The ring recycles its oldest slot in place —
+      // PooledVec copy assignment reuses the slot's existing blocks —
+      // so once every slot has seen the largest event shape the ring
+      // stops touching the arena entirely.
+      if (options_.span_ring > 0) {
+        if (recent_.size() < options_.span_ring) {
+          recent_.push_back(event);
+        } else {
+          recent_.rotate_front_to_back();
+          recent_.back() = event;
+        }
+      }
+      history_.Ingest(std::move(event), sched_.now());
     }
-    agg_.Ingest(*event);
-    history_.Ingest(*event, sched_.now());
-    recent_.push_back(std::move(*event));
-    if (recent_.size() > options_.span_ring) {
-      recent_.pop_front();
-    }
+    // Batch destructs here: its pooled block recycles to the arena.
   }
   // The channel only closes at Shutdown, whose own flush ran before
   // this drain delivered its last batch: settle the stragglers so the
@@ -69,7 +102,7 @@ sim::Process Whodunitd::Pump() {
   history_.Flush(sched_.now());
 }
 
-uint64_t Whodunitd::BeginTxn(std::string_view origin_stage, int64_t now) {
+uint64_t Whodunitd::BeginTxn(SymId origin_stage, int64_t now) {
   if (shutdown_ || builders_.size() >= options_.max_inflight) {
     obs_dropped_->Add();
     return 0;
@@ -78,19 +111,19 @@ uint64_t Whodunitd::BeginTxn(std::string_view origin_stage, int64_t now) {
   const uint64_t txn = next_txn_++;
   Builder builder;
   builder.event.txn_id = txn;
-  builder.event.origin_stage = std::string(origin_stage);
+  builder.event.origin_stage = origin_stage;
   builder.event.start_ns = now;
   builder.event.spans.push_back(
-      StageSpan{std::string(origin_stage), now, 0, /*parent=*/-1, /*link=*/0});
+      StageSpan{origin_stage, now, 0, /*parent=*/-1, /*link=*/0});
   builder.open.push_back({0, 0});
   builders_.Upsert(txn, std::move(builder));
   obs_inflight_->Set(static_cast<int64_t>(builders_.size()));
   return txn;
 }
 
-void Whodunitd::SetTxnType(uint64_t txn, std::string_view type) {
+void Whodunitd::SetTxnType(uint64_t txn, SymId type) {
   if (auto* b = builders_.Find(txn)) {
-    b->event.type = std::string(type);
+    b->event.type = type;
   }
 }
 
@@ -100,7 +133,7 @@ void Whodunitd::SetTxnCtxt(uint64_t txn, context::NodeId ctxt) {
   }
 }
 
-void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now,
+void Whodunitd::JoinSpan(uint64_t txn, SymId stage, uint32_t link, int64_t now,
                          int64_t queue_ns, context::NodeId ctxt) {
   auto* found = builders_.Find(txn);
   if (found == nullptr) {
@@ -110,22 +143,22 @@ void Whodunitd::JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, in
   // Parent = the open span that most recently sent this link; fall
   // back to the innermost open span (its request is still pending).
   int32_t parent = -1;
-  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
-    if (link != 0 && it->second == link) {
-      parent = it->first;
+  for (size_t i = b.open.size(); i-- > 0;) {
+    if (link != 0 && b.open[i].second == link) {
+      parent = b.open[i].first;
       break;
     }
     if (parent < 0) {
-      parent = it->first;
+      parent = b.open[i].first;
     }
   }
   const auto index = static_cast<int32_t>(b.event.spans.size());
   b.event.spans.push_back(
-      StageSpan{std::string(stage), now, 0, parent, link, queue_ns, 0, 0, ctxt});
+      StageSpan{stage, now, 0, parent, link, queue_ns, 0, 0, ctxt});
   b.open.push_back({index, 0});
 }
 
-void Whodunitd::AddSpanWait(uint64_t txn, std::string_view stage, WaitState state,
+void Whodunitd::AddSpanWait(uint64_t txn, SymId stage, WaitState state,
                             int64_t ns) {
   if (ns <= 0) {
     return;
@@ -135,8 +168,8 @@ void Whodunitd::AddSpanWait(uint64_t txn, std::string_view stage, WaitState stat
     return;
   }
   Builder& b = *found;
-  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
-    StageSpan& span = b.event.spans[static_cast<size_t>(it->first)];
+  for (size_t i = b.open.size(); i-- > 0;) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(b.open[i].first)];
     if (span.stage == stage) {
       switch (state) {
         case WaitState::kQueueWait:
@@ -156,31 +189,36 @@ void Whodunitd::AddSpanWait(uint64_t txn, std::string_view stage, WaitState stat
   }
 }
 
-void Whodunitd::NoteSend(uint64_t txn, std::string_view stage, uint32_t link) {
+void Whodunitd::NoteSend(uint64_t txn, SymId stage, uint32_t link) {
   auto* found = builders_.Find(txn);
   if (found == nullptr) {
     return;
   }
   Builder& b = *found;
-  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
-    if (b.event.spans[static_cast<size_t>(it->first)].stage == stage) {
-      it->second = link;
+  for (size_t i = b.open.size(); i-- > 0;) {
+    if (b.event.spans[static_cast<size_t>(b.open[i].first)].stage == stage) {
+      b.open[i].second = link;
       return;
     }
   }
 }
 
-void Whodunitd::EndSpan(uint64_t txn, std::string_view stage, int64_t now) {
+void Whodunitd::EndSpan(uint64_t txn, SymId stage, int64_t now) {
   auto* found = builders_.Find(txn);
   if (found == nullptr) {
     return;
   }
   Builder& b = *found;
-  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
-    StageSpan& span = b.event.spans[static_cast<size_t>(it->first)];
+  for (size_t i = b.open.size(); i-- > 0;) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(b.open[i].first)];
     if (span.stage == stage) {
       span.duration_ns = now - span.start_ns;
-      b.open.erase(std::next(it).base());
+      // Shift-erase: the common case closes the innermost (last)
+      // entry, where this is a plain pop.
+      for (size_t j = i + 1; j < b.open.size(); ++j) {
+        b.open[j - 1] = b.open[j];
+      }
+      b.open.pop_back();
       return;
     }
   }
@@ -198,23 +236,39 @@ void Whodunitd::CompleteTxn(uint64_t txn, int64_t now) {
     return;
   }
   Builder& b = *found;
-  for (const auto& [index, link] : b.open) {
-    StageSpan& span = b.event.spans[static_cast<size_t>(index)];
+  for (size_t i = 0; i < b.open.size(); ++i) {
+    StageSpan& span = b.event.spans[static_cast<size_t>(b.open[i].first)];
     span.duration_ns = now - span.start_ns;
   }
   b.open.clear();
   b.event.end_ns = now;
   obs_published_->Add();
-  ch_.Send(std::move(b.event));
+  if (batch_.empty()) {
+    batch_opened_ns_ = now;
+  }
+  batch_.push_back(std::move(b.event));
   builders_.Erase(txn);
   obs_inflight_->Set(static_cast<int64_t>(builders_.size()));
+  if (batch_.size() >= options_.publish_batch ||
+      now - batch_opened_ns_ >= options_.publish_flush_interval_ns) {
+    FlushBatch();
+  }
 }
 
-Whodunitd::TopSnapshot Whodunitd::Top(size_t max_types, size_t max_contexts) const {
+void Whodunitd::FlushBatch() {
+  if (batch_.empty()) {
+    return;
+  }
+  obs_batches_->Add();
+  // Move steals the pooled block; batch_ is left empty and re-pools a
+  // recycled block on the next completion.
+  ch_.Send(std::move(batch_));
+}
+
+void Whodunitd::Top(TopSnapshot& snap, size_t max_types, size_t max_contexts) const {
   if (flush_hook_) {
     flush_hook_();
   }
-  TopSnapshot snap;
   snap.as_of_ns = sched_.now();
   snap.txns = agg_.txns();
   snap.errors = agg_.errors();
@@ -224,68 +278,82 @@ Whodunitd::TopSnapshot Whodunitd::Top(size_t max_types, size_t max_contexts) con
   snap.history_txns = history_.retained_txns();
   snap.history_bytes = history_.retained_bytes();
   snap.history_evicted = history_.evicted_txns();
-  snap.types = agg_.TypeRows();
+  agg_.TypeRowsInto(snap.types);
   if (snap.types.size() > max_types) {
     snap.types.resize(max_types);
   }
-  snap.stages = agg_.StageRows();
-  snap.crosstalk = agg_.CrosstalkRows();
-  snap.contexts = agg_.TopContexts(max_contexts);
-  return snap;
+  agg_.StageRowsInto(snap.stages);
+  agg_.CrosstalkRowsInto(snap.crosstalk);
+  agg_.TopContextsInto(max_contexts, snap.contexts);
 }
 
-std::string Whodunitd::RenderTop(const TopSnapshot& snap) const {
-  std::ostringstream out;
-  out << "whodunitd — live transactional profile @ " << Fixed(snap.as_of_ns / 1e9) << "s"
-      << "   (" << snap.txns << " txns, " << snap.errors << " errors, " << snap.inflight
-      << " in flight)\n";
+void Whodunitd::RenderTop(const TopSnapshot& snap, std::string& out) const {
+  out.clear();
+  out += "whodunitd — live transactional profile @ ";
+  out += Fixed(snap.as_of_ns / 1e9);
+  out += "s   (";
+  out += std::to_string(snap.txns);
+  out += " txns, ";
+  out += std::to_string(snap.errors);
+  out += " errors, ";
+  out += std::to_string(snap.inflight);
+  out += " in flight)\n";
   if (snap.sampling_total > 0) {
     const double pct =
         100.0 * static_cast<double>(snap.sampling_sampled) / static_cast<double>(snap.sampling_total);
-    out << "  sampling: " << snap.sampling_sampled << "/" << snap.sampling_total
-        << " txns sampled (" << Fixed(pct, 2) << "%)   history: " << snap.history_txns
-        << " txns / " << snap.history_bytes << " B retained, " << snap.history_evicted
-        << " evicted\n";
+    out += "  sampling: ";
+    out += std::to_string(snap.sampling_sampled);
+    out += "/";
+    out += std::to_string(snap.sampling_total);
+    out += " txns sampled (";
+    out += Fixed(pct, 2);
+    out += "%)   history: ";
+    out += std::to_string(snap.history_txns);
+    out += " txns / ";
+    out += std::to_string(snap.history_bytes);
+    out += " B retained, ";
+    out += std::to_string(snap.history_evicted);
+    out += " evicted\n";
   }
-  out << "\n";
+  out += "\n";
   char line[256];
   std::snprintf(line, sizeof line, "  %-26s %8s %5s %10s %10s %10s %10s %10s\n", "TYPE",
                 "COUNT", "ERR", "MEAN(ms)", "P50(ms)", "P95(ms)", "P99(ms)", "P99.9(ms)");
-  out << line;
+  out += line;
   for (const auto& row : snap.types) {
     std::snprintf(line, sizeof line,
                   "  %-26s %8llu %5llu %10.2f %10.2f %10.2f %10.2f %10.2f\n",
                   row.type.c_str(), static_cast<unsigned long long>(row.count),
                   static_cast<unsigned long long>(row.errors), row.mean_ms, row.p50_ms,
                   row.p95_ms, row.p99_ms, row.p999_ms);
-    out << line;
+    out += line;
   }
-  out << "\n";
+  out += "\n";
   std::snprintf(line, sizeof line, "  %-26s %10s %14s\n", "STAGE", "SPANS", "BUSY(ms)");
-  out << line;
+  out += line;
   for (const auto& row : snap.stages) {
     std::snprintf(line, sizeof line, "  %-26s %10llu %14.1f\n", row.stage.c_str(),
                   static_cast<unsigned long long>(row.spans), row.busy_ms);
-    out << line;
+    out += line;
   }
-  out << "\n  CROSSTALK (waiter <- holder)" << (snap.crosstalk.empty() ? ": none\n" : "\n");
+  out += "\n  CROSSTALK (waiter <- holder)";
+  out += snap.crosstalk.empty() ? ": none\n" : "\n";
   for (const auto& row : snap.crosstalk) {
     std::snprintf(line, sizeof line, "  %-20s <- %-20s %8llu waits %10.2f ms mean\n",
                   row.waiter.c_str(), row.holder.c_str(),
                   static_cast<unsigned long long>(row.count), row.mean_wait_ms);
-    out << line;
+    out += line;
   }
   if (!snap.contexts.empty()) {
-    out << "\n  TOP CONTEXTS BY CPU\n";
+    out += "\n  TOP CONTEXTS BY CPU\n";
     for (const auto& row : snap.contexts) {
       const std::string name =
           ctxt_namer_ ? ctxt_namer_(row.ctxt) : "ctxt_" + std::to_string(row.ctxt);
       std::snprintf(line, sizeof line, "  %12.2f ms  %s\n",
                     static_cast<double>(row.cost_ns) / 1e6, name.c_str());
-      out << line;
+      out += line;
     }
   }
-  return out.str();
 }
 
 std::string Whodunitd::QueryJson(size_t max_types, size_t max_contexts) const {
@@ -374,12 +442,12 @@ std::vector<Whodunitd::WhyTailType> Whodunitd::WhyTail(double fast_q,
   // population at its own p50/p99 latency (nearest-rank over the
   // retained sample), and compare the mean per-(stage, state)
   // critical-path cost of the two groups.
-  std::map<std::string, std::vector<const TxnEvent*>, std::less<>> by_type;
+  std::map<SymId, std::vector<const TxnEvent*>> by_type;
   for (const TxnEvent* event : history_.Scan()) {
     if (event->attr.empty()) {
       continue;
     }
-    by_type[event->type.empty() ? std::string("(untyped)") : event->type].push_back(event);
+    by_type[event->type].push_back(event);
   }
   std::vector<WhyTailType> out;
   for (const auto& [type, events] : by_type) {
@@ -398,11 +466,11 @@ std::vector<Whodunitd::WhyTailType> Whodunitd::WhyTail(double fast_q,
     const int64_t tail_cut = rank(tail_q);
 
     WhyTailType row;
-    row.type = type;
+    row.type = type == 0 ? "(untyped)" : syms_->Name(type);
     // Mean per-(stage, state) attribution of each group; every bucket
     // is normalized by the group's txn count, so a state absent from
     // one group still yields a delta.
-    std::map<std::pair<std::string, uint8_t>, std::pair<int64_t, int64_t>> buckets;
+    std::map<std::pair<SymId, uint8_t>, std::pair<int64_t, int64_t>> buckets;
     int64_t fast_total = 0;
     int64_t tail_total = 0;
     for (const TxnEvent* event : events) {
@@ -437,7 +505,7 @@ std::vector<Whodunitd::WhyTailType> Whodunitd::WhyTail(double fast_q,
     row.tail_ms = static_cast<double>(tail_total) / static_cast<double>(row.tail_txns) / 1e6;
     for (const auto& [key, sums] : buckets) {
       WhyTailDelta delta;
-      delta.stage = key.first;
+      delta.stage = syms_->Name(key.first);
       delta.state = static_cast<WaitState>(key.second);
       delta.fast_ms =
           static_cast<double>(sums.first) / static_cast<double>(row.fast_txns) / 1e6;
@@ -446,14 +514,23 @@ std::vector<Whodunitd::WhyTailType> Whodunitd::WhyTail(double fast_q,
       delta.delta_ms = delta.tail_ms - delta.fast_ms;
       row.deltas.push_back(std::move(delta));
     }
-    std::stable_sort(row.deltas.begin(), row.deltas.end(),
-                     [](const WhyTailDelta& a, const WhyTailDelta& b) {
-                       return a.delta_ms > b.delta_ms;
-                     });
+    // Buckets arrive in intern-id order, which is shard-dependent;
+    // explicit (delta desc, stage name, state) ordering keeps the
+    // report deterministic and matches the old name-keyed stable sort.
+    std::sort(row.deltas.begin(), row.deltas.end(),
+              [](const WhyTailDelta& a, const WhyTailDelta& b) {
+                if (a.delta_ms != b.delta_ms) {
+                  return a.delta_ms > b.delta_ms;
+                }
+                if (a.stage != b.stage) {
+                  return a.stage < b.stage;
+                }
+                return a.state < b.state;
+              });
     out.push_back(std::move(row));
   }
   // Heaviest tails first; name tiebreak keeps the report deterministic.
-  std::stable_sort(out.begin(), out.end(), [](const WhyTailType& a, const WhyTailType& b) {
+  std::sort(out.begin(), out.end(), [](const WhyTailType& a, const WhyTailType& b) {
     const double ga = a.tail_ms - a.fast_ms;
     const double gb = b.tail_ms - b.fast_ms;
     if (ga != gb) {
@@ -493,10 +570,17 @@ std::string Whodunitd::RenderWhyTail() const {
 }
 
 std::vector<TxnEvent> Whodunitd::RecentEvents() const {
-  return std::vector<TxnEvent>(recent_.begin(), recent_.end());
+  std::vector<TxnEvent> out;
+  out.reserve(recent_.size());
+  for (size_t i = 0; i < recent_.size(); ++i) {
+    out.push_back(recent_[i]);
+  }
+  return out;
 }
 
-std::string Whodunitd::ExportSpansJson() const { return ExportChromeTrace(RecentEvents()); }
+std::string Whodunitd::ExportSpansJson() const {
+  return ExportChromeTrace(RecentEvents(), *syms_);
+}
 
 void Whodunitd::Shutdown() {
   if (shutdown_) {
@@ -506,6 +590,10 @@ void Whodunitd::Shutdown() {
   obs_abandoned_->Add(builders_.size());
   builders_.Clear();
   obs_inflight_->Set(0);
+  // Ship the partial batch before closing: the channel is FIFO and
+  // Close is in-band, so the pump ingests it before draining out —
+  // post-shutdown exports are therefore batch-size invariant.
+  FlushBatch();
   // Settle the history's pending batch so the final snapshot reflects
   // everything the daemon ingested.
   history_.Flush(sched_.now());

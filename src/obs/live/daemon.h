@@ -11,7 +11,10 @@
 //   StageProfiler publish hooks ──► TxnBuilder table (in-flight txns)
 //          │ LiveComplete                    │ finished TxnEvent
 //          ▼                                 ▼
-//     sim::Channel<TxnEvent> ──► Pump coroutine ──► LiveAggregator
+//     TxnBatch (publish buffer) ──► sim::Channel<TxnBatch>
+//                                        │ one wake per batch
+//                                        ▼
+//                                 Pump coroutine ──► LiveAggregator
 //                                        │               ▲
 //                                        ▼               │ query API
 //                                 recent-event ring   whodunit_top,
@@ -20,13 +23,25 @@
 // Publication rides the same sim::Channel plumbing as application
 // messages, so ingest is ordered with the simulation and the daemon
 // observes transactions exactly when a real collector process would.
-// The query side (Top/RenderTop/QueryJson/ExportSpansJson) is the
-// "wire" API whodunit_top polls.
+// Completed events buffer into one daemon-wide TxnBatch flushed on a
+// size or virtual-time threshold, so the pump wakes once per batch
+// instead of once per transaction; the batch preserves completion
+// order and the channel is FIFO, so aggregation order — and therefore
+// every export — is invariant under the batch size
+// (docs/OBSERVABILITY.md "Batching and determinism").
+//
+// The publish path is allocation-free in steady state: names are
+// interned SymIds (symbol_table.h), span/open/batch storage is pooled
+// (util/pooled_vec.h), and the hot hooks take SymIds — the
+// string_view overloads exist for tests and one-shot callers and pay
+// one hash lookup. The query side (Top/RenderTop/QueryJson/
+// ExportSpansJson) is the "wire" API whodunit_top polls; the *Into
+// variants refill caller-owned buffers so a refresh loop is
+// allocation-quiet once warm.
 #ifndef SRC_OBS_LIVE_DAEMON_H_
 #define SRC_OBS_LIVE_DAEMON_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,11 +52,13 @@
 #include "src/obs/live/aggregator.h"
 #include "src/obs/live/attribution.h"
 #include "src/obs/live/history.h"
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/live/txn_event.h"
 #include "src/obs/metrics.h"
 #include "src/sim/channel.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/task.h"
+#include "src/util/ring_queue.h"
 #include "src/util/robin_hood.h"
 
 namespace whodunit::obs::live {
@@ -61,6 +78,13 @@ struct LiveOptions {
   // published event; feeds the attr tables, --why-tail, and the
   // whodunit-attr-v1 folded export.
   bool attribution = true;
+  // Publish batching: completed events buffer until this many are
+  // pending (1 = unbatched, every completion crosses the channel
+  // alone). The --publish-batch knob on the apps.
+  size_t publish_batch = 64;
+  // A partial batch is flushed once this much virtual time has passed
+  // since it opened, so a quiet period cannot delay ingest forever.
+  int64_t publish_flush_interval_ns = 100'000'000;
 };
 
 class Whodunitd {
@@ -73,31 +97,58 @@ class Whodunitd {
   // Virtual time, for publishers that don't hold the scheduler.
   int64_t now() const { return sched_.now(); }
 
+  // The symbol table this daemon's SymIds resolve through (the
+  // thread-current table at construction). Publishers intern their
+  // stable names here once at wiring time.
+  SymbolTable& symbols() const { return *syms_; }
+
   // ---- Publish hooks (called by StageProfiler and apps) --------------
+  // SymId forms are the hot path: pure integer work, no hashing, no
+  // allocation in steady state. The string_view forms intern first.
+  //
   // Opens a transaction and its origin span; returns the live txn id
   // (0 = dropped: over the in-flight cap). All later hooks no-op on 0.
-  uint64_t BeginTxn(std::string_view origin_stage, int64_t now);
-  void SetTxnType(uint64_t txn, std::string_view type);
+  uint64_t BeginTxn(SymId origin_stage, int64_t now);
+  uint64_t BeginTxn(std::string_view origin_stage, int64_t now) {
+    return BeginTxn(syms_->Intern(origin_stage), now);
+  }
+  void SetTxnType(uint64_t txn, SymId type);
+  void SetTxnType(uint64_t txn, std::string_view type) {
+    SetTxnType(txn, syms_->Intern(type));
+  }
   void SetTxnCtxt(uint64_t txn, context::NodeId ctxt);
   // Opens one stage's span for `txn`; `link` is the synopsis part on
   // the message that carried the work here (0 = none). `queue_ns` is
   // the measured queue residency of that message before this span
   // started, and `ctxt` the interned context the span runs under —
   // both feed the wait-state attribution (attribution.h).
-  void JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now,
+  void JoinSpan(uint64_t txn, SymId stage, uint32_t link, int64_t now,
                 int64_t queue_ns = 0, context::NodeId ctxt = context::kEmptyContext);
+  void JoinSpan(uint64_t txn, std::string_view stage, uint32_t link, int64_t now,
+                int64_t queue_ns = 0, context::NodeId ctxt = context::kEmptyContext) {
+    JoinSpan(txn, syms_->Intern(stage), link, now, queue_ns, ctxt);
+  }
   // Accumulates a measured wait-state component (kService or
   // kLockWait) onto the most recent open span of `stage` for `txn`.
-  void AddSpanWait(uint64_t txn, std::string_view stage, WaitState state,
-                   int64_t ns);
+  void AddSpanWait(uint64_t txn, SymId stage, WaitState state, int64_t ns);
+  void AddSpanWait(uint64_t txn, std::string_view stage, WaitState state, int64_t ns) {
+    AddSpanWait(txn, syms_->Intern(stage), state, ns);
+  }
   // Records that the stage's open span sent a request carrying
   // synopsis part `link` (joins link arrows at the receiver).
-  void NoteSend(uint64_t txn, std::string_view stage, uint32_t link);
+  void NoteSend(uint64_t txn, SymId stage, uint32_t link);
+  void NoteSend(uint64_t txn, std::string_view stage, uint32_t link) {
+    NoteSend(txn, syms_->Intern(stage), link);
+  }
   // Closes the most recent open span of `stage` for `txn`.
-  void EndSpan(uint64_t txn, std::string_view stage, int64_t now);
+  void EndSpan(uint64_t txn, SymId stage, int64_t now);
+  void EndSpan(uint64_t txn, std::string_view stage, int64_t now) {
+    EndSpan(txn, syms_->Intern(stage), now);
+  }
   void ErrorTxn(uint64_t txn);
-  // Closes any still-open spans, stamps the end time, and publishes
-  // the finished event to the aggregation channel.
+  // Closes any still-open spans, stamps the end time, and appends the
+  // finished event to the publish batch (flushed to the aggregation
+  // channel on the size/interval thresholds above).
   void CompleteTxn(uint64_t txn, int64_t now);
   // Direct streaming inputs that bypass the txn builder:
   void AddCost(context::NodeId ctxt, uint64_t cost_ns) { agg_.AddCost(ctxt, cost_ns); }
@@ -135,10 +186,23 @@ class Whodunitd {
     std::vector<LiveAggregator::PairRow> crosstalk;
     std::vector<LiveAggregator::CtxtRow> contexts;
   };
-  TopSnapshot Top(size_t max_types = 20, size_t max_contexts = 10) const;
+  // Refills a caller-owned snapshot in place (row/string capacity is
+  // reused across refreshes — the whodunit_top poll loop).
+  void Top(TopSnapshot& snap, size_t max_types = 20, size_t max_contexts = 10) const;
+  TopSnapshot Top(size_t max_types = 20, size_t max_contexts = 10) const {
+    TopSnapshot snap;
+    Top(snap, max_types, max_contexts);
+    return snap;
+  }
   // The refreshing whodunit_top table: per-type latency quantiles,
-  // stage throughput, crosstalk pairs, top contexts by cost.
-  std::string RenderTop(const TopSnapshot& snap) const;
+  // stage throughput, crosstalk pairs, top contexts by cost. The
+  // out-param form clears and refills `out`, reusing its capacity.
+  void RenderTop(const TopSnapshot& snap, std::string& out) const;
+  std::string RenderTop(const TopSnapshot& snap) const {
+    std::string out;
+    RenderTop(snap, out);
+    return out;
+  }
   std::string RenderTop(size_t max_types = 20, size_t max_contexts = 10) const {
     return RenderTop(Top(max_types, max_contexts));
   }
@@ -185,39 +249,55 @@ class Whodunitd {
   const TxnHistory& history() const { return history_; }
   uint64_t inflight() const { return builders_.size(); }
 
-  // Closes the publish channel so the pump coroutine drains and exits;
-  // call before the final scheduler drain at end of run. In-flight
-  // (never completed) transactions are dropped and counted.
+  // Flushes the partial publish batch, closes the publish channel so
+  // the pump coroutine drains and exits; call before the final
+  // scheduler drain at end of run. In-flight (never completed)
+  // transactions are dropped and counted. Queries that must reflect
+  // every published event (end-of-run exports, golden comparisons)
+  // run after Shutdown() plus one scheduler drain.
   void Shutdown();
 
  private:
+  // One open span: (index into event.spans, last request link the span
+  // sent — joins arrows at the receiver). Innermost last.
+  using OpenSpan = std::pair<int32_t, uint32_t>;
   struct Builder {
     TxnEvent event;
-    // Open spans, innermost last: (index into event.spans, last
-    // request link the span sent — joins arrows at the receiver).
-    std::vector<std::pair<int32_t, uint32_t>> open;
+    util::PooledVec<OpenSpan> open;
   };
 
   sim::Process Pump();
+  // Sends the pending batch (if any) to the aggregation channel.
+  void FlushBatch();
 
   sim::Scheduler& sched_;
   LiveOptions options_;
-  sim::Channel<TxnEvent> ch_;
+  sim::Channel<TxnBatch> ch_;
   LiveAggregator agg_;
   // Reused across every published event the pump attributes.
   AttrScratch attr_scratch_;
+  // Session high-water attr-block capacity. Every attributed event's
+  // block is pre-sized to this before attribution, so all records'
+  // attr blocks land in the same arena size class — see Pump.
+  size_t attr_cap_highwater_ = 0;
   TxnHistory history_;
   util::RobinHoodMap<uint64_t, Builder> builders_;
-  std::deque<TxnEvent> recent_;
+  // Completed-but-unflushed events, completion order; one Send per
+  // flush.
+  TxnBatch batch_;
+  int64_t batch_opened_ns_ = 0;
+  util::RingQueue<TxnEvent> recent_;
   uint64_t next_txn_ = 1;
   bool shutdown_ = false;
   std::function<void()> flush_hook_;
   std::function<std::string(context::NodeId)> ctxt_namer_;
 
+  SymbolTable* syms_ = &Syms();
   Counter* obs_begun_;
   Counter* obs_dropped_;
   Counter* obs_abandoned_;
   Counter* obs_published_;
+  Counter* obs_batches_;
   Gauge* obs_inflight_;
   // The deployment's sampling counters (shared by name with
   // SamplingPolicy through this daemon's registry), read at snapshot

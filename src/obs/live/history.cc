@@ -1,6 +1,7 @@
 #include "src/obs/live/history.h"
 
 #include <sstream>
+#include <utility>
 
 namespace whodunit::obs::live {
 namespace {
@@ -26,20 +27,16 @@ TxnHistory::TxnHistory(HistoryOptions options)
       obs_retained_bytes_(&Registry().GetGauge("history.retained_bytes")) {}
 
 size_t TxnHistory::ApproxBytes(const TxnEvent& event) {
+  // Names are interned, so the record's footprint is the struct plus
+  // its pooled span/attr blocks — capacity, not size, since the pooled
+  // block is what the record actually holds onto.
   size_t bytes = sizeof(TxnEvent);
-  bytes += event.type.size() + event.origin_stage.size();
   bytes += event.spans.capacity() * sizeof(StageSpan);
-  for (const auto& span : event.spans) {
-    bytes += span.stage.size();
-  }
   bytes += event.attr.capacity() * sizeof(AttrSlice);
-  for (const auto& slice : event.attr) {
-    bytes += slice.stage.size();
-  }
   return bytes;
 }
 
-void TxnHistory::Ingest(const TxnEvent& event, int64_t now) {
+void TxnHistory::Ingest(TxnEvent event, int64_t now) {
   if (!enabled()) {
     return;
   }
@@ -50,7 +47,7 @@ void TxnHistory::Ingest(const TxnEvent& event, int64_t now) {
     last_flush_ns_ = now;
   }
   const size_t bytes = ApproxBytes(event);
-  pending_.push_back(Entry{event, bytes});
+  pending_.push_back(Entry{std::move(event), bytes});
   pending_bytes_ += bytes;
   obs_ingested_->Add();
   if (now - last_flush_ns_ >= options_.flush_interval_ns) {
@@ -91,8 +88,8 @@ void TxnHistory::Flush(int64_t now) {
 std::vector<const TxnEvent*> TxnHistory::Scan() const {
   std::vector<const TxnEvent*> out;
   out.reserve(retained_.size());
-  for (const auto& entry : retained_) {
-    out.push_back(&entry.event);
+  for (size_t i = 0; i < retained_.size(); ++i) {
+    out.push_back(&retained_[i].event);
   }
   return out;
 }
@@ -104,18 +101,18 @@ std::string TxnHistory::ExportJson() const {
       << ",\"evicted_bytes\":" << evicted_bytes_ << ",\"flushes\":" << flushes_
       << ",\"txns\":[";
   bool first = true;
-  for (const auto& entry : retained_) {
-    const TxnEvent& ev = entry.event;
+  for (size_t e = 0; e < retained_.size(); ++e) {
+    const TxnEvent& ev = retained_[e].event;
     out << (first ? "" : ",") << "\n{\"txn_id\":" << ev.txn_id << ",\"type\":\"";
-    JsonEscapeInto(out, ev.type);
+    JsonEscapeInto(out, syms_->Name(ev.type));
     out << "\",\"origin\":\"";
-    JsonEscapeInto(out, ev.origin_stage);
+    JsonEscapeInto(out, syms_->Name(ev.origin_stage));
     out << "\",\"start_ns\":" << ev.start_ns << ",\"end_ns\":" << ev.end_ns
         << ",\"error\":" << (ev.error ? "true" : "false") << ",\"spans\":[";
     for (size_t i = 0; i < ev.spans.size(); ++i) {
       const StageSpan& span = ev.spans[i];
       out << (i ? "," : "") << "{\"stage\":\"";
-      JsonEscapeInto(out, span.stage);
+      JsonEscapeInto(out, syms_->Name(span.stage));
       out << "\",\"start_ns\":" << span.start_ns << ",\"duration_ns\":" << span.duration_ns
           << ",\"parent\":" << span.parent << ",\"link\":" << span.link << "}";
     }

@@ -15,12 +15,13 @@
 #define SRC_OBS_LIVE_HISTORY_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/live/txn_event.h"
 #include "src/obs/metrics.h"
+#include "src/util/ring_queue.h"
 
 namespace whodunit::obs::live {
 
@@ -42,8 +43,12 @@ class TxnHistory {
   bool enabled() const { return options_.max_bytes > 0; }
 
   // Accepts one completed transaction record; triggers a flush when
-  // the flush interval has elapsed since the last one.
-  void Ingest(const TxnEvent& event, int64_t now);
+  // the flush interval has elapsed since the last one. Takes the event
+  // by value so a caller that is done with it can move it in — the
+  // record then retains the event's own pooled span/attr blocks and
+  // the store never allocates (the pump does exactly this; see
+  // Whodunitd::Pump).
+  void Ingest(TxnEvent event, int64_t now);
 
   // Promotes pending events into the retained ring, then deletes
   // oldest-first until the ring is back under the byte budget.
@@ -64,9 +69,10 @@ class TxnHistory {
   // whodunit-history-v1, docs/OBSERVABILITY.md).
   std::string ExportJson() const;
 
-  // Approximate retained footprint of one record: struct size plus
-  // heap payloads (strings, span vector). The accounting unit the
-  // byte budget is charged in.
+  // Approximate retained footprint of one record: struct size plus the
+  // pooled span/attr blocks (names are interned SymIds, so they cost
+  // the record nothing). The accounting unit the byte budget is
+  // charged in.
   static size_t ApproxBytes(const TxnEvent& event);
 
  private:
@@ -76,8 +82,8 @@ class TxnHistory {
   };
 
   HistoryOptions options_;
-  std::deque<Entry> retained_;
-  std::deque<Entry> pending_;
+  util::RingQueue<Entry> retained_;
+  util::RingQueue<Entry> pending_;
   size_t retained_bytes_ = 0;
   size_t pending_bytes_ = 0;
   int64_t last_flush_ns_ = 0;
@@ -86,6 +92,9 @@ class TxnHistory {
   uint64_t evicted_bytes_ = 0;
   uint64_t flushes_ = 0;
 
+  // Names in ExportJson resolve through the thread-current table at
+  // construction (shard-registry rule).
+  const SymbolTable* syms_ = &Syms();
   Counter* obs_ingested_;
   Counter* obs_flushes_;
   Counter* obs_evicted_txns_;

@@ -1,8 +1,10 @@
 #include "src/obs/live/span_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace whodunit::obs::live {
 namespace {
@@ -44,10 +46,10 @@ const char* SpanColor(const StageSpan& span) {
 
 }  // namespace
 
-std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
+std::string ExportChromeTrace(const std::vector<TxnEvent>& events, const SymbolTable& syms) {
   // One track per stage, numbered by first appearance across events.
-  std::map<std::string, int> tids;
-  auto tid_of = [&](const std::string& stage) {
+  std::map<SymId, int> tids;
+  auto tid_of = [&](SymId stage) {
     auto it = tids.find(stage);
     if (it == tids.end()) {
       it = tids.emplace(stage, static_cast<int>(tids.size())).first;
@@ -73,11 +75,20 @@ std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
     out << "}";
   };
 
+  // Metadata events go out in stage-NAME order (tids is id-ordered, so
+  // re-sort by resolved name) to match the pre-interning output.
+  std::vector<std::pair<const std::string*, int>> named;
+  named.reserve(tids.size());
   for (const auto& [stage, tid] : tids) {
+    named.emplace_back(&syms.Name(stage), tid);
+  }
+  std::sort(named.begin(), named.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (const auto& [name, tid] : named) {
     emit([&] {
       out << "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
           << ",\"args\":{\"name\":\"";
-      EscapeInto(out, stage);
+      EscapeInto(out, *name);
       out << "\"}";
     });
   }
@@ -89,12 +100,13 @@ std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
       const int tid = tid_of(span.stage);
       emit([&] {
         out << "\"name\":\"";
-        EscapeInto(out, ev.type.empty() ? std::string("txn") : ev.type);
+        const std::string& type = syms.Name(ev.type);
+        EscapeInto(out, type.empty() ? std::string("txn") : type);
         out << "\",\"cat\":\"txn\",\"ph\":\"X\",\"cname\":\"" << SpanColor(span)
             << "\",\"pid\":1,\"tid\":" << tid
             << ",\"ts\":" << Micros(span.start_ns) << ",\"dur\":" << Micros(span.duration_ns)
             << ",\"args\":{\"txn\":" << ev.txn_id << ",\"stage\":\"";
-        EscapeInto(out, span.stage);
+        EscapeInto(out, syms.Name(span.stage));
         out << "\",\"ctxt\":" << ev.root_ctxt << "}";
       });
       // Request edge: an arrow from the sending span's track to this

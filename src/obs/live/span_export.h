@@ -13,14 +13,20 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/live/txn_event.h"
 
 namespace whodunit::obs::live {
 
 // Chrome trace JSON for the given transactions. Stage tracks are
-// numbered in first-appearance order and named with thread_name
-// metadata events; timestamps are virtual-time microseconds.
-std::string ExportChromeTrace(const std::vector<TxnEvent>& events);
+// numbered in first-appearance order and named (through `syms`, in
+// name order) with thread_name metadata events; timestamps are
+// virtual-time microseconds.
+std::string ExportChromeTrace(const std::vector<TxnEvent>& events, const SymbolTable& syms);
+
+inline std::string ExportChromeTrace(const std::vector<TxnEvent>& events) {
+  return ExportChromeTrace(events, Syms());
+}
 
 }  // namespace whodunit::obs::live
 

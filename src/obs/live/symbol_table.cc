@@ -1,0 +1,77 @@
+#include "src/obs/live/symbol_table.h"
+
+namespace whodunit::obs::live {
+namespace {
+
+const std::string kEmptyName;
+
+thread_local SymbolTable* tls_symbol_table = nullptr;
+
+}  // namespace
+
+SymbolTable::SymbolTable() { Intern(""); }
+
+SymbolTable::~SymbolTable() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+SymId SymbolTable::Intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  const size_t chunk_index = id / kChunkSize;
+  if (chunk_index >= kMaxChunks) {
+    // Table full — fold the overflow onto the empty symbol rather than
+    // crash a production collector; 1M distinct names means the
+    // publisher is interning per-transaction data, which is a bug.
+    return 0;
+  }
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    // Publish the chunk before the size that makes its slots visible.
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  chunk->names[id % kChunkSize] = std::string(name);
+  size_.store(id + 1, std::memory_order_release);
+  ids_.emplace(chunk->names[id % kChunkSize], id);
+  return id;
+}
+
+const std::string& SymbolTable::Name(SymId id) const {
+  if (id >= size_.load(std::memory_order_acquire)) {
+    return kEmptyName;
+  }
+  const Chunk* chunk = chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  return chunk->names[id % kChunkSize];
+}
+
+std::vector<SymId> SymbolTable::MergeFrom(const SymbolTable& other) {
+  const size_t n = other.size();
+  std::vector<SymId> remap(n);
+  for (SymId id = 0; id < n; ++id) {
+    remap[id] = Intern(other.Name(id));
+  }
+  return remap;
+}
+
+SymbolTable& GlobalSymbolTable() {
+  static SymbolTable table;
+  return table;
+}
+
+SymbolTable& Syms() {
+  return tls_symbol_table != nullptr ? *tls_symbol_table : GlobalSymbolTable();
+}
+
+ScopedSymbolTable::ScopedSymbolTable(SymbolTable& table) : prev_(tls_symbol_table) {
+  tls_symbol_table = &table;
+}
+
+ScopedSymbolTable::~ScopedSymbolTable() { tls_symbol_table = prev_; }
+
+}  // namespace whodunit::obs::live

@@ -1,0 +1,95 @@
+// Interned stage/type names for the live publish pipeline.
+//
+// Publishers (StageProfiler, the apps' SEDA stages) used to hand the
+// whodunitd daemon stage and transaction-type names as strings, which
+// meant one std::string copy per publish hook and a string hash per
+// aggregation probe — the dominant cost of the always-on path. A
+// SymbolTable interns each name once at wiring time; everything that
+// crosses the publish channel afterwards is a 32-bit SymId, and the
+// strings are resolved only where a human (or an export format) needs
+// them: whodunit_top, QueryJson, the span/attr exports, the history
+// dump.
+//
+// Concurrency contract: one writer (the shard that owns the table),
+// any number of lock-free readers. Interned entries live in fixed-size
+// chunks that are never moved or mutated after publication, and the
+// table publishes its size with release ordering, so a reader that
+// observes id < size() can resolve Name(id) without synchronization.
+// Interning itself is single-writer (each shard interns only into its
+// own table).
+#ifndef SRC_OBS_LIVE_SYMBOL_TABLE_H_
+#define SRC_OBS_LIVE_SYMBOL_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whodunit::obs::live {
+
+// 0 is always the empty string — the "no name yet" id, rendered as
+// "(untyped)" where a transaction type never arrived.
+using SymId = uint32_t;
+
+class SymbolTable {
+ public:
+  static constexpr size_t kChunkSize = 256;
+  static constexpr size_t kMaxChunks = 4096;  // 1M symbols per table
+
+  SymbolTable();
+  ~SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id of `name`, interning it first if new. Writer-side
+  // only; ids are assigned in first-intern order and never change.
+  SymId Intern(std::string_view name);
+
+  // Resolves an id to its name. Lock-free; safe concurrently with the
+  // writer's Intern calls. Out-of-range ids resolve to "".
+  const std::string& Name(SymId id) const;
+
+  // Number of interned symbols (ids are [0, size)).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Interns every symbol of `other` into this table, in the other
+  // table's id order (deterministic), and returns the translation:
+  // remap[other_id] == the id here. The shard-merge counterpart of
+  // ContextTree::MergeFrom.
+  std::vector<SymId> MergeFrom(const SymbolTable& other);
+
+ private:
+  struct Chunk {
+    std::string names[kChunkSize];
+  };
+
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  // Writer-side reverse index; readers never touch it.
+  std::map<std::string, SymId, std::less<>> ids_;
+  std::atomic<uint32_t> size_{0};
+};
+
+// The calling thread's current symbol table. Defaults to the
+// process-wide table; a ParallelRunner shard installs its own through
+// ScopedSymbolTable (ShardEnv::Scope) so shards never share a writer.
+SymbolTable& Syms();
+SymbolTable& GlobalSymbolTable();
+
+// Installs `table` as the calling thread's Syms() for the scope's
+// lifetime; restores the previous table on destruction.
+class ScopedSymbolTable {
+ public:
+  explicit ScopedSymbolTable(SymbolTable& table);
+  ~ScopedSymbolTable();
+  ScopedSymbolTable(const ScopedSymbolTable&) = delete;
+  ScopedSymbolTable& operator=(const ScopedSymbolTable&) = delete;
+
+ private:
+  SymbolTable* prev_;
+};
+
+}  // namespace whodunit::obs::live
+
+#endif  // SRC_OBS_LIVE_SYMBOL_TABLE_H_

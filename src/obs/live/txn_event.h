@@ -5,18 +5,24 @@
 // profile (src/profiler/stitcher): one completed end-to-end
 // transaction with its per-stage timeline. Stages assemble the event
 // incrementally through the Whodunitd publish hooks (daemon.h) and
-// the finished event crosses to the aggregation daemon over a
+// finished events cross to the aggregation daemon in batches over a
 // sim::Channel — the same conduit type every other inter-stage
 // message uses, so publication is part of the simulated run rather
 // than an out-of-band peek.
+//
+// The representation is built for a zero-allocation steady state:
+// stage and type names are 32-bit SymIds into the shard's SymbolTable
+// (symbol_table.h) — strings resolve only at render/export time — and
+// the span/attribution blocks are arena-backed PooledVecs recycled
+// through the thread's ArenaPool freelists (util/pooled_vec.h).
 #ifndef SRC_OBS_LIVE_TXN_EVENT_H_
 #define SRC_OBS_LIVE_TXN_EVENT_H_
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
 #include "src/context/context_tree.h"
+#include "src/obs/live/symbol_table.h"
+#include "src/util/pooled_vec.h"
 
 namespace whodunit::obs::live {
 
@@ -53,7 +59,7 @@ constexpr const char* WaitStateName(WaitState s) {
 // (attribution.h). The slices of one event sum exactly to its
 // end-to-end latency.
 struct AttrSlice {
-  std::string stage;
+  SymId stage = 0;
   context::NodeId ctxt = context::kEmptyContext;
   WaitState state = WaitState::kSchedOther;
   int64_t ns = 0;
@@ -63,7 +69,7 @@ struct AttrSlice {
 // that is visited repeatedly (a SEDA stage once per object) produces
 // one span per visit.
 struct StageSpan {
-  std::string stage;        // stage name ("squid", "mysql", "WriteStage")
+  SymId stage = 0;          // interned stage name ("squid", "mysql", "WriteStage")
   int64_t start_ns = 0;     // virtual time
   int64_t duration_ns = 0;
   // Index (into TxnEvent::spans) of the span whose send caused this
@@ -84,22 +90,31 @@ struct StageSpan {
   context::NodeId ctxt = context::kEmptyContext;
 };
 
+using SpanVec = util::PooledVec<StageSpan>;
+using AttrVec = util::PooledVec<AttrSlice>;
+
 struct TxnEvent {
   uint64_t txn_id = 0;
-  std::string type;           // transaction type ("BestSellers", "cache_miss")
-  std::string origin_stage;   // stage that began the transaction
+  SymId type = 0;           // transaction type ("BestSellers", "cache_miss")
+  SymId origin_stage = 0;   // stage that began the transaction
   // Interned context-tree node of the origin at completion time; the
   // aggregator's top-N context table keys on NodeIds like this.
   context::NodeId root_ctxt = context::kEmptyContext;
   int64_t start_ns = 0;
   int64_t end_ns = 0;
   bool error = false;
-  std::vector<StageSpan> spans;
+  SpanVec spans;
   // Critical-path attribution (attribution.h), computed by the daemon
   // pump when LiveOptions.attribution is on; slices sum to
   // end_ns - start_ns exactly.
-  std::vector<AttrSlice> attr;
+  AttrVec attr;
 };
+
+// One publisher flush: completed events in completion order. Batches
+// cross the publish channel so the pump wakes once per batch instead
+// of once per transaction; completion order is preserved end to end,
+// so batch boundaries can never leak into aggregation order.
+using TxnBatch = util::PooledVec<TxnEvent>;
 
 }  // namespace whodunit::obs::live
 

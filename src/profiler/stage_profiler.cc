@@ -127,7 +127,7 @@ context::Synopsis StageProfiler::PrepareSend(ThreadProfile& tp, bool expect_resp
   }
   ++tp.uncharged_messages_;
   if (live_ != nullptr && tp.live_txn_ != 0) {
-    live_->NoteSend(tp.live_txn_, options_.name, part);
+    live_->NoteSend(tp.live_txn_, live_name_sym_, part);
   }
   return wire;
 }
@@ -189,7 +189,12 @@ uint64_t StageProfiler::CrosstalkTag(ThreadProfile& tp) {
   return InternCtxt(ComputeLabel(tp));
 }
 
-uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
+void StageProfiler::AttachLive(obs::live::Whodunitd* live) {
+  live_ = live;
+  live_name_sym_ = live_ != nullptr ? live_->symbols().Intern(options_.name) : 0;
+}
+
+uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, uint32_t type_sym) {
   if (live_ == nullptr || !TracksTransactions(options_.mode)) {
     return 0;
   }
@@ -200,13 +205,20 @@ uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
     return 0;
   }
   FlushLiveCost(tp);
-  tp.live_txn_ = live_->BeginTxn(options_.name, live_->now());
+  tp.live_txn_ = live_->BeginTxn(live_name_sym_, live_->now());
   tp.live_span_service_ = 0;
   tp.live_span_lock_ = 0;
-  if (tp.live_txn_ != 0 && !type.empty()) {
-    live_->SetTxnType(tp.live_txn_, type);
+  if (tp.live_txn_ != 0 && type_sym != 0) {
+    live_->SetTxnType(tp.live_txn_, obs::live::SymId{type_sym});
   }
   return tp.live_txn_;
+}
+
+uint64_t StageProfiler::LiveBegin(ThreadProfile& tp, std::string_view type) {
+  if (live_ == nullptr) {
+    return 0;
+  }
+  return LiveBegin(tp, type.empty() ? 0 : live_->symbols().Intern(type));
 }
 
 void StageProfiler::LiveJoin(ThreadProfile& tp, uint64_t txn, sim::SimTime queue_ns) {
@@ -222,7 +234,7 @@ void StageProfiler::LiveJoin(ThreadProfile& tp, uint64_t txn, sim::SimTime queue
     return;
   }
   const uint32_t link = tp.incoming_.parts.empty() ? 0 : tp.incoming_.parts.back();
-  live_->JoinSpan(txn, options_.name, link, live_->now(), queue_ns, tp.live_ctxt_node_);
+  live_->JoinSpan(txn, live_name_sym_, link, live_->now(), queue_ns, tp.live_ctxt_node_);
 }
 
 void StageProfiler::LiveLeave(ThreadProfile& tp) {
@@ -232,7 +244,7 @@ void StageProfiler::LiveLeave(ThreadProfile& tp) {
   FlushLiveCost(tp);
   FlushSpanMeasurements(tp);
   if (tp.live_txn_ != 0) {
-    live_->EndSpan(tp.live_txn_, options_.name, live_->now());
+    live_->EndSpan(tp.live_txn_, live_name_sym_, live_->now());
   }
   tp.live_txn_ = 0;
 }
@@ -256,6 +268,12 @@ void StageProfiler::LiveComplete(ThreadProfile& tp, bool error) {
 void StageProfiler::LiveLockWait(ThreadProfile& tp, sim::SimTime wait_ns) {
   if (live_ != nullptr && tp.live_txn_ != 0 && wait_ns > 0) {
     tp.live_span_lock_ += wait_ns;
+  }
+}
+
+void StageProfiler::LiveType(ThreadProfile& tp, uint32_t type_sym) {
+  if (live_ != nullptr && tp.live_txn_ != 0) {
+    live_->SetTxnType(tp.live_txn_, obs::live::SymId{type_sym});
   }
 }
 
@@ -298,12 +316,12 @@ void StageProfiler::FlushSpanMeasurements(ThreadProfile& tp) {
     return;
   }
   if (tp.live_span_service_ > 0) {
-    live_->AddSpanWait(tp.live_txn_, options_.name, obs::live::WaitState::kService,
+    live_->AddSpanWait(tp.live_txn_, live_name_sym_, obs::live::WaitState::kService,
                        static_cast<int64_t>(tp.live_span_service_));
     tp.live_span_service_ = 0;
   }
   if (tp.live_span_lock_ > 0) {
-    live_->AddSpanWait(tp.live_txn_, options_.name, obs::live::WaitState::kLockWait,
+    live_->AddSpanWait(tp.live_txn_, live_name_sym_, obs::live::WaitState::kLockWait,
                        static_cast<int64_t>(tp.live_span_lock_));
     tp.live_span_lock_ = 0;
   }

@@ -210,12 +210,17 @@ class StageProfiler {
   // When a Whodunitd is attached (normally via Deployment::AttachLive),
   // the stage publishes transaction lifecycle events and batched CPU
   // costs to it. All hooks are no-ops when detached — a single null
-  // check on the publish path.
-  void AttachLive(obs::live::Whodunitd* live) { live_ = live; }
+  // check on the publish path. Attaching interns the stage's name into
+  // the daemon's symbol table once, so every later hook passes a
+  // 32-bit SymId instead of a string.
+  void AttachLive(obs::live::Whodunitd* live);
   obs::live::Whodunitd* live() const { return live_; }
   // Origin stage: opens a live transaction of the given type on this
   // thread (call after ResetTransaction). Returns the live txn id to
   // thread through the app's messages (0 = daemon off or overloaded).
+  // The SymId form is the steady-state path; apps intern their type
+  // names once at wiring time (live()->symbols().Intern(...)).
+  uint64_t LiveBegin(ThreadProfile& tp, uint32_t type_sym);
   uint64_t LiveBegin(ThreadProfile& tp, std::string_view type);
   // Non-origin stage: joins the thread to a transaction carried here
   // by a message (call after OnReceive; the innermost incoming synopsis
@@ -229,6 +234,7 @@ class StageProfiler {
   void LiveComplete(ThreadProfile& tp, bool error = false);
   // Re-labels the thread's current live transaction (e.g. once a cache
   // stage knows hit vs. miss).
+  void LiveType(ThreadProfile& tp, uint32_t type_sym);
   void LiveType(ThreadProfile& tp, std::string_view type);
   // Accumulates measured lock wait onto the thread's current live span
   // (fed by resource acquire paths, e.g. Database::Execute).
@@ -283,6 +289,10 @@ class StageProfiler {
   Deployment& deployment_;
   Options options_;
   obs::live::Whodunitd* live_ = nullptr;
+  // This stage's name interned into the attached daemon's symbol table
+  // (obs::live::SymId; valid while live_ != nullptr). Every publish
+  // hook passes it instead of options_.name.
+  uint32_t live_name_sym_ = 0;
   std::vector<std::unique_ptr<ThreadProfile>> threads_;
   std::unordered_map<context::Synopsis, std::unique_ptr<callpath::CallingContextTree>,
                      context::SynopsisHash>

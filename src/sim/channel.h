@@ -9,12 +9,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
+#include "src/util/ring_queue.h"
 
 namespace whodunit::sim {
 
@@ -100,8 +100,11 @@ class Channel {
   Scheduler& sched_;
   SimTime latency_;
   bool closed_ = false;
-  std::deque<T> buffer_;
-  std::deque<PendingReceiver> receivers_;
+  // Ring buffers, not deques: once sized to the high-water mark they
+  // never touch the allocator again, keeping a busy channel off the
+  // heap (libstdc++'s deque churns 512-byte chunks per wrap).
+  util::RingQueue<T> buffer_;
+  util::RingQueue<PendingReceiver> receivers_;
   uint64_t messages_sent_ = 0;
 };
 

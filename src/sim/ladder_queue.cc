@@ -176,6 +176,16 @@ ScheduledEvent LadderQueue::Pop() {
   ScheduledEvent ev = std::move(bottom_[bottom_pos_]);
   ++bottom_pos_;
   --size_;
+  // Reset a fully consumed bottom now rather than waiting for the next
+  // EnsureBottom: Peek() short-circuits on an empty queue, so a
+  // workload that repeatedly drains the calendar (the live daemon's
+  // flush -> deliver -> idle cadence) would otherwise keep appending
+  // to bottom_ behind an ever-advancing bottom_pos_ — unbounded growth
+  // and a fresh allocation every capacity doubling.
+  if (bottom_pos_ == bottom_.size()) {
+    bottom_.clear();
+    bottom_pos_ = 0;
+  }
   return ev;
 }
 

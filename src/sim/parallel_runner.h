@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/context/context_tree.h"
+#include "src/obs/live/symbol_table.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
@@ -45,6 +46,8 @@ class ShardEnv {
   obs::TraceLog& trace() { return *trace_; }
   context::ContextTree& context_tree() { return *tree_; }
   const context::ContextTree& context_tree() const { return *tree_; }
+  obs::live::SymbolTable& symbols() { return *syms_; }
+  const obs::live::SymbolTable& symbols() const { return *syms_; }
 
   // Installs this env as the calling thread's current metrics
   // registry, trace log, and context tree, and restarts the shard-
@@ -62,6 +65,7 @@ class ShardEnv {
     obs::ScopedMetricsRegistry metrics_scope_;
     obs::ScopedTraceLog trace_scope_;
     context::ScopedContextTree tree_scope_;
+    obs::live::ScopedSymbolTable syms_scope_;
   };
 
   // Folds this shard's metrics into `target` (counters and histogram
@@ -73,6 +77,9 @@ class ShardEnv {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceLog> trace_;
   std::unique_ptr<context::ContextTree> tree_;
+  // Per-shard symbol table: each shard interns its own SymIds; the
+  // merge remaps them through SymbolTable::MergeFrom.
+  std::unique_ptr<obs::live::SymbolTable> syms_;
 };
 
 // A completed shard: the job's result plus the env it ran in. The env

@@ -9,6 +9,7 @@
 
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/obs/live/aggregator.h"
@@ -18,7 +19,12 @@
 namespace whodunit::obs::live {
 namespace {
 
-int64_t SliceSum(const std::vector<AttrSlice>& slices) {
+// Events are built with interned SymIds; tests intern through the
+// thread-current table, the same one the one-shot AttributeTxn and
+// default-constructed daemons resolve against.
+SymId S(std::string_view name) { return Syms().Intern(name); }
+
+int64_t SliceSum(const AttrVec& slices) {
   int64_t sum = 0;
   for (const AttrSlice& s : slices) {
     sum += s.ns;
@@ -30,12 +36,12 @@ int64_t SliceSum(const std::vector<AttrSlice>& slices) {
 TxnEvent ThreeTierEvent() {
   TxnEvent ev;
   ev.txn_id = 1;
-  ev.type = "checkout";
+  ev.type = S("checkout");
   ev.start_ns = 0;
   ev.end_ns = 10000;
-  ev.spans.push_back({"proxy", 0, 10000, -1, 0, 0, 2000, 0});
-  ev.spans.push_back({"httpd", 1500, 7000, 0, 1, 500, 1500, 0});
-  ev.spans.push_back({"db", 3000, 4000, 1, 2, 200, 1000, 1800});
+  ev.spans.push_back({S("proxy"), 0, 10000, -1, 0, 0, 2000, 0});
+  ev.spans.push_back({S("httpd"), 1500, 7000, 0, 1, 500, 1500, 0});
+  ev.spans.push_back({S("db"), 3000, 4000, 1, 2, 200, 1000, 1800});
   return ev;
 }
 
@@ -51,15 +57,15 @@ TEST(AttributionTest, GoldenThreeTierDecomposition) {
   // Byte-exact: ordered by (stage, ctxt, state) with the enum order
   // queue_wait < service < lock_wait < downstream_wait < sched_other.
   const std::vector<AttrSlice> expected = {
-      {"db", 0, WaitState::kQueueWait, 200},
-      {"db", 0, WaitState::kService, 1000},
-      {"db", 0, WaitState::kLockWait, 1800},
-      {"db", 0, WaitState::kSchedOther, 1200},
-      {"httpd", 0, WaitState::kQueueWait, 500},
-      {"httpd", 0, WaitState::kService, 1500},
-      {"httpd", 0, WaitState::kSchedOther, 1300},
-      {"proxy", 0, WaitState::kService, 2000},
-      {"proxy", 0, WaitState::kSchedOther, 500},
+      {S("db"), 0, WaitState::kQueueWait, 200},
+      {S("db"), 0, WaitState::kService, 1000},
+      {S("db"), 0, WaitState::kLockWait, 1800},
+      {S("db"), 0, WaitState::kSchedOther, 1200},
+      {S("httpd"), 0, WaitState::kQueueWait, 500},
+      {S("httpd"), 0, WaitState::kService, 1500},
+      {S("httpd"), 0, WaitState::kSchedOther, 1300},
+      {S("proxy"), 0, WaitState::kService, 2000},
+      {S("proxy"), 0, WaitState::kSchedOther, 500},
   };
   ASSERT_EQ(slices.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -93,7 +99,7 @@ TEST(AttributionTest, SlicesSumToEndToEndExactly) {
   TxnEvent bare;
   bare.start_ns = 5;
   bare.end_ns = 777;
-  bare.spans.push_back({"solo", 5, 772, -1, 0});
+  bare.spans.push_back({S("solo"), 5, 772, -1, 0});
   events.push_back(bare);
 
   for (size_t i = 0; i < events.size(); ++i) {
@@ -110,16 +116,16 @@ TEST(AttributionTest, OverlappingDownstreamWaitsSplitOnce) {
   TxnEvent ev;
   ev.start_ns = 0;
   ev.end_ns = 10000;
-  ev.spans.push_back({"proxy", 0, 10000, -1, 0});
-  ev.spans.push_back({"httpd", 1000, 5000, 0, 1});  // [1000, 6000)
-  ev.spans.push_back({"db", 2000, 7000, 0, 2});     // [2000, 9000) overlaps
+  ev.spans.push_back({S("proxy"), 0, 10000, -1, 0});
+  ev.spans.push_back({S("httpd"), 1000, 5000, 0, 1});  // [1000, 6000)
+  ev.spans.push_back({S("db"), 2000, 7000, 0, 2});     // [2000, 9000) overlaps
   const auto slices = AttributeTxn(ev);
 
   const std::vector<AttrSlice> expected = {
-      {"db", 0, WaitState::kSchedOther, 3000},     // [6000, 9000) only
-      {"httpd", 0, WaitState::kSchedOther, 5000},  // [1000, 6000)
-      {"proxy", 0, WaitState::kDownstreamWait, 1000},  // gap before httpd
-      {"proxy", 0, WaitState::kSchedOther, 1000},      // [9000, 10000)
+      {S("db"), 0, WaitState::kSchedOther, 3000},     // [6000, 9000) only
+      {S("httpd"), 0, WaitState::kSchedOther, 5000},  // [1000, 6000)
+      {S("proxy"), 0, WaitState::kDownstreamWait, 1000},  // gap before httpd
+      {S("proxy"), 0, WaitState::kSchedOther, 1000},      // [9000, 10000)
   };
   ASSERT_EQ(slices.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -137,13 +143,13 @@ TEST(AttributionTest, OrphanSpansGraftOntoOrigin) {
   TxnEvent ev;
   ev.start_ns = 0;
   ev.end_ns = 1000;
-  ev.spans.push_back({"origin", 0, 1000, -1, 0});
-  ev.spans.push_back({"orphan", 200, 300, 7, 0});  // parent 7 does not precede
+  ev.spans.push_back({S("origin"), 0, 1000, -1, 0});
+  ev.spans.push_back({S("orphan"), 200, 300, 7, 0});  // parent 7 does not precede
   const auto slices = AttributeTxn(ev);
   EXPECT_EQ(SliceSum(slices), 1000);
   bool saw_orphan = false;
   for (const AttrSlice& s : slices) {
-    saw_orphan = saw_orphan || s.stage == "orphan";
+    saw_orphan = saw_orphan || s.stage == S("orphan");
   }
   EXPECT_TRUE(saw_orphan);
 }
@@ -154,8 +160,8 @@ TEST(AttributionTest, SliceCtxtFallsBackToRootCtxt) {
   ev.spans[2].ctxt = 9;  // the db span ran under its own context
   const auto slices = AttributeTxn(ev);
   for (const AttrSlice& s : slices) {
-    EXPECT_EQ(s.ctxt, s.stage == "db" ? 9u : 42u)
-        << s.stage << "/" << WaitStateName(s.state);
+    EXPECT_EQ(s.ctxt, s.stage == S("db") ? 9u : 42u)
+        << Syms().Name(s.stage) << "/" << WaitStateName(s.state);
   }
   EXPECT_EQ(SliceSum(slices), 10000);
 }
@@ -165,7 +171,7 @@ TEST(AttributionTest, EmptyAndDegenerateEventsYieldNothing) {
   EXPECT_TRUE(AttributeTxn(ev).empty());
   ev.start_ns = 100;
   ev.end_ns = 100;  // zero-width window
-  ev.spans.push_back({"s", 100, 0, -1, 0});
+  ev.spans.push_back({S("s"), 100, 0, -1, 0});
   EXPECT_TRUE(AttributeTxn(ev).empty());
 }
 
@@ -194,7 +200,7 @@ TEST(AttributionTest, DaemonAttributesPublishedTransactions) {
   EXPECT_EQ(SliceSum(ev.attr), ev.end_ns - ev.start_ns);
   bool saw_lock = false;
   for (const AttrSlice& s : ev.attr) {
-    if (s.stage == "db" && s.state == WaitState::kLockWait) {
+    if (s.stage == S("db") && s.state == WaitState::kLockWait) {
       saw_lock = true;
       EXPECT_EQ(s.ns, 700);
     }
@@ -228,11 +234,11 @@ TEST(AttributionTest, DaemonAttributionKnobOff) {
 TxnEvent AttributedEvent(const std::string& type, context::NodeId ctxt,
                          int64_t ns) {
   TxnEvent ev;
-  ev.type = type;
+  ev.type = S(type);
   ev.start_ns = 0;
   ev.end_ns = ns;
-  ev.spans.push_back({"stage", 0, ns, -1, 0});
-  ev.attr.push_back({"stage", ctxt, WaitState::kService, ns});
+  ev.spans.push_back({S("stage"), 0, ns, -1, 0});
+  ev.attr.push_back({S("stage"), ctxt, WaitState::kService, ns});
   return ev;
 }
 

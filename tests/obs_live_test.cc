@@ -6,6 +6,7 @@
 #include <cctype>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "src/apps/bookstore/bookstore.h"
 #include "src/apps/minihttpd/minihttpd.h"
@@ -14,6 +15,8 @@
 #include "src/obs/live/daemon.h"
 #include "src/obs/live/span_export.h"
 #include "src/obs/live/txn_event.h"
+#include "src/obs/metrics.h"
+#include "src/sim/parallel_runner.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
@@ -142,17 +145,21 @@ TEST(JsonCheckerTest, AcceptsAndRejects) {
 
 // ---- Aggregator ------------------------------------------------------
 
+// Names intern through the thread-current symbol table — the same one
+// default-constructed aggregators/daemons resolve against.
+SymId S(std::string_view name) { return Syms().Intern(name); }
+
 TxnEvent MakeEvent(uint64_t id, const std::string& type, int64_t start,
                    int64_t end, bool error = false) {
   TxnEvent ev;
   ev.txn_id = id;
-  ev.type = type;
-  ev.origin_stage = "front";
+  ev.type = S(type);
+  ev.origin_stage = S("front");
   ev.start_ns = start;
   ev.end_ns = end;
   ev.error = error;
-  ev.spans.push_back({"front", start, end - start, -1, 0});
-  ev.spans.push_back({"back", start + 10, end - start - 10, 0, 7});
+  ev.spans.push_back({S("front"), start, end - start, -1, 0});
+  ev.spans.push_back({S("back"), start + 10, end - start - 10, 0, 7});
   return ev;
 }
 
@@ -218,7 +225,11 @@ TEST(LiveAggregatorTest, CostAndCrosstalk) {
 TEST(WhodunitdTest, PublishPumpQuery) {
   sim::Scheduler sched;
   {
-    Whodunitd d(sched);
+    // publish_batch = 1: every completion crosses the channel alone,
+    // so mid-run queries see the event as soon as the pump runs.
+    LiveOptions options;
+    options.publish_batch = 1;
+    Whodunitd d(sched, options);
 
     const uint64_t txn = d.BeginTxn("front", d.now());
     ASSERT_NE(txn, 0u);
@@ -241,16 +252,16 @@ TEST(WhodunitdTest, PublishPumpQuery) {
     const auto events = d.RecentEvents();
     ASSERT_EQ(events.size(), 1u);
     const TxnEvent& ev = events[0];
-    EXPECT_EQ(ev.type, "checkout");
-    EXPECT_EQ(ev.origin_stage, "front");
+    EXPECT_EQ(ev.type, S("checkout"));
+    EXPECT_EQ(ev.origin_stage, S("front"));
     EXPECT_EQ(ev.root_ctxt, 17u);
     EXPECT_EQ(ev.end_ns, sim::Micros(40));
     ASSERT_EQ(ev.spans.size(), 2u);
     // The origin span stayed open until CompleteTxn closed it.
-    EXPECT_EQ(ev.spans[0].stage, "front");
+    EXPECT_EQ(ev.spans[0].stage, S("front"));
     EXPECT_EQ(ev.spans[0].duration_ns, sim::Micros(40));
     // The joined span linked to the origin via the noted send part.
-    EXPECT_EQ(ev.spans[1].stage, "back");
+    EXPECT_EQ(ev.spans[1].stage, S("back"));
     EXPECT_EQ(ev.spans[1].parent, 0);
     EXPECT_EQ(ev.spans[1].link, 42u);
     EXPECT_EQ(ev.spans[1].duration_ns, sim::Micros(20));
@@ -306,6 +317,7 @@ TEST(WhodunitdTest, SpanRingKeepsNewest) {
   {
     LiveOptions options;
     options.span_ring = 3;
+    options.publish_batch = 1;
     Whodunitd d(sched, options);
     for (int i = 0; i < 5; ++i) {
       const uint64_t txn = d.BeginTxn("s", d.now());
@@ -315,11 +327,53 @@ TEST(WhodunitdTest, SpanRingKeepsNewest) {
     sched.Run();
     const auto events = d.RecentEvents();
     ASSERT_EQ(events.size(), 3u);
-    EXPECT_EQ(events.front().type, "t2");  // oldest retained
-    EXPECT_EQ(events.back().type, "t4");   // newest last
+    EXPECT_EQ(events.front().type, S("t2"));  // oldest retained
+    EXPECT_EQ(events.back().type, S("t4"));   // newest last
     EXPECT_EQ(d.aggregator().txns(), 5u);  // ring does not limit aggregation
     d.Shutdown();
     sched.Run();
+  }
+}
+
+// The lifecycle counters must reconcile: every transaction that began
+// is either published or abandoned once the daemon shuts down (dropped
+// transactions never count as begun), and the aggregator-side ingest
+// counter matches the publish count after the pump drains. See
+// docs/METRICS.md "Live pipeline counters" for the exact semantics.
+TEST(WhodunitdTest, LifecycleCountersReconcileAtShutdown) {
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(reg);
+  sim::Scheduler sched;
+  {
+    LiveOptions options;
+    options.max_inflight = 2;
+    options.publish_batch = 2;
+    Whodunitd d(sched, options);
+    const uint64_t a = d.BeginTxn("s", 0);
+    const uint64_t b = d.BeginTxn("s", 0);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_EQ(d.BeginTxn("s", 0), 0u);  // over the cap: dropped, not begun
+    d.CompleteTxn(a, 10);
+    // Mid-run: begun == published + abandoned + in-flight.
+    EXPECT_EQ(reg.GetCounter("live.txns_begun").Value(),
+              reg.GetCounter("live.txns_published").Value() +
+                  reg.GetCounter("live.txns_abandoned").Value() + d.inflight());
+    d.Shutdown();  // abandons b, flushes the partial batch
+    sched.Run();
+    EXPECT_EQ(reg.GetCounter("live.txns_begun").Value(), 2u);
+    EXPECT_EQ(reg.GetCounter("live.txns_published").Value(), 1u);
+    EXPECT_EQ(reg.GetCounter("live.txns_abandoned").Value(), 1u);
+    EXPECT_EQ(reg.GetCounter("live.txns_dropped").Value(), 1u);
+    EXPECT_EQ(d.inflight(), 0u);
+    EXPECT_EQ(reg.GetCounter("live.txns_begun").Value(),
+              reg.GetCounter("live.txns_published").Value() +
+                  reg.GetCounter("live.txns_abandoned").Value());
+    // Aggregator-side: one ingested txn (== published), and its spans.
+    EXPECT_EQ(reg.GetCounter("live.txns_ingested").Value(),
+              reg.GetCounter("live.txns_published").Value());
+    EXPECT_EQ(reg.GetCounter("live.spans_ingested").Value(), 1u);
+    EXPECT_EQ(reg.GetCounter("live.batches_published").Value(), 1u);
   }
 }
 
@@ -328,13 +382,13 @@ TEST(WhodunitdTest, SpanRingKeepsNewest) {
 TEST(SpanExportTest, GoldenChromeTrace) {
   TxnEvent ev;
   ev.txn_id = 7;
-  ev.type = "checkout";
-  ev.origin_stage = "frontend";
+  ev.type = S("checkout");
+  ev.origin_stage = S("frontend");
   ev.root_ctxt = 3;
   ev.start_ns = 1000;
   ev.end_ns = 5000;
-  ev.spans.push_back({"frontend", 1000, 4000, -1, 0});
-  ev.spans.push_back({"db", 2000, 1500, 0, 42});
+  ev.spans.push_back({S("frontend"), 1000, 4000, -1, 0});
+  ev.spans.push_back({S("db"), 2000, 1500, 0, 42});
 
   // Byte-exact golden: the export is deterministic (fixed three-decimal
   // microsecond timestamps, tracks numbered by first appearance).
@@ -364,14 +418,14 @@ TEST(SpanExportTest, GoldenChromeTrace) {
 TEST(SpanExportTest, ColorCodesSpansByDominantWaitState) {
   TxnEvent ev;
   ev.txn_id = 9;
-  ev.type = "checkout";
+  ev.type = S("checkout");
   ev.start_ns = 0;
   ev.end_ns = 10000;
   // {stage, start, dur, parent, link, queue, service, lock, ctxt}
-  ev.spans.push_back({"proxy", 0, 10000, -1, 0, 0, 4000, 0, 0});      // service-heavy
-  ev.spans.push_back({"httpd", 1000, 8000, 0, 1, 5000, 2000, 0, 0});  // queue-heavy
-  ev.spans.push_back({"db", 2000, 6000, 1, 2, 100, 200, 4000, 0});    // lock-heavy
-  ev.spans.push_back({"cache", 3000, 1000, 2, 3});                    // unmeasured
+  ev.spans.push_back({S("proxy"), 0, 10000, -1, 0, 0, 4000, 0, 0});      // service-heavy
+  ev.spans.push_back({S("httpd"), 1000, 8000, 0, 1, 5000, 2000, 0, 0});  // queue-heavy
+  ev.spans.push_back({S("db"), 2000, 6000, 1, 2, 100, 200, 4000, 0});    // lock-heavy
+  ev.spans.push_back({S("cache"), 3000, 1000, 2, 3});                    // unmeasured
 
   const std::string out = ExportChromeTrace({ev});
   EXPECT_TRUE(JsonChecker(out).Valid()) << out;
@@ -391,8 +445,8 @@ TEST(SpanExportTest, EmptyAndEscaping) {
 
   TxnEvent ev;
   ev.txn_id = 1;
-  ev.type = "quo\"te\\slash";
-  ev.spans.push_back({"sta\"ge", 0, 10, -1, 0});
+  ev.type = S("quo\"te\\slash");
+  ev.spans.push_back({S("sta\"ge"), 0, 10, -1, 0});
   const std::string out = ExportChromeTrace({ev});
   EXPECT_TRUE(JsonChecker(out).Valid()) << out;
 }
@@ -466,6 +520,70 @@ TEST(LiveEndToEndTest, BookstoreWhyTailBlamesDbLockWait) {
     }
   }
   EXPECT_TRUE(lock_wait_dominates) << result.live_why_tail_text;
+}
+
+// Batching determinism (docs/OBSERVABILITY.md "Batching and
+// determinism"): the publish batch preserves completion order and the
+// channel is FIFO, so every end-of-run export must be byte-identical
+// for any --publish-batch value. Each run executes under a fresh
+// ShardEnv so context NodeIds, metrics, and SymIds restart from the
+// same seeds.
+TEST(LiveEndToEndTest, ExportsAreInvariantUnderPublishBatchSize) {
+  auto run = [](size_t batch) {
+    sim::ShardEnv env;
+    sim::ShardEnv::Scope scope(env);
+    apps::BookstoreOptions options;
+    options.clients = 10;
+    options.duration = sim::Seconds(20);
+    options.warmup = sim::Seconds(2);
+    options.live = true;
+    options.live_span_ring = 16;
+    options.live_publish_batch = batch;
+    return apps::RunBookstore(options);
+  };
+  const auto unbatched = run(1);
+  const auto batched = run(64);
+  const auto coarse = run(1024);
+  ASSERT_FALSE(unbatched.live_query_json.empty());
+  EXPECT_EQ(unbatched.live_query_json, batched.live_query_json);
+  EXPECT_EQ(unbatched.live_query_json, coarse.live_query_json);
+  EXPECT_EQ(unbatched.live_top_text, batched.live_top_text);
+  EXPECT_EQ(unbatched.live_top_text, coarse.live_top_text);
+  EXPECT_EQ(unbatched.live_span_json, batched.live_span_json);
+  EXPECT_EQ(unbatched.live_span_json, coarse.live_span_json);
+  EXPECT_EQ(unbatched.live_attr_folded, batched.live_attr_folded);
+  EXPECT_EQ(unbatched.live_attr_folded, coarse.live_attr_folded);
+  EXPECT_EQ(unbatched.live_why_tail_text, batched.live_why_tail_text);
+  EXPECT_EQ(unbatched.live_why_tail_text, coarse.live_why_tail_text);
+}
+
+// The merged sharded exports must also be invariant across worker
+// thread counts and batch sizes together (the acceptance matrix).
+TEST(LiveEndToEndTest, ShardedExportsInvariantAcrossThreadsAndBatch) {
+  auto run = [](int threads, size_t batch) {
+    apps::BookstoreOptions options;
+    options.clients = 12;
+    options.duration = sim::Seconds(20);
+    options.warmup = sim::Seconds(2);
+    options.live = true;
+    options.live_span_ring = 16;
+    options.live_publish_batch = batch;
+    options.shards = 4;
+    options.threads = threads;
+    return apps::RunBookstore(options);
+  };
+  const auto serial = run(1, 1);
+  const auto threaded = run(4, 64);
+  const auto wide = run(8, 1024);
+  ASSERT_FALSE(serial.live_query_json.empty());
+  EXPECT_EQ(serial.live_query_json, threaded.live_query_json);
+  EXPECT_EQ(serial.live_query_json, wide.live_query_json);
+  EXPECT_EQ(serial.live_attr_folded, threaded.live_attr_folded);
+  EXPECT_EQ(serial.live_attr_folded, wide.live_attr_folded);
+  EXPECT_EQ(serial.live_top_text, threaded.live_top_text);
+  EXPECT_EQ(serial.live_top_text, wide.live_top_text);
+  EXPECT_EQ(serial.db_profile_text, threaded.db_profile_text);
+  EXPECT_EQ(serial.db_profile_text, wide.db_profile_text);
 }
 
 TEST(LiveEndToEndTest, MinihttpdTracksConnections) {

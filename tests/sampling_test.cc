@@ -16,6 +16,7 @@ namespace {
 using obs::MetricsRegistry;
 using obs::ScopedMetricsRegistry;
 using obs::live::HistoryOptions;
+using obs::live::Syms;
 using obs::live::TxnEvent;
 using obs::live::TxnHistory;
 using profiler::SamplingConfig;
@@ -108,11 +109,11 @@ TEST(SamplingPolicyTest, CountersTrackDecisions) {
 TxnEvent MakeEvent(uint64_t id, int64_t end_ns) {
   TxnEvent ev;
   ev.txn_id = id;
-  ev.type = "checkout";
-  ev.origin_stage = "squid";
+  ev.type = Syms().Intern("checkout");
+  ev.origin_stage = Syms().Intern("squid");
   ev.start_ns = end_ns - 1000;
   ev.end_ns = end_ns;
-  ev.spans.push_back({"squid", ev.start_ns, 1000, -1, 0});
+  ev.spans.push_back({Syms().Intern("squid"), ev.start_ns, 1000, -1, 0});
   return ev;
 }
 
